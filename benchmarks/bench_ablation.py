@@ -1,0 +1,97 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Density vs hitting-time proximity** — the paper chooses the simple
+   vicinity-density measure over hitting time for efficiency (Section 5.3);
+   this ablation measures both on the same pair so the cost gap is visible.
+2. **Sample size** — the paper argues n=900 suffices because Var(t) is
+   bounded by 2(1-τ²)/n regardless of N; the sweep shows the z-score of a
+   planted pair stabilising as n grows.
+3. **Batched importance sampling** — cost vs batch size, the efficiency side
+   of the Figure 7 accuracy trade-off.
+4. **Tie correction** — Eq. 6 vs the uncorrected Eq. 5 on tie-heavy density
+   vectors, quantifying how much the correction changes the z-score.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hitting_time import hitting_time_affinity
+from repro.core.config import TescConfig
+from repro.core.tesc import TescTester
+from repro.core.estimators import plain_estimate
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.stats.kendall import pair_concordance_sum
+from repro.stats.ties import null_variance_no_ties
+
+DATASET = make_dblp_like(
+    num_communities=16, community_size=100, num_positive_pairs=1, num_negative_pairs=1,
+    num_background_keywords=0, random_state=71,
+)
+EVENT_A, EVENT_B = DATASET.positive_pairs[0]
+
+
+def test_ablation_density_measure(benchmark):
+    """TESC with the paper's density measure (the chosen design)."""
+    tester = TescTester(DATASET.attributed, TescConfig(sample_size=300, random_state=1))
+    result = benchmark.pedantic(lambda: tester.test(EVENT_A, EVENT_B), rounds=3, iterations=1)
+    print(f"\ndensity-based TESC: z={result.z_score:+.2f}")
+
+
+def test_ablation_hitting_time_measure(benchmark):
+    """The hitting-time affinity alternative the paper rejects on cost grounds."""
+    result = benchmark.pedantic(
+        lambda: hitting_time_affinity(
+            DATASET.attributed, EVENT_A, EVENT_B,
+            max_steps=3, walks_per_source=10, max_sources=300, random_state=1,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    print(f"\nhitting-time affinity: {result:.4f} (no significance available)")
+
+
+@pytest.mark.parametrize("sample_size", [100, 300, 900])
+def test_ablation_sample_size(benchmark, sample_size):
+    """z-score stability as the reference sample grows (Section 3.1 bound)."""
+    tester = TescTester(
+        DATASET.attributed, TescConfig(sample_size=sample_size, random_state=2)
+    )
+    result = benchmark.pedantic(lambda: tester.test(EVENT_A, EVENT_B), rounds=2, iterations=1)
+    print(f"\nn={sample_size}: z={result.z_score:+.2f}")
+
+
+@pytest.mark.parametrize("batch_per_vicinity", [1, 5, 20])
+def test_ablation_batched_importance_cost(benchmark, batch_per_vicinity):
+    """Sampling cost as more reference nodes are drawn per event vicinity."""
+    tester = TescTester(
+        DATASET.attributed,
+        TescConfig(
+            sampler="importance",
+            batch_per_vicinity=batch_per_vicinity,
+            sample_size=300,
+            random_state=3,
+        ),
+    )
+    result = benchmark.pedantic(lambda: tester.test(EVENT_A, EVENT_B), rounds=2, iterations=1)
+    print(
+        f"\nbatch={batch_per_vicinity}: z={result.z_score:+.2f}, "
+        f"bfs_calls={result.sample.cost.bfs_calls}"
+    )
+
+
+def test_ablation_tie_correction(benchmark):
+    """Eq. 6 tie-corrected z versus the naive Eq. 5 z on tie-heavy densities."""
+    rng = np.random.default_rng(5)
+    # Density vectors with many zeros, as produced by sparse events.
+    densities_a = np.where(rng.random(400) < 0.7, 0.0, rng.random(400))
+    densities_b = np.where(rng.random(400) < 0.7, 0.0, rng.random(400))
+
+    def compute():
+        corrected = plain_estimate(densities_a, densities_b)
+        s = pair_concordance_sum(densities_a, densities_b)
+        n = len(densities_a)
+        naive_sigma = np.sqrt(null_variance_no_ties(n)) * (0.5 * n * (n - 1))
+        return corrected.z_score, s / naive_sigma
+
+    corrected_z, naive_z = benchmark(compute)
+    print(f"\ntie-corrected z={corrected_z:+.2f} vs uncorrected z={naive_z:+.2f}")

@@ -1,0 +1,17 @@
+"""Benchmark/reproduction of Figure 10 (BFS cost and z-score cost)."""
+
+from repro.experiments import Figure10Config
+
+from .conftest import run_and_report
+
+CONFIG = Figure10Config(
+    graph_sizes=(5_000, 10_000, 20_000, 40_000),
+    levels=(1, 2, 3),
+    bfs_repetitions=20,
+    reference_node_counts=(200, 400, 600, 800, 1000),
+    zscore_repetitions=5,
+)
+
+
+def test_figure10_bfs_and_zscore_cost(benchmark):
+    run_and_report(benchmark, "figure10", CONFIG)

@@ -1,0 +1,21 @@
+"""Benchmark/reproduction of Figure 5 (positive-pair recall vs noise)."""
+
+from repro.experiments import Figure5Config
+
+from .conftest import run_and_report
+
+#: Reproduction-scale configuration: large enough to show the recall curves'
+#: shape, small enough for a laptop/CI run.  Paper scale: DBLP graph,
+#: event_size=5000, num_pairs=100, sample_size=900.
+CONFIG = Figure5Config(
+    num_communities=12,
+    community_size=100,
+    event_size=200,
+    num_pairs=4,
+    sample_size=200,
+    noise_grids={1: (0.0, 0.1, 0.3), 2: (0.0, 0.1, 0.3), 3: (0.0, 0.4, 0.7)},
+)
+
+
+def test_figure5_positive_recall_curves(benchmark):
+    run_and_report(benchmark, "figure5", CONFIG)

@@ -1,0 +1,18 @@
+"""Benchmark/reproduction of Figure 6 (negative-pair recall vs noise)."""
+
+from repro.experiments import Figure6Config
+
+from .conftest import run_and_report
+
+CONFIG = Figure6Config(
+    num_communities=12,
+    community_size=100,
+    event_size=200,
+    num_pairs=4,
+    sample_size=200,
+    noise_grids={1: (0.0, 0.4, 0.9), 2: (0.0, 0.4, 0.9), 3: (0.0, 0.2, 0.5)},
+)
+
+
+def test_figure6_negative_recall_curves(benchmark):
+    run_and_report(benchmark, "figure6", CONFIG)

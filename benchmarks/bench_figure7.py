@@ -1,0 +1,18 @@
+"""Benchmark/reproduction of Figure 7 (batched importance sampling)."""
+
+from repro.experiments import Figure7Config
+
+from .conftest import run_and_report
+
+CONFIG = Figure7Config(
+    num_communities=12,
+    community_size=100,
+    event_size=200,
+    num_pairs=4,
+    sample_size=200,
+    batch_sizes=(1, 5, 10, 20),
+)
+
+
+def test_figure7_batched_importance_sampling(benchmark):
+    run_and_report(benchmark, "figure7", CONFIG)

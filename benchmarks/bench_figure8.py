@@ -1,0 +1,19 @@
+"""Benchmark/reproduction of Figure 8 (impact of graph density)."""
+
+from repro.experiments import Figure8Config
+
+from .conftest import run_and_report
+
+CONFIG = Figure8Config(
+    num_communities=12,
+    community_size=100,
+    event_size=200,
+    num_pairs=4,
+    sample_size=200,
+    removal_fractions=(0.0, 0.3, 0.6, 0.9),
+    addition_fractions=(0.0, 2.0, 5.0, 10.0),
+)
+
+
+def test_figure8_graph_density_impact(benchmark):
+    run_and_report(benchmark, "figure8", CONFIG)

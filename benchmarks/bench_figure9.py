@@ -1,0 +1,19 @@
+"""Benchmark/reproduction of Figure 9 (sampler running time vs |Va∪b|)."""
+
+from repro.experiments import Figure9Config
+
+from .conftest import run_and_report
+
+#: Paper scale: 20M-node Twitter graph, |Va∪b| up to 500k.  The reproduction
+#: sweeps the same shape on a 20k-node scale-free graph.
+CONFIG = Figure9Config(
+    num_nodes=20_000,
+    event_set_sizes=(500, 2_000, 5_000, 10_000),
+    levels=(1, 2, 3),
+    sample_size=300,
+    repetitions=2,
+)
+
+
+def test_figure9_sampler_running_time(benchmark):
+    run_and_report(benchmark, "figure9", CONFIG)

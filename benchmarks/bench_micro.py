@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the framework's primitive operations.
+
+These isolate the three phases analysed in Section 4.4 — reference-node
+sampling, event-density computation (one h-hop BFS per reference node) and
+the measure/z-score computation — so regressions in any phase are visible
+independently of the full experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import plain_estimate
+from repro.datasets.synthetic_twitter import make_twitter_like
+from repro.graph.traversal import BFSEngine
+from repro.graph.vicinity import VicinityIndex
+from repro.sampling.registry import create_sampler
+
+GRAPH = make_twitter_like(num_nodes=20_000, edges_per_node=8, random_state=1)
+EVENT_NODES = np.random.default_rng(2).choice(GRAPH.num_nodes, size=5_000, replace=False)
+VICINITY_INDEX = VicinityIndex(GRAPH, levels=(1, 2), lazy=True)
+
+
+@pytest.mark.parametrize("level", [1, 2, 3])
+def test_single_bfs(benchmark, level):
+    """Figure 10a primitive: one h-hop BFS on a scale-free graph."""
+    engine = BFSEngine(GRAPH)
+    rng = np.random.default_rng(3)
+    sources = rng.choice(GRAPH.num_nodes, size=64)
+    counter = {"i": 0}
+
+    def run():
+        source = int(sources[counter["i"] % len(sources)])
+        counter["i"] += 1
+        return engine.vicinity(source, level)
+
+    benchmark(run)
+
+
+def test_batch_bfs_over_event_nodes(benchmark):
+    """Algorithm 1 on a 5k-node event set (the Figure 9 x-axis midpoint)."""
+    engine = BFSEngine(GRAPH)
+    benchmark(lambda: engine.multi_source_vicinity(EVENT_NODES, 1))
+
+
+@pytest.mark.parametrize("sample_size", [300, 900])
+def test_zscore_computation(benchmark, sample_size):
+    """Figure 10b primitive: the O(n^2) measure computation."""
+    rng = np.random.default_rng(4)
+    densities_a = rng.random(sample_size)
+    densities_b = rng.random(sample_size)
+    benchmark(lambda: plain_estimate(densities_a, densities_b))
+
+
+@pytest.mark.parametrize("sampler_name", ["batch_bfs", "importance", "whole_graph"])
+def test_reference_sampling(benchmark, sampler_name):
+    """One reference-node sample of n=300 at h=1 per sampler."""
+    sampler = create_sampler(
+        sampler_name, GRAPH, vicinity_index=VICINITY_INDEX, random_state=5
+    )
+    benchmark.pedantic(
+        lambda: sampler.sample(EVENT_NODES, 1, 300), rounds=3, iterations=1
+    )

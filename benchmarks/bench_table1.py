@@ -1,0 +1,11 @@
+"""Benchmark/reproduction of Table 1 (1-hop positive keyword pairs, DBLP)."""
+
+from repro.experiments import Table1Config
+
+from .conftest import run_and_report
+
+CONFIG = Table1Config(num_communities=24, community_size=120, num_pairs=5, sample_size=400)
+
+
+def test_table1_positive_keyword_pairs(benchmark):
+    run_and_report(benchmark, "table1", CONFIG)

@@ -1,0 +1,11 @@
+"""Benchmark/reproduction of Table 2 (3-hop negative keyword pairs, DBLP)."""
+
+from repro.experiments import Table2Config
+
+from .conftest import run_and_report
+
+CONFIG = Table2Config(num_communities=24, community_size=120, num_pairs=5, sample_size=400)
+
+
+def test_table2_negative_keyword_pairs(benchmark):
+    run_and_report(benchmark, "table2", CONFIG)

@@ -1,0 +1,11 @@
+"""Benchmark/reproduction of Table 3 (1-hop positive alert pairs, Intrusion)."""
+
+from repro.experiments import Table3Config
+
+from .conftest import run_and_report
+
+CONFIG = Table3Config(num_subnets=120, subnet_size=40, num_pairs=5, sample_size=400)
+
+
+def test_table3_positive_alert_pairs(benchmark):
+    run_and_report(benchmark, "table3", CONFIG)

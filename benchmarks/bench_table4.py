@@ -1,0 +1,11 @@
+"""Benchmark/reproduction of Table 4 (2-hop negative alert pairs, Intrusion)."""
+
+from repro.experiments import Table4Config
+
+from .conftest import run_and_report
+
+CONFIG = Table4Config(num_subnets=120, subnet_size=40, num_pairs=5, sample_size=400)
+
+
+def test_table4_negative_alert_pairs(benchmark):
+    run_and_report(benchmark, "table4", CONFIG)

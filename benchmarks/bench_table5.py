@@ -1,0 +1,11 @@
+"""Benchmark/reproduction of Table 5 (rare pairs missed by proximity mining)."""
+
+from repro.experiments import Table5Config
+
+from .conftest import run_and_report
+
+CONFIG = Table5Config(num_subnets=120, subnet_size=40, num_rare_pairs=2, sample_size=400)
+
+
+def test_table5_rare_pairs_vs_proximity_patterns(benchmark):
+    run_and_report(benchmark, "table5", CONFIG)

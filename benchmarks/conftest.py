@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+experiment harness in :mod:`repro.experiments` and prints the resulting rows,
+so running ``pytest benchmarks/ --benchmark-only`` reproduces the evaluation
+section end to end (at reproduction scale).  The printed tables are the
+artifact; the benchmark timings additionally record how long each experiment
+takes to regenerate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_report(benchmark, experiment_id: str, config) -> None:
+    """Run one experiment under pytest-benchmark and print its tables."""
+    from repro.experiments.runner import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+
+
+@pytest.fixture
+def report(benchmark):
+    """Fixture form of :func:`run_and_report`."""
+
+    def _run(experiment_id: str, config):
+        return run_and_report(benchmark, experiment_id, config)
+
+    return _run

@@ -1,0 +1,78 @@
+"""Intrusion-detection scenario: correlated alert types in a computer network.
+
+The paper's Intrusion case study (Tables 3-5) shows three behaviours that a
+security analyst cares about:
+
+* related attack techniques are *alternated* across the hosts of a subnet, so
+  they attract each other structurally even though they rarely fire on the
+  same host (positive TESC, flat transaction correlation);
+* techniques tied to different platforms live in different parts of the
+  network (negative TESC at h = 2);
+* rare technique pairs are invisible to frequency-based pattern mining but
+  still detectable by TESC.
+
+This example reproduces all three on the synthetic intrusion-like network and
+prints an analyst-style report.
+
+Run with:  python examples/intrusion_alerts.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ProximityPatternMiner, transaction_correlation
+from repro.core import TescConfig, TescTester
+from repro.datasets import make_intrusion_like
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    dataset = make_intrusion_like(num_subnets=100, subnet_size=35, random_state=404)
+    attributed = dataset.attributed
+    print(f"alert network: {attributed.num_nodes} hosts, {attributed.num_edges} links, "
+          f"{len(attributed.event_names())} alert types")
+
+    tester = TescTester(attributed)
+    miner = ProximityPatternMiner(attributed, minsup=10 / attributed.num_nodes)
+
+    print("\n== alternating attack techniques (expected: attract, TC blind) ==")
+    table = TextTable(["alert pair", "TESC z (h=1)", "TC z", "verdict"], float_format="{:.2f}")
+    for event_a, event_b in dataset.positive_pairs[:3]:
+        result = tester.test(event_a, event_b,
+                             TescConfig(vicinity_level=1, sample_size=400, random_state=1))
+        tc = transaction_correlation(attributed.events, event_a, event_b)
+        table.add_row([f"{event_a} vs {event_b}", result.z_score, tc.z_score,
+                       result.verdict.value])
+    print(table.render())
+
+    print("\n== platform-disjoint techniques (expected: repulse at h=2) ==")
+    table = TextTable(["alert pair", "TESC z (h=2)", "TC z", "verdict"], float_format="{:.2f}")
+    for event_a, event_b in dataset.negative_pairs[:3]:
+        result = tester.test(event_a, event_b,
+                             TescConfig(vicinity_level=2, sample_size=400, random_state=1))
+        tc = transaction_correlation(attributed.events, event_a, event_b)
+        table.add_row([f"{event_a} vs {event_b}", result.z_score, tc.z_score,
+                       result.verdict.value])
+    print(table.render())
+
+    print("\n== rare technique pairs (expected: TESC finds them, pFP misses them) ==")
+    table = TextTable(
+        ["alert pair", "occurrences", "TESC z (h=1)", "p-value", "found by pFP"],
+        float_format="{:.3f}",
+    )
+    for event_a, event_b in dataset.rare_pairs:
+        result = tester.test(
+            event_a, event_b,
+            TescConfig(vicinity_level=1, sample_size=400, alternative="greater",
+                       random_state=1),
+        )
+        counts = (attributed.events.occurrence_count(event_a)
+                  + attributed.events.occurrence_count(event_b))
+        table.add_row([
+            f"{event_a} vs {event_b}", counts, result.z_score, result.p_value,
+            miner.discovers_pair(event_a, event_b),
+        ])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

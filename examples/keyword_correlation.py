@@ -1,0 +1,73 @@
+"""DBLP-style scenario: which keyword pairs are structurally correlated?
+
+This example generates the synthetic DBLP-like co-author network (planted
+positively and negatively correlated keyword pairs plus background keywords),
+then:
+
+1. screens every planted pair with the TESC test at h = 1 and h = 3,
+2. compares each verdict with plain Transaction Correlation (Lift / τ-b),
+3. shows that the negatively correlated pairs would be invisible to a
+   transaction-only analysis — the paper's Table 1 / Table 2 story.
+
+Run with:  python examples/keyword_correlation.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import transaction_correlation
+from repro.core import TescConfig, TescTester
+from repro.datasets import make_dblp_like
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    dataset = make_dblp_like(
+        num_communities=20, community_size=120,
+        num_positive_pairs=3, num_negative_pairs=3,
+        num_background_keywords=5, random_state=2024,
+    )
+    attributed = dataset.attributed
+    print(f"co-author graph: {attributed.num_nodes} authors, "
+          f"{attributed.num_edges} co-author edges, "
+          f"{len(attributed.event_names())} keywords")
+
+    tester = TescTester(attributed)
+    table = TextTable(
+        ["pair", "planted", "TESC z (h=1)", "TESC z (h=3)", "TC z", "lift"],
+        float_format="{:.2f}",
+    )
+
+    def analyse(event_a: str, event_b: str, planted: str) -> None:
+        z_by_level = {}
+        for level in (1, 3):
+            config = TescConfig(vicinity_level=level, sample_size=400, random_state=5)
+            z_by_level[level] = tester.test(event_a, event_b, config).z_score
+        tc = transaction_correlation(attributed.events, event_a, event_b)
+        table.add_row([
+            f"{event_a} vs {event_b}", planted,
+            z_by_level[1], z_by_level[3], tc.z_score, tc.lift,
+        ])
+
+    for event_a, event_b in dataset.positive_pairs:
+        analyse(event_a, event_b, "attraction")
+    for event_a, event_b in dataset.negative_pairs:
+        analyse(event_a, event_b, "repulsion")
+    # Two background keywords: small, uniformly scattered, unrelated.
+    background = dataset.background_events
+    if len(background) >= 2:
+        analyse(background[0], background[1], "background")
+
+    print()
+    print(table.render())
+    print()
+    print("Reading the table: planted attractions have large positive TESC z at "
+          "every level; planted repulsions have large negative TESC z even though "
+          "their transaction-correlation column is near zero or positive, i.e. a "
+          "market-basket analysis would never flag them.  The background pair of "
+          "rare, scattered keywords also reads as repulsion at h=1 — rare unrelated "
+          "topics almost never share a 1-hop neighbourhood — but the signal fades "
+          "as h grows, unlike the planted repulsions which stay strongly negative.")
+
+
+if __name__ == "__main__":
+    main()

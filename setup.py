@@ -1,0 +1,12 @@
+"""Thin setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on environments whose pip cannot
+build PEP 660 editable wheels offline (no ``wheel`` package available):
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Baselines and comparators used in the paper's evaluation.
+
+* :mod:`repro.baselines.transaction` — Transaction Correlation (TC): Lift and
+  the Kendall τ-b z-score over nodes treated as isolated transactions
+  (the comparison column of Tables 1–4).
+* :mod:`repro.baselines.proximity` — proximity pattern mining (the pFP
+  algorithm of Khan et al., SIGMOD 2010), the positive-correlation competitor
+  of Section 5.4 / Table 5.
+* :mod:`repro.baselines.hitting_time` — hitting-time based affinity in the
+  spirit of Guan et al. (SIGMOD 2011), the measure the paper argues is
+  unsuitable for TESC.
+* :mod:`repro.baselines.distance` — the "average distance between the two
+  events + randomisation test" strawman discussed in Section 6.
+"""
+
+from repro.baselines.transaction import (
+    TransactionCorrelation,
+    lift,
+    transaction_correlation,
+)
+from repro.baselines.proximity import ProximityPattern, ProximityPatternMiner
+from repro.baselines.hitting_time import hitting_time_affinity
+from repro.baselines.distance import average_distance_measure, randomization_test
+
+__all__ = [
+    "TransactionCorrelation",
+    "lift",
+    "transaction_correlation",
+    "ProximityPattern",
+    "ProximityPatternMiner",
+    "hitting_time_affinity",
+    "average_distance_measure",
+    "randomization_test",
+]

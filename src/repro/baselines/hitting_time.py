@@ -1,0 +1,103 @@
+"""Hitting-time based event affinity (the SIGMOD 2011 measure).
+
+Guan et al. (SIGMOD 2011) assess the *self*-correlation of a single event
+with a truncated-hitting-time proximity between event nodes.  The TESC paper
+argues the measure does not transfer to two-event correlation because the
+null distribution cannot be estimated without destroying each event's
+internal structure; it also reports (Figure 10a discussion) that one hitting
+time approximation costs ~170 ms versus ~5 ms for a 3-hop BFS, motivating the
+density measure.
+
+We implement the adapted two-event affinity so that the comparison can be
+made concrete: the affinity of ``a`` and ``b`` is the average truncated
+hitting probability from nodes of ``a`` to the node set of ``b`` (and
+symmetrically), estimated by random walks.  It produces a score but — as the
+paper stresses — no principled significance value; the benchmarks use it only
+for cost and ranking comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import EstimationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def _walk_hit_fraction(
+    attributed: AttributedGraph,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    max_steps: int,
+    walks_per_source: int,
+    rng: np.random.Generator,
+) -> float:
+    """Fraction of truncated random walks from ``sources`` that hit ``targets``."""
+    target_marker = np.zeros(attributed.num_nodes, dtype=bool)
+    target_marker[targets] = True
+    graph = attributed.csr
+    hits = 0
+    total = 0
+    for source in sources:
+        for _ in range(walks_per_source):
+            total += 1
+            node = int(source)
+            for _step in range(max_steps):
+                neighbours = graph.neighbors(node)
+                if neighbours.size == 0:
+                    break
+                node = int(neighbours[int(rng.integers(0, neighbours.size))])
+                if target_marker[node]:
+                    hits += 1
+                    break
+    if total == 0:
+        raise EstimationError("no walks were simulated")
+    return hits / total
+
+
+def hitting_time_affinity(
+    attributed: AttributedGraph,
+    event_a: str,
+    event_b: str,
+    max_steps: int = 5,
+    walks_per_source: int = 10,
+    max_sources: Optional[int] = 200,
+    random_state: RandomState = None,
+) -> float:
+    """Symmetric truncated-hitting affinity between two events in [0, 1].
+
+    Parameters
+    ----------
+    max_steps:
+        Truncation length of each random walk (the hitting-time horizon).
+    walks_per_source:
+        Monte-Carlo walks started from each sampled event node.
+    max_sources:
+        Cap on the number of event nodes used as walk sources per direction
+        (``None`` uses all of them).
+    """
+    check_positive_int(max_steps, "max_steps")
+    check_positive_int(walks_per_source, "walks_per_source")
+    rng = ensure_rng(random_state)
+
+    nodes_a = attributed.event_nodes(event_a)
+    nodes_b = attributed.event_nodes(event_b)
+    if nodes_a.size == 0 or nodes_b.size == 0:
+        raise EstimationError("both events need at least one occurrence")
+
+    def subsample(nodes: np.ndarray) -> np.ndarray:
+        if max_sources is None or nodes.size <= max_sources:
+            return nodes
+        return rng.choice(nodes, size=max_sources, replace=False)
+
+    forward = _walk_hit_fraction(
+        attributed, subsample(nodes_a), nodes_b, max_steps, walks_per_source, rng
+    )
+    backward = _walk_hit_fraction(
+        attributed, subsample(nodes_b), nodes_a, max_steps, walks_per_source, rng
+    )
+    return 0.5 * (forward + backward)

@@ -1,0 +1,166 @@
+"""Proximity pattern mining (pFP), the positive-correlation competitor.
+
+Khan, Yan and Wu ("Towards proximity pattern mining in large graphs",
+SIGMOD 2010) mine *sets of events that frequently co-occur in local
+neighbourhoods*.  The paper compares against it in Section 5.4 / Table 5 and
+makes two points:
+
+1. most highly positive TESC pairs are also found as proximity patterns, but
+2. **rare** event pairs are missed, because proximity pattern mining is
+   intrinsically a frequent-pattern problem (events must co-occur not only
+   closely but also *frequently* closely).
+
+This module implements a faithful-in-spirit, pair-oriented pFP variant with
+the same two ingredients that drive that behaviour:
+
+* **information propagation** — each node aggregates the events occurring in
+  its ``hops``-neighbourhood into a per-event *strength*: the distance-damped
+  occurrence count diluted by the neighbourhood size, with strengths below
+  ``epsilon`` discarded (the ǫ cut-off of the pFP model);
+* **aggregated support** — the support of a pattern is the total pattern
+  strength accumulated over all nodes (the joint strength is the minimum of
+  the member events' strengths), normalised by ``|V|``.  A pattern is
+  reported when this support reaches ``minsup``.
+
+A rare-but-structurally-correlated pair therefore falls below ``minsup`` even
+though every one of its occurrences is tightly co-located — exactly the
+failure mode Table 5 exercises — while frequent co-located pairs are found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import ConfigurationError
+from repro.graph.traversal import BFSEngine
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+@dataclass(frozen=True)
+class ProximityPattern:
+    """A mined proximity pattern: a set of events with its aggregate support."""
+
+    events: Tuple[str, ...]
+    support: float
+
+    def contains_pair(self, event_a: str, event_b: str) -> bool:
+        """Whether the pattern covers both given events."""
+        return event_a in self.events and event_b in self.events
+
+
+class ProximityPatternMiner:
+    """Pair-level proximity pattern mining with a minimum-support threshold.
+
+    Parameters
+    ----------
+    attributed:
+        The attributed graph to mine.
+    minsup:
+        Minimum normalised support for a pattern to be reported (the paper
+        uses ``10 / |V|``, i.e. an aggregate pattern mass of ten nodes).
+    hops:
+        Neighbourhood radius used for event propagation (1 matches the local
+        neighbourhoods of the paper's comparison).
+    damping:
+        Weight of an occurrence at distance ``d`` in the propagation step
+        (``damping ** d``; the paper's comparison uses α = 1).
+    epsilon:
+        Minimum propagated strength for an event to count as present in a
+        node's neighbourhood aggregate (``ǫ = 0.12`` in the paper's setup).
+    """
+
+    def __init__(
+        self,
+        attributed: AttributedGraph,
+        minsup: float,
+        hops: int = 1,
+        damping: float = 1.0,
+        epsilon: float = 0.12,
+    ) -> None:
+        self.attributed = attributed
+        self.minsup = check_fraction(minsup, "minsup")
+        self.hops = check_positive_int(hops, "hops")
+        if not 0.0 < damping <= 1.0:
+            raise ConfigurationError(f"damping must be in (0, 1], got {damping}")
+        self.damping = damping
+        self.epsilon = check_fraction(epsilon, "epsilon")
+        self._engine = BFSEngine(attributed.csr)
+        self._vicinity_cache: Optional[List[np.ndarray]] = None
+
+    # -- propagation -------------------------------------------------------
+
+    def _vicinities(self) -> List[np.ndarray]:
+        """Per-node ``hops``-vicinities (cached across events)."""
+        if self._vicinity_cache is None:
+            self._vicinity_cache = [
+                self._engine.vicinity(node, self.hops)
+                for node in range(self.attributed.num_nodes)
+            ]
+        return self._vicinity_cache
+
+    def _strength(self, event: str) -> np.ndarray:
+        """Propagated, diluted, ǫ-filtered strength of ``event`` at every node.
+
+        The strength at node ``v`` is the damping-weighted count of the
+        event's occurrences within ``hops`` of ``v`` divided by the size of
+        ``v``'s neighbourhood; values below ``epsilon`` are zeroed.
+        """
+        indicator = self.attributed.event_indicator(event).astype(float)
+        strengths = np.zeros(self.attributed.num_nodes, dtype=float)
+        for node, vicinity in enumerate(self._vicinities()):
+            if vicinity.size == 0:
+                continue
+            if self.damping >= 1.0:
+                mass = float(indicator[vicinity].sum())
+            else:
+                # Ring-by-ring damping: re-expand per level only when needed.
+                mass = 0.0
+                previous = np.array([node], dtype=np.int64)
+                seen = {node}
+                mass += float(indicator[node])
+                for depth in range(1, self.hops + 1):
+                    current = self._engine.vicinity(node, depth)
+                    ring = [int(x) for x in current if int(x) not in seen]
+                    seen.update(ring)
+                    if ring:
+                        mass += (self.damping ** depth) * float(
+                            indicator[np.array(ring, dtype=np.int64)].sum()
+                        )
+            strength = mass / float(vicinity.size)
+            strengths[node] = strength if strength >= self.epsilon else 0.0
+        return strengths
+
+    # -- mining -------------------------------------------------------------
+
+    def pair_support(self, event_a: str, event_b: str) -> float:
+        """Normalised aggregated support of the pair.
+
+        ``support = (1/|V|) * sum_v min(strength_a(v), strength_b(v))``.
+        """
+        strength_a = self._strength(event_a)
+        strength_b = self._strength(event_b)
+        joint = np.minimum(strength_a, strength_b)
+        return float(joint.sum()) / self.attributed.num_nodes
+
+    def mine_pairs(self, events: Optional[Iterable[str]] = None) -> List[ProximityPattern]:
+        """Mine all event pairs whose support reaches ``minsup``."""
+        names = sorted(events) if events is not None else self.attributed.event_names()
+        strengths = {name: self._strength(name) for name in names}
+        patterns: List[ProximityPattern] = []
+        num_nodes = self.attributed.num_nodes
+        for event_a, event_b in combinations(names, 2):
+            joint = np.minimum(strengths[event_a], strengths[event_b])
+            support = float(joint.sum()) / num_nodes
+            if support >= self.minsup:
+                patterns.append(ProximityPattern(events=(event_a, event_b), support=support))
+        patterns.sort(key=lambda pattern: pattern.support, reverse=True)
+        return patterns
+
+    def discovers_pair(self, event_a: str, event_b: str) -> bool:
+        """Whether the pair would be reported (support >= minsup)."""
+        return self.pair_support(event_a, event_b) >= self.minsup

@@ -1,0 +1,33 @@
+"""Core TESC measure: densities, concordance, estimators and the tester.
+
+The public entry points are :class:`TescTester` (object API) and
+:func:`measure_tesc` (one-call convenience function); both return a
+:class:`TescResult` bundling the estimate, z-score, p-value and verdict.
+"""
+
+from repro.core.config import TescConfig
+from repro.core.density import DensityComputer, density_vectors
+from repro.core.concordance import concordance, concordance_counts
+from repro.core.estimators import (
+    EstimateComponents,
+    importance_weighted_estimate,
+    plain_estimate,
+)
+from repro.core.tesc import TescResult, TescTester, measure_tesc
+from repro.core.weighted import distance_weighted_densities, weighted_tesc_score
+
+__all__ = [
+    "TescConfig",
+    "DensityComputer",
+    "density_vectors",
+    "concordance",
+    "concordance_counts",
+    "EstimateComponents",
+    "plain_estimate",
+    "importance_weighted_estimate",
+    "TescResult",
+    "TescTester",
+    "measure_tesc",
+    "distance_weighted_densities",
+    "weighted_tesc_score",
+]

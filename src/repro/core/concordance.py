@@ -1,0 +1,53 @@
+"""The concordance function of Eq. 1.
+
+Two reference nodes are concordant (+1) when both events' densities move in
+the same direction between their vicinities, discordant (−1) when the
+densities move in opposite directions, and tied (0) when either density is
+unchanged.  The functions here are the small, exactly-testable building
+blocks; the estimators use the vectorised forms in :mod:`repro.stats.kendall`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+
+def concordance(density_a_i: float, density_a_j: float,
+                density_b_i: float, density_b_j: float) -> int:
+    """``c(r_i, r_j)`` of Eq. 1 from the four densities."""
+    product = (density_a_i - density_a_j) * (density_b_i - density_b_j)
+    if product > 0:
+        return 1
+    if product < 0:
+        return -1
+    return 0
+
+
+def concordance_counts(densities_a: np.ndarray,
+                       densities_b: np.ndarray) -> Tuple[int, int, int]:
+    """Counts of (concordant, discordant, tied) pairs over all i<j.
+
+    Useful for diagnostics and tests; the estimators only need the difference
+    ``concordant − discordant``, which they compute without materialising the
+    counts.
+    """
+    a = np.asarray(densities_a, dtype=float)
+    b = np.asarray(densities_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1:
+        raise EstimationError("density vectors must be 1-D and of equal length")
+    n = a.size
+    if n < 2:
+        raise EstimationError("at least two reference nodes are required")
+    da = np.sign(a[:, None] - a[None, :])
+    db = np.sign(b[:, None] - b[None, :])
+    signs = da * db
+    upper = np.triu_indices(n, k=1)
+    values = signs[upper]
+    concordant = int(np.count_nonzero(values > 0))
+    discordant = int(np.count_nonzero(values < 0))
+    tied = int(values.size - concordant - discordant)
+    return concordant, discordant, tied

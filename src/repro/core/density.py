@@ -1,0 +1,88 @@
+"""Event density in a reference node's vicinity (Eq. 2).
+
+``s^h_a(r) = |V_a ∩ V^h_r| / |V^h_r|`` — the fraction of the reference
+node's h-vicinity occupied by event-a nodes.  The normalisation by the
+vicinity size makes vicinities of different sizes comparable, playing the
+role that "area" plays in spatial point-pattern statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.events.attributed_graph import AttributedGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import BFSEngine
+from repro.utils.validation import check_vicinity_level
+
+
+class DensityComputer:
+    """Computes per-reference-node event densities with a shared BFS engine.
+
+    One h-hop BFS per reference node yields the vicinity once and both
+    events' densities are read off the same vicinity, exactly as the paper's
+    event-density phase does.
+    """
+
+    def __init__(self, graph: CSRGraph, engine: Optional[BFSEngine] = None) -> None:
+        self.graph = graph
+        self.engine = engine if engine is not None else BFSEngine(graph)
+
+    def density(self, reference_node: int, indicator: np.ndarray, level: int) -> float:
+        """``s^h_event(reference_node)`` for the event given by ``indicator``."""
+        check_vicinity_level(level)
+        count, size = self.engine.count_marked_in_vicinity(reference_node, level, indicator)
+        return count / size if size else 0.0
+
+    def density_pair(
+        self,
+        reference_node: int,
+        indicator_a: np.ndarray,
+        indicator_b: np.ndarray,
+        level: int,
+    ) -> Tuple[float, float]:
+        """Densities of both events around one reference node (one BFS)."""
+        check_vicinity_level(level)
+        vicinity = self.engine.vicinity(reference_node, level)
+        size = vicinity.size
+        if size == 0:
+            return 0.0, 0.0
+        density_a = float(indicator_a[vicinity].sum()) / size
+        density_b = float(indicator_b[vicinity].sum()) / size
+        return density_a, density_b
+
+    def density_vectors(
+        self,
+        reference_nodes: Iterable[int],
+        indicator_a: np.ndarray,
+        indicator_b: np.ndarray,
+        level: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Density vectors ``s^h_a`` and ``s^h_b`` over the reference nodes."""
+        nodes = list(int(node) for node in reference_nodes)
+        densities_a = np.empty(len(nodes), dtype=float)
+        densities_b = np.empty(len(nodes), dtype=float)
+        for index, node in enumerate(nodes):
+            densities_a[index], densities_b[index] = self.density_pair(
+                node, indicator_a, indicator_b, level
+            )
+        return densities_a, densities_b
+
+
+def density_vectors(
+    attributed: AttributedGraph,
+    event_a: str,
+    event_b: str,
+    reference_nodes: Iterable[int],
+    level: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convenience wrapper computing both density vectors for two events."""
+    computer = DensityComputer(attributed.csr)
+    return computer.density_vectors(
+        reference_nodes,
+        attributed.event_indicator(event_a),
+        attributed.event_indicator(event_b),
+        level,
+    )

@@ -1,0 +1,80 @@
+"""Dataset registry: load any synthetic dataset by name and scale."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.datasets.synthetic_intrusion import make_intrusion_like
+from repro.datasets.synthetic_twitter import make_twitter_like
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState
+
+#: Scale presets: multiplier applied to the default generator sizes.
+_SCALE_PRESETS = {"tiny": 0.2, "small": 0.5, "default": 1.0, "large": 3.0}
+
+
+def _load_dblp(scale: float, random_state: RandomState):
+    return make_dblp_like(
+        num_communities=max(4, int(40 * scale)),
+        community_size=max(20, int(250 * scale)),
+        random_state=random_state,
+    )
+
+
+def _load_intrusion(scale: float, random_state: RandomState):
+    return make_intrusion_like(
+        num_subnets=max(30, int(120 * scale)),
+        subnet_size=max(10, int(40 * scale)),
+        random_state=random_state,
+    )
+
+
+def _load_twitter(scale: float, random_state: RandomState):
+    return make_twitter_like(
+        num_nodes=max(1000, int(50_000 * scale)),
+        random_state=random_state,
+    )
+
+
+_REGISTRY: Dict[str, Callable] = {
+    "dblp": _load_dblp,
+    "intrusion": _load_intrusion,
+    "twitter": _load_twitter,
+}
+
+
+def available_datasets() -> List[str]:
+    """Names of the loadable synthetic datasets."""
+    return sorted(_REGISTRY)
+
+
+def load_dataset(name: str, scale: str = "default",
+                 random_state: RandomState = None):
+    """Load a synthetic dataset by name.
+
+    Parameters
+    ----------
+    name:
+        ``"dblp"``, ``"intrusion"`` or ``"twitter"``.
+    scale:
+        One of ``tiny``, ``small``, ``default``, ``large`` — or a numeric
+        string interpreted as a multiplier on the default sizes.
+    """
+    loader = _REGISTRY.get(name)
+    if loader is None:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    if scale in _SCALE_PRESETS:
+        multiplier = _SCALE_PRESETS[scale]
+    else:
+        try:
+            multiplier = float(scale)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"scale must be one of {sorted(_SCALE_PRESETS)} or a number, got {scale!r}"
+            ) from exc
+        if multiplier <= 0:
+            raise ConfigurationError(f"scale must be positive, got {multiplier}")
+    return loader(multiplier, random_state)

@@ -1,0 +1,28 @@
+"""Event layer: events occurring on graph nodes.
+
+The paper abstracts node data (purchased products, paper keywords, intrusion
+alerts) as *events*; each node ``v`` carries a set of events ``Q_v`` and each
+event ``a`` has an occurrence set ``V_a``.  :class:`EventLayer` stores this
+mapping in both directions, and :class:`AttributedGraph` bundles a graph with
+its event layer — the object the public TESC API operates on.
+"""
+
+from repro.events.event_set import EventLayer
+from repro.events.attributed_graph import AttributedGraph
+from repro.events.queries import (
+    contingency_table,
+    event_node_union,
+    jaccard_overlap,
+    cooccurrence_count,
+)
+from repro.events.intensity import IntensityMap
+
+__all__ = [
+    "EventLayer",
+    "AttributedGraph",
+    "contingency_table",
+    "event_node_union",
+    "jaccard_overlap",
+    "cooccurrence_count",
+    "IntensityMap",
+]

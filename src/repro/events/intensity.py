@@ -1,0 +1,70 @@
+"""Per-node event intensity (Section 6 extension).
+
+The paper's future-work discussion suggests "consider[ing] event intensity on
+nodes, e.g. the frequency by which an author used a keyword".  The intensity
+map stores such per-(event, node) counts, and the weighted density extension
+in :mod:`repro.core.weighted` consumes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import EventError
+from repro.events.event_set import EventLayer
+
+
+class IntensityMap:
+    """Per-node occurrence intensities for events.
+
+    Intensities default to 1.0 for any occurrence that has no explicit
+    intensity recorded, so an :class:`IntensityMap` is always consistent with
+    the binary :class:`EventLayer` it annotates.
+    """
+
+    def __init__(self, events: EventLayer) -> None:
+        self.events = events
+        self._intensity: Dict[Tuple[str, int], float] = {}
+
+    def set_intensity(self, event: str, node: int, value: float) -> None:
+        """Record that ``event`` occurred on ``node`` with ``value`` intensity."""
+        if value < 0:
+            raise EventError(f"intensity must be non-negative, got {value}")
+        if not self.events.has_event(event):
+            raise EventError(f"event {event!r} has no occurrences in the layer")
+        node = int(node)
+        occurrences = self.events.nodes_of(event)
+        if node not in set(int(x) for x in occurrences):
+            raise EventError(f"event {event!r} does not occur on node {node}")
+        self._intensity[(event, node)] = float(value)
+
+    def update(self, event: str, values: Mapping[int, float]) -> None:
+        """Record intensities for many nodes of one event."""
+        for node, value in values.items():
+            self.set_intensity(event, node, value)
+
+    def intensity(self, event: str, node: int) -> float:
+        """Intensity of ``event`` on ``node`` (0 if the event is absent there)."""
+        node = int(node)
+        explicit = self._intensity.get((event, node))
+        if explicit is not None:
+            return explicit
+        if event in self.events.events_of(node):
+            return 1.0
+        return 0.0
+
+    def intensity_vector(self, event: str) -> np.ndarray:
+        """Dense vector of intensities for ``event`` over all nodes."""
+        vector = np.zeros(self.events.num_nodes, dtype=float)
+        for node in self.events.nodes_of(event):
+            vector[int(node)] = self.intensity(event, int(node))
+        return vector
+
+    def total_intensity(self, event: str, nodes: Iterable[int]) -> float:
+        """Sum of intensities of ``event`` over ``nodes``."""
+        members = set(int(x) for x in self.events.nodes_of(event))
+        return float(
+            sum(self.intensity(event, int(node)) for node in nodes if int(node) in members)
+        )

@@ -1,0 +1,47 @@
+"""Event-pair queries used by the TESC measure and the baselines."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.events.event_set import EventLayer
+
+
+def event_node_union(events: EventLayer, event_a: str, event_b: str) -> np.ndarray:
+    """``V_{a∪b}``: nodes carrying at least one of the two events."""
+    return np.union1d(events.nodes_of(event_a), events.nodes_of(event_b))
+
+
+def cooccurrence_count(events: EventLayer, event_a: str, event_b: str) -> int:
+    """``|V_a ∩ V_b|``: nodes carrying both events."""
+    return int(np.intersect1d(events.nodes_of(event_a), events.nodes_of(event_b)).size)
+
+
+def jaccard_overlap(events: EventLayer, event_a: str, event_b: str) -> float:
+    """Jaccard similarity of the two occurrence sets."""
+    union = event_node_union(events, event_a, event_b).size
+    if union == 0:
+        return 0.0
+    return cooccurrence_count(events, event_a, event_b) / union
+
+
+def contingency_table(events: EventLayer, event_a: str,
+                      event_b: str) -> Tuple[int, int, int, int]:
+    """The 2x2 transaction contingency table over all graph nodes.
+
+    Returns ``(n11, n10, n01, n00)`` where ``n11`` counts nodes carrying both
+    events, ``n10`` only ``a``, ``n01`` only ``b`` and ``n00`` neither.  This
+    is the table the Transaction Correlation baselines (Lift, Kendall τ-b)
+    are computed from — the nodes are treated as isolated market-basket
+    transactions with no graph structure.
+    """
+    size_a = events.occurrence_count(event_a)
+    size_b = events.occurrence_count(event_b)
+    both = cooccurrence_count(events, event_a, event_b)
+    n11 = both
+    n10 = size_a - both
+    n01 = size_b - both
+    n00 = events.num_nodes - size_a - size_b + both
+    return n11, n10, n01, n00

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the TESC reproduction library.
+
+Every error raised intentionally by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to graph construction or traversal."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id referenced by the caller does not exist in the graph."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} does not exist in the graph")
+        self.node = node
+
+
+class EdgeError(GraphError):
+    """An edge operation was invalid (self-loop, duplicate, missing...)."""
+
+
+class GraphFormatError(GraphError):
+    """A graph or event file could not be parsed."""
+
+
+class EventError(ReproError):
+    """Base class for errors in the event layer."""
+
+
+class UnknownEventError(EventError):
+    """The requested event name is not present in the event layer."""
+
+    def __init__(self, event: str) -> None:
+        super().__init__(f"unknown event {event!r}")
+        self.event = event
+
+
+class SamplingError(ReproError):
+    """A reference-node sampler could not produce a valid sample."""
+
+
+class EmptyReferenceSetError(SamplingError):
+    """``V^h_{a|b}`` is empty: neither event has any occurrence."""
+
+
+class EstimationError(ReproError):
+    """The TESC estimator could not be computed from the given sample."""
+
+
+class InsufficientSampleError(EstimationError):
+    """Fewer than two reference nodes are available, no pairs exist."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter combination was supplied."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed to run or render its results."""

@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table and figure of the paper.
+
+Every experiment exposes a ``*Config`` dataclass (with CI-scale defaults and
+the paper-scale values documented next to them) and a ``run_*`` function
+returning an :class:`~repro.experiments.base.ExperimentResult` whose tables
+contain the same rows/series the paper reports.  The registry in
+:mod:`repro.experiments.runner` maps experiment ids ("figure5" ... "table5")
+to these functions for the CLI and the benchmark suite.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.figure5 import Figure5Config, run_figure5
+from repro.experiments.figure6 import Figure6Config, run_figure6
+from repro.experiments.figure7 import Figure7Config, run_figure7
+from repro.experiments.figure8 import Figure8Config, run_figure8
+from repro.experiments.figure9 import Figure9Config, run_figure9
+from repro.experiments.figure10 import Figure10Config, run_figure10
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.experiments.table2 import Table2Config, run_table2
+from repro.experiments.table3 import Table3Config, run_table3
+from repro.experiments.table4 import Table4Config, run_table4
+from repro.experiments.table5 import Table5Config, run_table5
+from repro.experiments.runner import available_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Figure5Config", "run_figure5",
+    "Figure6Config", "run_figure6",
+    "Figure7Config", "run_figure7",
+    "Figure8Config", "run_figure8",
+    "Figure9Config", "run_figure9",
+    "Figure10Config", "run_figure10",
+    "Table1Config", "run_table1",
+    "Table2Config", "run_table2",
+    "Table3Config", "run_table3",
+    "Table4Config", "run_table4",
+    "Table5Config", "run_table5",
+    "available_experiments",
+    "run_experiment",
+]

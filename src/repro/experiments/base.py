@@ -1,0 +1,89 @@
+"""Shared experiment-result plumbing."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The paper artifact this reproduces ("figure5", "table3", ...).
+    title:
+        Human-readable title matching the paper's caption.
+    tables:
+        Named text tables holding the regenerated rows/series.
+    paper_reference:
+        Short description of what the paper reported, for side-by-side
+        comparison in EXPERIMENTS.md.
+    notes:
+        Free-form observations recorded while running.
+    parameters:
+        The configuration the experiment ran with (for reproducibility).
+    elapsed_seconds:
+        Wall-clock duration of the run.
+    """
+
+    experiment_id: str
+    title: str
+    tables: Dict[str, TextTable] = field(default_factory=dict)
+    paper_reference: str = ""
+    notes: List[str] = field(default_factory=list)
+    parameters: Dict[str, object] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def add_table(self, name: str, table: TextTable) -> None:
+        """Attach a named table to the result."""
+        self.tables[name] = table
+
+    def add_note(self, note: str) -> None:
+        """Record a free-form observation."""
+        self.notes.append(note)
+
+    def render(self, markdown: bool = False) -> str:
+        """Render the whole result as text (or markdown)."""
+        lines: List[str] = []
+        header = f"{self.experiment_id}: {self.title}"
+        lines.append(f"## {header}" if markdown else header)
+        if self.paper_reference:
+            lines.append("")
+            lines.append(f"Paper reference: {self.paper_reference}")
+        if self.parameters:
+            lines.append("")
+            rendered = ", ".join(f"{key}={value}" for key, value in self.parameters.items())
+            lines.append(f"Parameters: {rendered}")
+        for name, table in self.tables.items():
+            lines.append("")
+            lines.append(f"### {name}" if markdown else f"-- {name} --")
+            lines.append(table.render(markdown=markdown))
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}" if markdown else f"note: {note}")
+        lines.append("")
+        lines.append(f"(elapsed: {self.elapsed_seconds:.1f}s)")
+        return "\n".join(lines)
+
+
+class experiment_timer:
+    """Context manager stamping :attr:`ExperimentResult.elapsed_seconds`."""
+
+    def __init__(self, result: ExperimentResult) -> None:
+        self._result = result
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "experiment_timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._start is not None:
+            self._result.elapsed_seconds = time.perf_counter() - self._start

@@ -1,0 +1,109 @@
+"""Figure 5: recall of the three samplers on simulated **positive** pairs.
+
+The paper plants 100 positively correlated event pairs (|V_a| = 5000) on the
+DBLP graph for each vicinity level h = 1, 2, 3, perturbs them with increasing
+noise, and reports the recall of one-tailed tests (α = 0.05, n = 900) for
+Batch BFS, Importance sampling and Whole-graph sampling.  The reproduction
+uses the synthetic DBLP-like graph at a reduced default scale; the curve
+shape (recall starts at 1.0 and falls off as noise grows, with higher h
+harder to break) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.core.config import TescConfig
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.experiments.base import ExperimentResult, experiment_timer
+from repro.simulation.runner import SimulationStudy
+from repro.utils.rng import RandomState
+from repro.utils.tables import TextTable
+
+#: Noise grids per vicinity level, as read off the x-axes of Figure 5.
+PAPER_POSITIVE_NOISE_GRIDS: Dict[int, Tuple[float, ...]] = {
+    1: (0.0, 0.1, 0.2, 0.3),
+    2: (0.0, 0.1, 0.2, 0.3),
+    3: (0.0, 0.2, 0.4, 0.6, 0.7),
+}
+
+
+@dataclass
+class Figure5Config:
+    """Configuration of the Figure 5 reproduction.
+
+    Paper-scale values: DBLP graph (~1M nodes), event_size=5000,
+    num_pairs=100, sample_size=900.  The defaults below are CI-scale.
+    """
+
+    num_communities: int = 12
+    community_size: int = 100
+    event_size: int = 300
+    num_pairs: int = 6
+    sample_size: int = 200
+    levels: Tuple[int, ...] = (1, 2, 3)
+    samplers: Tuple[str, ...] = ("batch_bfs", "importance", "whole_graph")
+    noise_grids: Dict[int, Tuple[float, ...]] = field(
+        default_factory=lambda: dict(PAPER_POSITIVE_NOISE_GRIDS)
+    )
+    alpha: float = 0.05
+    random_state: RandomState = 7
+
+
+def run_figure5(config: Figure5Config = Figure5Config()) -> ExperimentResult:
+    """Run the Figure 5 reproduction and return its recall tables."""
+    result = ExperimentResult(
+        experiment_id="figure5",
+        title="Recall of reference-node samplers on simulated positive pairs",
+        paper_reference=(
+            "Figure 5: recall starts at 1.0 and falls with noise; Batch BFS is "
+            "the most accurate, Importance sampling close behind, and "
+            "higher vicinity levels are harder to break."
+        ),
+        parameters={
+            "graph": f"dblp-like {config.num_communities}x{config.community_size}",
+            "event_size": config.event_size,
+            "num_pairs": config.num_pairs,
+            "sample_size": config.sample_size,
+            "alpha": config.alpha,
+        },
+    )
+    with experiment_timer(result):
+        dataset = make_dblp_like(
+            num_communities=config.num_communities,
+            community_size=config.community_size,
+            num_positive_pairs=1,
+            num_negative_pairs=1,
+            num_background_keywords=0,
+            random_state=config.random_state,
+        )
+        graph = dataset.attributed.csr
+        study = SimulationStudy(
+            graph,
+            event_size=config.event_size,
+            num_pairs=config.num_pairs,
+            random_state=config.random_state,
+        )
+        base_config = TescConfig(
+            vicinity_level=1,
+            sample_size=config.sample_size,
+            alpha=config.alpha,
+            random_state=config.random_state,
+        )
+        for level in config.levels:
+            table = TextTable(["noise"] + list(config.samplers), float_format="{:.3f}")
+            noise_grid = config.noise_grids.get(level, (0.0, 0.1, 0.2, 0.3))
+            curves = study.sampler_sweep(
+                "positive", level, noise_grid, config.samplers, base_config
+            )
+            for noise in noise_grid:
+                row = [noise] + [curves[s][float(noise)].recall for s in config.samplers]
+                table.add_row(row)
+            result.add_table(f"h={level} (positive pairs)", table)
+            zero_noise = {s: curves[s][float(noise_grid[0])].recall for s in config.samplers}
+            result.add_note(
+                f"h={level}: recall at zero noise = "
+                + ", ".join(f"{s}:{r:.2f}" for s, r in zero_noise.items())
+            )
+    return result

@@ -1,0 +1,90 @@
+"""Table 1: keyword pairs with high 1-hop positive TESC (DBLP).
+
+The paper lists five semantically related keyword pairs ("Texture vs Image",
+"Wireless vs Sensor", ...) whose TESC z-scores are positive at h = 1 and grow
+with the vicinity level, and whose transaction correlation is also strongly
+positive.  The reproduction reports the planted positive keyword pairs of the
+synthetic DBLP-like dataset with the same columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.baselines.transaction import transaction_correlation
+from repro.core.config import TescConfig
+from repro.core.tesc import TescTester
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.experiments.base import ExperimentResult, experiment_timer
+from repro.utils.rng import RandomState
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class Table1Config:
+    """Configuration of the Table 1 reproduction (CI-scale defaults).
+
+    Paper-scale: the real DBLP graph (~1M nodes) with 0.19M keywords and
+    n = 900 reference nodes.
+    """
+
+    num_communities: int = 24
+    community_size: int = 120
+    num_pairs: int = 5
+    sample_size: int = 400
+    levels: Tuple[int, ...] = (1, 2, 3)
+    sampler: str = "batch_bfs"
+    random_state: RandomState = 31
+
+
+def run_table1(config: Table1Config = Table1Config()) -> ExperimentResult:
+    """Run the Table 1 reproduction."""
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Keyword pairs exhibiting high 1-hop positive TESC (DBLP-like)",
+        paper_reference=(
+            "Table 1: five keyword pairs with positive TESC z-scores that grow "
+            "with h (e.g. 6.22 / 19.85 / 30.58) and strongly positive TC."
+        ),
+        parameters={
+            "graph": f"dblp-like {config.num_communities}x{config.community_size}",
+            "sample_size": config.sample_size,
+            "sampler": config.sampler,
+        },
+    )
+    with experiment_timer(result):
+        dataset = make_dblp_like(
+            num_communities=config.num_communities,
+            community_size=config.community_size,
+            num_positive_pairs=config.num_pairs,
+            num_negative_pairs=1,
+            random_state=config.random_state,
+        )
+        tester = TescTester(dataset.attributed)
+        table = TextTable(
+            ["#", "pair"] + [f"TESC z (h={level})" for level in config.levels] + ["TC z"],
+        )
+        for index, (event_a, event_b) in enumerate(dataset.positive_pairs, start=1):
+            row: list = [index, f"{event_a} vs {event_b}"]
+            for level in config.levels:
+                test = tester.test(
+                    event_a,
+                    event_b,
+                    TescConfig(
+                        vicinity_level=level,
+                        sample_size=config.sample_size,
+                        sampler=config.sampler,
+                        random_state=config.random_state,
+                    ),
+                )
+                row.append(test.z_score)
+            tc = transaction_correlation(dataset.attributed.events, event_a, event_b)
+            row.append(tc.z_score)
+            table.add_row(row)
+        result.add_table("1-hop positive keyword pairs", table)
+        result.add_note(
+            "Expected shape: all TESC z-scores positive and increasing with h; "
+            "TC z positive."
+        )
+    return result

@@ -1,0 +1,86 @@
+"""Table 2: keyword pairs with high 3-hop negative TESC (DBLP).
+
+The paper lists five keyword pairs from far-apart research areas ("Texture vs
+Java", "GPU vs RDF", ...) whose TESC z-scores are negative at every level
+(largest in magnitude at h = 1, still negative at h = 3) while their
+transaction correlation is near zero or even positive — authors who used both
+keywords exist, but the communities are far apart in the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.baselines.transaction import transaction_correlation
+from repro.core.config import TescConfig
+from repro.core.tesc import TescTester
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.experiments.base import ExperimentResult, experiment_timer
+from repro.utils.rng import RandomState
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class Table2Config:
+    """Configuration of the Table 2 reproduction (CI-scale defaults)."""
+
+    num_communities: int = 24
+    community_size: int = 120
+    num_pairs: int = 5
+    sample_size: int = 400
+    levels: Tuple[int, ...] = (1, 2, 3)
+    sampler: str = "batch_bfs"
+    random_state: RandomState = 37
+
+
+def run_table2(config: Table2Config = Table2Config()) -> ExperimentResult:
+    """Run the Table 2 reproduction."""
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Keyword pairs exhibiting high 3-hop negative TESC (DBLP-like)",
+        paper_reference=(
+            "Table 2: five keyword pairs with negative TESC at every level "
+            "(e.g. -23.63 / -9.41 / -6.40) while TC is near zero or positive."
+        ),
+        parameters={
+            "graph": f"dblp-like {config.num_communities}x{config.community_size}",
+            "sample_size": config.sample_size,
+            "sampler": config.sampler,
+        },
+    )
+    with experiment_timer(result):
+        dataset = make_dblp_like(
+            num_communities=config.num_communities,
+            community_size=config.community_size,
+            num_positive_pairs=1,
+            num_negative_pairs=config.num_pairs,
+            random_state=config.random_state,
+        )
+        tester = TescTester(dataset.attributed)
+        table = TextTable(
+            ["#", "pair"] + [f"TESC z (h={level})" for level in config.levels] + ["TC z"],
+        )
+        for index, (event_a, event_b) in enumerate(dataset.negative_pairs, start=1):
+            row: list = [index, f"{event_a} vs {event_b}"]
+            for level in config.levels:
+                test = tester.test(
+                    event_a,
+                    event_b,
+                    TescConfig(
+                        vicinity_level=level,
+                        sample_size=config.sample_size,
+                        sampler=config.sampler,
+                        random_state=config.random_state,
+                    ),
+                )
+                row.append(test.z_score)
+            tc = transaction_correlation(dataset.attributed.events, event_a, event_b)
+            row.append(tc.z_score)
+            table.add_row(row)
+        result.add_table("3-hop negative keyword pairs", table)
+        result.add_note(
+            "Expected shape: all TESC z-scores negative (attenuating as h grows); "
+            "TC z near zero or positive despite the strong structural repulsion."
+        )
+    return result

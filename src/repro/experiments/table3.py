@@ -1,0 +1,83 @@
+"""Table 3: alert pairs with high 1-hop positive TESC (Intrusion).
+
+The paper lists five intrusion-alert pairs (pre-attack probes, ICMP floods,
+e-mail exploits...) whose 1-hop TESC is strongly positive while their
+transaction correlation is near zero or even negative — attackers alternate
+related techniques over the hosts of a subnet instead of stacking them on a
+single host.  This TESC-positive / TC-flat contrast is the paper's headline
+motivation for the measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.transaction import transaction_correlation
+from repro.core.config import TescConfig
+from repro.core.tesc import TescTester
+from repro.datasets.synthetic_intrusion import make_intrusion_like
+from repro.experiments.base import ExperimentResult, experiment_timer
+from repro.utils.rng import RandomState
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class Table3Config:
+    """Configuration of the Table 3 reproduction (CI-scale defaults).
+
+    Paper-scale: the real Intrusion graph (200,858 nodes, 545 alert types),
+    n = 900 reference nodes.
+    """
+
+    num_subnets: int = 120
+    subnet_size: int = 40
+    num_pairs: int = 5
+    sample_size: int = 400
+    vicinity_level: int = 1
+    sampler: str = "batch_bfs"
+    random_state: RandomState = 41
+
+
+def run_table3(config: Table3Config = Table3Config()) -> ExperimentResult:
+    """Run the Table 3 reproduction."""
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Alert pairs exhibiting high 1-hop positive TESC (Intrusion-like)",
+        paper_reference=(
+            "Table 3: five alert pairs with TESC z between ~4 and ~14 at h=1 "
+            "while TC is small or negative (e.g. 12.15 vs -0.04)."
+        ),
+        parameters={
+            "graph": f"intrusion-like {config.num_subnets}x{config.subnet_size}",
+            "sample_size": config.sample_size,
+            "h": config.vicinity_level,
+        },
+    )
+    with experiment_timer(result):
+        dataset = make_intrusion_like(
+            num_subnets=config.num_subnets,
+            subnet_size=config.subnet_size,
+            num_positive_pairs=config.num_pairs,
+            random_state=config.random_state,
+        )
+        tester = TescTester(dataset.attributed)
+        table = TextTable(["#", "pair", f"TESC z (h={config.vicinity_level})", "TC z"])
+        for index, (event_a, event_b) in enumerate(dataset.positive_pairs, start=1):
+            test = tester.test(
+                event_a,
+                event_b,
+                TescConfig(
+                    vicinity_level=config.vicinity_level,
+                    sample_size=config.sample_size,
+                    sampler=config.sampler,
+                    random_state=config.random_state,
+                ),
+            )
+            tc = transaction_correlation(dataset.attributed.events, event_a, event_b)
+            table.add_row([index, f"{event_a} vs {event_b}", test.z_score, tc.z_score])
+        result.add_table("1-hop positive alert pairs", table)
+        result.add_note(
+            "Expected shape: TESC z clearly positive for every pair while TC z "
+            "stays near zero or negative — the structural correlation TC misses."
+        )
+    return result

@@ -1,0 +1,79 @@
+"""Table 4: alert pairs with high 2-hop negative TESC (Intrusion).
+
+The paper lists five alert pairs tied to different attack approaches or
+platforms (TFTP attacks vs LDAP brute forcing, Microsoft-only vs
+Netscape-only exploits) whose 2-hop TESC is strongly negative with a mildly
+negative transaction correlation.  The paper uses h = 2 rather than h = 3
+because the Intrusion graph's huge-degree hubs make 2-vicinities already
+cover much of the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.transaction import transaction_correlation
+from repro.core.config import TescConfig
+from repro.core.tesc import TescTester
+from repro.datasets.synthetic_intrusion import make_intrusion_like
+from repro.experiments.base import ExperimentResult, experiment_timer
+from repro.utils.rng import RandomState
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class Table4Config:
+    """Configuration of the Table 4 reproduction (CI-scale defaults)."""
+
+    num_subnets: int = 120
+    subnet_size: int = 40
+    num_pairs: int = 5
+    sample_size: int = 400
+    vicinity_level: int = 2
+    sampler: str = "batch_bfs"
+    random_state: RandomState = 43
+
+
+def run_table4(config: Table4Config = Table4Config()) -> ExperimentResult:
+    """Run the Table 4 reproduction."""
+    result = ExperimentResult(
+        experiment_id="table4",
+        title="Alert pairs exhibiting high 2-hop negative TESC (Intrusion-like)",
+        paper_reference=(
+            "Table 4: five alert pairs with TESC z around -27 to -31 at h=2 and "
+            "moderately negative TC."
+        ),
+        parameters={
+            "graph": f"intrusion-like {config.num_subnets}x{config.subnet_size}",
+            "sample_size": config.sample_size,
+            "h": config.vicinity_level,
+        },
+    )
+    with experiment_timer(result):
+        dataset = make_intrusion_like(
+            num_subnets=config.num_subnets,
+            subnet_size=config.subnet_size,
+            num_negative_pairs=config.num_pairs,
+            random_state=config.random_state,
+        )
+        tester = TescTester(dataset.attributed)
+        table = TextTable(["#", "pair", f"TESC z (h={config.vicinity_level})", "TC z"])
+        for index, (event_a, event_b) in enumerate(dataset.negative_pairs, start=1):
+            test = tester.test(
+                event_a,
+                event_b,
+                TescConfig(
+                    vicinity_level=config.vicinity_level,
+                    sample_size=config.sample_size,
+                    sampler=config.sampler,
+                    random_state=config.random_state,
+                ),
+            )
+            tc = transaction_correlation(dataset.attributed.events, event_a, event_b)
+            table.add_row([index, f"{event_a} vs {event_b}", test.z_score, tc.z_score])
+        result.add_table("2-hop negative alert pairs", table)
+        result.add_note(
+            "Expected shape: strongly negative TESC z for every pair with mildly "
+            "negative TC."
+        )
+    return result

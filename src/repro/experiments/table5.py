@@ -1,0 +1,108 @@
+"""Table 5: rare alert pairs found by TESC but missed by proximity patterns.
+
+The paper runs the pFP proximity-pattern miner (minsup = 10/|V|, α = 1,
+ǫ = 0.12) on the Intrusion dataset and reports two alert pairs with only a
+few dozen occurrences each that have significantly positive 1-hop TESC yet do
+not appear among the mined proximity patterns — because proximity pattern
+mining requires events to co-occur *frequently*, not merely closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.proximity import ProximityPatternMiner
+from repro.core.config import TescConfig
+from repro.core.tesc import TescTester
+from repro.datasets.synthetic_intrusion import make_intrusion_like
+from repro.experiments.base import ExperimentResult, experiment_timer
+from repro.stats.normal import z_to_p_value
+from repro.utils.rng import RandomState
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class Table5Config:
+    """Configuration of the Table 5 reproduction (CI-scale defaults)."""
+
+    num_subnets: int = 120
+    subnet_size: int = 40
+    num_rare_pairs: int = 2
+    sample_size: int = 400
+    vicinity_level: int = 1
+    sampler: str = "batch_bfs"
+    minsup_numerator: float = 10.0
+    epsilon: float = 0.12
+    random_state: RandomState = 47
+
+
+def run_table5(config: Table5Config = Table5Config()) -> ExperimentResult:
+    """Run the Table 5 reproduction."""
+    result = ExperimentResult(
+        experiment_id="table5",
+        title="Rare alert pairs with positive 1-hop TESC missed by proximity pattern mining",
+        paper_reference=(
+            "Table 5: two rare pairs (tens of occurrences) with z-scores 3.30 and "
+            "2.52 that do not appear among mined proximity patterns."
+        ),
+        parameters={
+            "graph": f"intrusion-like {config.num_subnets}x{config.subnet_size}",
+            "sample_size": config.sample_size,
+            "minsup": f"{config.minsup_numerator}/|V|",
+            "epsilon": config.epsilon,
+        },
+    )
+    with experiment_timer(result):
+        dataset = make_intrusion_like(
+            num_subnets=config.num_subnets,
+            subnet_size=config.subnet_size,
+            num_rare_pairs=config.num_rare_pairs,
+            random_state=config.random_state,
+        )
+        attributed = dataset.attributed
+        tester = TescTester(attributed)
+        miner = ProximityPatternMiner(
+            attributed,
+            minsup=config.minsup_numerator / attributed.num_nodes,
+            epsilon=config.epsilon,
+        )
+        table = TextTable(
+            ["pair (counts)", "TESC z", "p-value", "pFP support x |V|", "found by pFP"],
+            float_format="{:.4f}",
+        )
+        for event_a, event_b in dataset.rare_pairs:
+            test = tester.test(
+                event_a,
+                event_b,
+                TescConfig(
+                    vicinity_level=config.vicinity_level,
+                    sample_size=config.sample_size,
+                    sampler=config.sampler,
+                    alternative="greater",
+                    random_state=config.random_state,
+                ),
+            )
+            count_a = attributed.events.occurrence_count(event_a)
+            count_b = attributed.events.occurrence_count(event_b)
+            support = miner.pair_support(event_a, event_b) * attributed.num_nodes
+            table.add_row(
+                [
+                    f"{event_a} ({count_a}) vs {event_b} ({count_b})",
+                    test.z_score,
+                    z_to_p_value(test.z_score, "greater"),
+                    support,
+                    miner.discovers_pair(event_a, event_b),
+                ]
+            )
+
+        # Contrast row: the frequent positive pairs *are* found by pFP.
+        frequent_found = sum(
+            1 for a, b in dataset.positive_pairs if miner.discovers_pair(a, b)
+        )
+        result.add_table("rare positive alert pairs", table)
+        result.add_note(
+            f"{frequent_found}/{len(dataset.positive_pairs)} frequent positive pairs "
+            "are discovered by proximity pattern mining, while the rare pairs above "
+            "are missed despite their significant TESC."
+        )
+    return result

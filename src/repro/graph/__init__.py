@@ -1,0 +1,64 @@
+"""Graph substrate: data structures, traversal, generators and indices.
+
+The hot paths of the TESC framework (h-hop BFS for density computation and
+reference-node sampling) run on the immutable :class:`CSRGraph`.  The mutable
+:class:`Graph` is used for construction, file IO and the edge add/remove
+experiments (Figure 8), and converts to CSR with :meth:`Graph.to_csr`.
+"""
+
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.traversal import (
+    BFSEngine,
+    batch_bfs_vicinity,
+    bfs_vicinity,
+    bfs_vicinity_subgraph,
+)
+from repro.graph.vicinity import VicinityIndex
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_ring_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    ring_lattice_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.mutation import add_random_edges, remove_random_edges
+from repro.graph.io import (
+    read_edge_list,
+    read_event_file,
+    write_edge_list,
+    write_event_file,
+)
+from repro.graph.metrics import GraphSummary, summarize_graph
+from repro.graph.convert import from_networkx, to_networkx
+
+__all__ = [
+    "Graph",
+    "CSRGraph",
+    "GraphBuilder",
+    "BFSEngine",
+    "bfs_vicinity",
+    "bfs_vicinity_subgraph",
+    "batch_bfs_vicinity",
+    "VicinityIndex",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "community_ring_graph",
+    "watts_strogatz_graph",
+    "ring_lattice_graph",
+    "planted_partition_graph",
+    "powerlaw_cluster_graph",
+    "add_random_edges",
+    "remove_random_edges",
+    "read_edge_list",
+    "write_edge_list",
+    "read_event_file",
+    "write_event_file",
+    "GraphSummary",
+    "summarize_graph",
+    "from_networkx",
+    "to_networkx",
+]

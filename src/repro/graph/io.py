@@ -1,0 +1,103 @@
+"""Graph and event file IO.
+
+Two simple text formats cover everything the experiments need:
+
+* **edge list** — one ``u<whitespace>v`` pair per line, ``#`` comments
+  allowed; node labels may be arbitrary strings and are densified through
+  :class:`~repro.graph.builder.GraphBuilder`.
+* **event file** — one ``event_name<TAB>node_label`` record per line, mapping
+  events (keywords, alert types, products) to the nodes they occurred on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphFormatError
+from repro.graph.adjacency import Graph
+from repro.graph.builder import GraphBuilder
+
+
+def read_edge_list(path: str, comment: str = "#") -> Tuple[Graph, List[str]]:
+    """Read an edge-list file.
+
+    Returns the graph and the list of node labels indexed by dense node id.
+    """
+    if not os.path.exists(path):
+        raise GraphFormatError(f"edge list file not found: {path}")
+    builder = GraphBuilder()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected 'u v', got {line!r}"
+                )
+            builder.add_edge(parts[0], parts[1])
+    return builder.build(), [str(label) for label in builder.labels()]
+
+
+def write_edge_list(graph: Graph, path: str,
+                    labels: Optional[Sequence[str]] = None) -> None:
+    """Write a graph to an edge-list file (labels default to node ids)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v in graph.edges():
+            lu = labels[u] if labels is not None else u
+            lv = labels[v] if labels is not None else v
+            handle.write(f"{lu}\t{lv}\n")
+
+
+def read_event_file(path: str, label_to_id: Optional[Mapping[str, int]] = None,
+                    comment: str = "#") -> Dict[str, List[int]]:
+    """Read an event file into ``{event_name: [node ids]}``.
+
+    When ``label_to_id`` is given, node labels are translated to dense ids
+    and unknown labels raise :class:`GraphFormatError`; otherwise labels must
+    already be integer node ids.
+    """
+    if not os.path.exists(path):
+        raise GraphFormatError(f"event file not found: {path}")
+    events: Dict[str, List[int]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.rstrip("\n")
+            if not line.strip() or line.startswith(comment):
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected 'event<TAB>node', got {line!r}"
+                )
+            event, label = parts[0], parts[1]
+            if label_to_id is not None:
+                if label not in label_to_id:
+                    raise GraphFormatError(
+                        f"{path}:{line_number}: unknown node label {label!r}"
+                    )
+                node = int(label_to_id[label])
+            else:
+                try:
+                    node = int(label)
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{line_number}: node label {label!r} is not an id "
+                        "and no label mapping was provided"
+                    ) from exc
+            events.setdefault(event, []).append(node)
+    return events
+
+
+def write_event_file(events: Mapping[str, Iterable[int]], path: str,
+                     labels: Optional[Sequence[str]] = None) -> None:
+    """Write ``{event: node ids}`` to an event file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# event\tnode\n")
+        for event in sorted(events):
+            for node in events[event]:
+                label = labels[node] if labels is not None else node
+                handle.write(f"{event}\t{label}\n")

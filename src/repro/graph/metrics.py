@@ -1,0 +1,138 @@
+"""Descriptive graph metrics.
+
+Used by the dataset generators to report how close the synthetic substrates
+are to the paper's datasets (node/edge counts, degree distribution, distance
+structure), and by tests to validate generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import shortest_path_lengths_from
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Summary statistics of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    num_components: int
+    largest_component_size: int
+    estimated_mean_distance: Optional[float]
+    estimated_diameter_lower_bound: Optional[int]
+
+    def as_dict(self) -> dict:
+        """The summary as a plain dictionary, for table rendering."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "min degree": self.min_degree,
+            "max degree": self.max_degree,
+            "mean degree": round(self.mean_degree, 3),
+            "median degree": self.median_degree,
+            "components": self.num_components,
+            "largest component": self.largest_component_size,
+            "mean distance (est.)": self.estimated_mean_distance,
+            "diameter >= (est.)": self.estimated_diameter_lower_bound,
+        }
+
+
+def connected_components(graph: CSRGraph) -> List[np.ndarray]:
+    """Connected components as arrays of node ids (largest first)."""
+    remaining = np.ones(graph.num_nodes, dtype=bool)
+    components: List[np.ndarray] = []
+    for start in range(graph.num_nodes):
+        if not remaining[start]:
+            continue
+        distances = shortest_path_lengths_from(graph, start)
+        members = np.flatnonzero(distances >= 0)
+        members = members[remaining[members]]
+        remaining[members] = False
+        components.append(members)
+    components.sort(key=lambda member_array: member_array.size, reverse=True)
+    return components
+
+
+def summarize_graph(graph: CSRGraph, distance_samples: int = 20,
+                    random_state: RandomState = None) -> GraphSummary:
+    """Compute :class:`GraphSummary`.
+
+    Distance statistics are estimated from BFS trees rooted at
+    ``distance_samples`` random nodes (exact all-pairs distances are
+    quadratic and unnecessary for a descriptive summary).
+    """
+    degrees = graph.degrees()
+    components = connected_components(graph)
+    rng = ensure_rng(random_state)
+
+    mean_distance: Optional[float] = None
+    diameter_bound: Optional[int] = None
+    if graph.num_nodes > 1 and distance_samples > 0:
+        sources = rng.choice(graph.num_nodes, size=min(distance_samples, graph.num_nodes),
+                             replace=False)
+        totals: List[float] = []
+        eccentricities: List[int] = []
+        for source in sources:
+            distances = shortest_path_lengths_from(graph, int(source))
+            reachable = distances[distances > 0]
+            if reachable.size:
+                totals.append(float(reachable.mean()))
+                eccentricities.append(int(reachable.max()))
+        if totals:
+            mean_distance = float(np.mean(totals))
+            diameter_bound = int(max(eccentricities))
+
+    return GraphSummary(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        min_degree=int(degrees.min()) if degrees.size else 0,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+        mean_degree=float(degrees.mean()) if degrees.size else 0.0,
+        median_degree=float(np.median(degrees)) if degrees.size else 0.0,
+        num_components=len(components),
+        largest_component_size=int(components[0].size) if components else 0,
+        estimated_mean_distance=mean_distance,
+        estimated_diameter_lower_bound=diameter_bound,
+    )
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """``hist[d]`` = number of nodes of degree ``d``."""
+    degrees = graph.degrees()
+    if degrees.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degrees)
+
+
+def clustering_coefficient(graph: CSRGraph, nodes: Optional[np.ndarray] = None) -> float:
+    """Average local clustering coefficient over ``nodes`` (or all nodes)."""
+    if nodes is None:
+        nodes = np.arange(graph.num_nodes)
+    total = 0.0
+    counted = 0
+    for node in nodes:
+        node = int(node)
+        neighbours = graph.neighbors(node)
+        k = neighbours.size
+        if k < 2:
+            continue
+        neighbour_set = set(int(x) for x in neighbours)
+        links = 0
+        for u in neighbours:
+            for v in graph.neighbors(int(u)):
+                if int(v) in neighbour_set and int(u) < int(v):
+                    links += 1
+        total += 2.0 * links / (k * (k - 1))
+        counted += 1
+    return total / counted if counted else 0.0

@@ -1,0 +1,27 @@
+"""Event simulation (Section 5.2): correlated event pairs and recall studies.
+
+The paper validates TESC by planting event pairs with known positive or
+negative structural correlation on a real graph, perturbing them with noise
+and measuring recall — the fraction of pairs the test correctly declares
+correlated at α = 0.05.  This package reproduces the generation and
+evaluation pipeline.
+"""
+
+from repro.simulation.positive import generate_positive_pair
+from repro.simulation.negative import generate_negative_pair
+from repro.simulation.independent import generate_independent_pair
+from repro.simulation.noise import add_negative_noise, add_positive_noise
+from repro.simulation.recall import RecallEvaluation, evaluate_recall
+from repro.simulation.runner import SimulatedPair, SimulationStudy
+
+__all__ = [
+    "generate_positive_pair",
+    "generate_negative_pair",
+    "generate_independent_pair",
+    "add_positive_noise",
+    "add_negative_noise",
+    "RecallEvaluation",
+    "evaluate_recall",
+    "SimulatedPair",
+    "SimulationStudy",
+]

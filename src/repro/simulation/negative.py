@@ -1,0 +1,68 @@
+"""Negatively correlated event-pair generation.
+
+Section 5.2: "for negative correlation, again we first generate 5000 event a
+nodes randomly, after which we employ Batch BFS to retrieve the nodes in the
+h-vicinity of V_a, i.e. V^h_a.  Then we randomly color 5000 nodes in V \\ V^h_a
+as having event b.  In this way, every node of b is kept at least h+1 hops
+away from all nodes of a and the two events exhibit a strong negative
+correlation."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import batch_bfs_vicinity
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int, check_vicinity_level
+
+
+def generate_negative_pair(
+    graph: CSRGraph,
+    num_event_nodes: int,
+    level: int,
+    random_state: RandomState = None,
+    num_b_nodes: int = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a strongly negatively correlated event pair at level ``h``.
+
+    Event a is a uniform random node set; event b is a uniform random set
+    drawn from ``V \\ V^h_a`` so every b node is at least ``h+1`` hops from
+    every a node.  When the complement is smaller than the requested size,
+    all remaining eligible nodes are used (this happens at high ``h`` on
+    small or dense graphs — exactly the "hard to escape" effect the paper
+    describes); if the complement is empty, a
+    :class:`~repro.exceptions.ConfigurationError` is raised because no
+    negative pair exists at that level.
+    """
+    level = check_vicinity_level(level)
+    num_event_nodes = check_positive_int(num_event_nodes, "num_event_nodes")
+    if num_b_nodes is None:
+        num_b_nodes = num_event_nodes
+    num_b_nodes = check_positive_int(num_b_nodes, "num_b_nodes")
+    if num_event_nodes > graph.num_nodes:
+        raise ConfigurationError(
+            f"cannot place {num_event_nodes} event nodes in a graph of "
+            f"{graph.num_nodes} nodes"
+        )
+    rng = ensure_rng(random_state)
+
+    nodes_a = np.sort(
+        rng.choice(graph.num_nodes, size=num_event_nodes, replace=False).astype(np.int64)
+    )
+    vicinity_a = batch_bfs_vicinity(graph, nodes_a, level)
+    eligible = np.setdiff1d(
+        np.arange(graph.num_nodes, dtype=np.int64), vicinity_a, assume_unique=False
+    )
+    if eligible.size == 0:
+        raise ConfigurationError(
+            f"the {level}-vicinity of event a covers the whole graph; "
+            "no negative pair can be planted at this level"
+        )
+    take = min(num_b_nodes, int(eligible.size))
+    nodes_b = np.sort(rng.choice(eligible, size=take, replace=False).astype(np.int64))
+    return nodes_a, nodes_b

@@ -1,0 +1,98 @@
+"""Noise injection for simulated event pairs (Section 5.2.1).
+
+"Regarding positive correlation, we introduce a sequence of independent
+Bernoulli trials, one for each linked pair of event nodes, in which with
+probability p the pair is broken and the node of b is relocated outside
+V^h_a.  For negative correlation, given an event pair each node in V_b has
+probability p to be relocated and attached with one node in V_a."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import batch_bfs_vicinity, shortest_path_lengths_from
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_fraction, check_vicinity_level
+
+
+def add_positive_noise(
+    graph: CSRGraph,
+    nodes_a: np.ndarray,
+    nodes_b: np.ndarray,
+    level: int,
+    noise: float,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Break each a–b link with probability ``noise``.
+
+    Every b node is subjected to an independent Bernoulli trial; on success
+    it is relocated to a uniformly random node outside ``V^h_a``, weakening
+    the positive correlation.  Returns the new event-b node set.
+    """
+    level = check_vicinity_level(level)
+    noise = check_fraction(noise, "noise")
+    rng = ensure_rng(random_state)
+    nodes_a = np.asarray(nodes_a, dtype=np.int64)
+    nodes_b = np.asarray(nodes_b, dtype=np.int64)
+    if noise == 0.0 or nodes_b.size == 0:
+        return nodes_b.copy()
+
+    vicinity_a = batch_bfs_vicinity(graph, nodes_a, level)
+    outside = np.setdiff1d(np.arange(graph.num_nodes, dtype=np.int64), vicinity_a)
+    if outside.size == 0:
+        # Nowhere to relocate: the vicinity covers the graph, noise is a no-op.
+        return nodes_b.copy()
+
+    keep = []
+    relocated = 0
+    for node in nodes_b:
+        if rng.random() < noise:
+            relocated += 1
+        else:
+            keep.append(int(node))
+    if relocated:
+        replacement = rng.choice(outside, size=min(relocated, outside.size), replace=False)
+        keep.extend(int(node) for node in replacement)
+    return np.array(sorted(set(keep)), dtype=np.int64)
+
+
+def add_negative_noise(
+    graph: CSRGraph,
+    nodes_a: np.ndarray,
+    nodes_b: np.ndarray,
+    level: int,
+    noise: float,
+    random_state: RandomState = None,
+) -> np.ndarray:
+    """Relocate each b node next to a random a node with probability ``noise``.
+
+    A relocated b node is attached to a uniformly chosen a node: it is placed
+    at a uniformly random position within that node's ``h``-vicinity
+    (preferring distance >= 1 when possible), which injects positive evidence
+    and weakens the planted negative correlation.  Returns the new event-b
+    node set.
+    """
+    level = check_vicinity_level(level)
+    noise = check_fraction(noise, "noise")
+    rng = ensure_rng(random_state)
+    nodes_a = np.asarray(nodes_a, dtype=np.int64)
+    nodes_b = np.asarray(nodes_b, dtype=np.int64)
+    if noise == 0.0 or nodes_b.size == 0 or nodes_a.size == 0:
+        return nodes_b.copy()
+
+    result = []
+    for node in nodes_b:
+        if rng.random() < noise:
+            anchor = int(nodes_a[int(rng.integers(0, nodes_a.size))])
+            distances = shortest_path_lengths_from(graph, anchor, cutoff=level)
+            nearby = np.flatnonzero((distances >= 1) & (distances <= level))
+            if nearby.size == 0:
+                nearby = np.array([anchor], dtype=np.int64)
+            result.append(int(nearby[int(rng.integers(0, nearby.size))]))
+        else:
+            result.append(int(node))
+    return np.array(sorted(set(result)), dtype=np.int64)

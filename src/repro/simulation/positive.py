@@ -1,0 +1,92 @@
+"""Positively correlated event-pair generation (linked pairs).
+
+Section 5.2: "Positively correlated event pairs are generated in a linked
+pair fashion: we randomly select 5000 nodes from the graph as event a and
+each node v ∈ V_a has an associated event b node whose distance to v is
+described by a Gaussian distribution with mean zero and variance equal to h
+(distances beyond h are set to h).  When the distance is decided, we randomly
+pick a node at that distance from v as the associated event b node."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import shortest_path_lengths_from
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int, check_vicinity_level
+
+
+@dataclass(frozen=True)
+class LinkedPair:
+    """One (event-a node, event-b node) link produced by the generator."""
+
+    a_node: int
+    b_node: int
+    distance: int
+
+
+def _gaussian_truncated_distance(rng: np.random.Generator, level: int) -> int:
+    """|N(0, h)| rounded to an int, truncated to [0, h] as the paper does."""
+    draw = abs(rng.normal(loc=0.0, scale=np.sqrt(level)))
+    distance = int(round(draw))
+    return min(distance, level)
+
+
+def generate_positive_pair(
+    graph: CSRGraph,
+    num_event_nodes: int,
+    level: int,
+    random_state: RandomState = None,
+    return_links: bool = False,
+):
+    """Generate a strongly positively correlated event pair at level ``h``.
+
+    Returns ``(nodes_a, nodes_b)`` (both sorted int64 arrays) or, with
+    ``return_links=True``, ``(nodes_a, nodes_b, links)`` where ``links``
+    records each planted (a, b, distance) triple.
+
+    Every event-a node has a companion event-b node within ``h`` hops, so
+    wherever a is observed, b is nearby — the paper's definition of a strong
+    positive correlation.  A node whose chosen distance is unreachable falls
+    back to the largest reachable distance not exceeding ``h`` (itself in the
+    worst case of an isolated node).
+    """
+    level = check_vicinity_level(level)
+    num_event_nodes = check_positive_int(num_event_nodes, "num_event_nodes")
+    if num_event_nodes > graph.num_nodes:
+        raise ConfigurationError(
+            f"cannot place {num_event_nodes} event nodes in a graph of "
+            f"{graph.num_nodes} nodes"
+        )
+    rng = ensure_rng(random_state)
+
+    nodes_a = rng.choice(graph.num_nodes, size=num_event_nodes, replace=False)
+    nodes_b: List[int] = []
+    links: List[LinkedPair] = []
+
+    for a_node in nodes_a:
+        a_node = int(a_node)
+        target_distance = _gaussian_truncated_distance(rng, level)
+        distances = shortest_path_lengths_from(graph, a_node, cutoff=level)
+        b_node = a_node
+        chosen_distance = 0
+        for candidate_distance in range(target_distance, -1, -1):
+            candidates = np.flatnonzero(distances == candidate_distance)
+            if candidates.size:
+                b_node = int(candidates[int(rng.integers(0, candidates.size))])
+                chosen_distance = candidate_distance
+                break
+        nodes_b.append(b_node)
+        links.append(LinkedPair(a_node=a_node, b_node=b_node, distance=chosen_distance))
+
+    nodes_a = np.sort(nodes_a.astype(np.int64))
+    nodes_b_array = np.array(sorted(set(nodes_b)), dtype=np.int64)
+    if return_links:
+        return nodes_a, nodes_b_array, links
+    return nodes_a, nodes_b_array

@@ -1,0 +1,143 @@
+"""Simulation-study orchestration.
+
+:class:`SimulationStudy` generates batches of correlated pairs on a graph,
+injects noise, and evaluates recall across samplers / vicinity levels /
+noise levels — the machinery behind Figures 5–8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TescConfig
+from repro.graph.csr import CSRGraph
+from repro.simulation.negative import generate_negative_pair
+from repro.simulation.noise import add_negative_noise, add_positive_noise
+from repro.simulation.positive import generate_positive_pair
+from repro.simulation.recall import RecallEvaluation, evaluate_recall
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.validation import check_fraction, check_positive_int, check_vicinity_level
+
+
+@dataclass(frozen=True)
+class SimulatedPair:
+    """One planted event pair with its generation metadata."""
+
+    nodes_a: np.ndarray
+    nodes_b: np.ndarray
+    correlation: str
+    level: int
+    noise: float
+
+
+class SimulationStudy:
+    """Generate and evaluate batches of simulated correlated event pairs.
+
+    Parameters
+    ----------
+    graph:
+        The substrate graph (the paper uses DBLP; the reproduction defaults
+        to the synthetic DBLP-like graph).
+    event_size:
+        Number of event-a (and event-b) nodes per pair (paper: 5000; the
+        reproduction scales this down with the graph).
+    num_pairs:
+        Number of pairs per configuration (paper: 100).
+    random_state:
+        Seed for pair generation; evaluation seeds derive from the config.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        event_size: int,
+        num_pairs: int,
+        random_state: RandomState = None,
+    ) -> None:
+        self.graph = graph
+        self.event_size = check_positive_int(event_size, "event_size")
+        self.num_pairs = check_positive_int(num_pairs, "num_pairs")
+        self.rng = ensure_rng(random_state)
+
+    # -- generation ----------------------------------------------------------
+
+    def generate_pairs(self, correlation: str, level: int,
+                       noise: float = 0.0) -> List[SimulatedPair]:
+        """Generate ``num_pairs`` planted pairs of the requested kind."""
+        check_vicinity_level(level)
+        noise = check_fraction(noise, "noise")
+        if correlation not in ("positive", "negative"):
+            raise ValueError("correlation must be 'positive' or 'negative'")
+        rngs = spawn_rngs(self.rng, self.num_pairs)
+        pairs: List[SimulatedPair] = []
+        for pair_rng in rngs:
+            if correlation == "positive":
+                nodes_a, nodes_b = generate_positive_pair(
+                    self.graph, self.event_size, level, random_state=pair_rng
+                )
+                if noise > 0:
+                    nodes_b = add_positive_noise(
+                        self.graph, nodes_a, nodes_b, level, noise, random_state=pair_rng
+                    )
+            else:
+                nodes_a, nodes_b = generate_negative_pair(
+                    self.graph, self.event_size, level, random_state=pair_rng
+                )
+                if noise > 0:
+                    nodes_b = add_negative_noise(
+                        self.graph, nodes_a, nodes_b, level, noise, random_state=pair_rng
+                    )
+            pairs.append(
+                SimulatedPair(
+                    nodes_a=nodes_a,
+                    nodes_b=nodes_b,
+                    correlation=correlation,
+                    level=level,
+                    noise=noise,
+                )
+            )
+        return pairs
+
+    # -- evaluation ------------------------------------------------------------
+
+    def recall_for(self, correlation: str, level: int, noise: float,
+                   config: TescConfig) -> RecallEvaluation:
+        """Generate pairs for one configuration and evaluate recall."""
+        pairs = self.generate_pairs(correlation, level, noise)
+        return evaluate_recall(
+            self.graph,
+            [(pair.nodes_a, pair.nodes_b) for pair in pairs],
+            expected=correlation,
+            config=config.with_level(level),
+        )
+
+    def noise_sweep(
+        self,
+        correlation: str,
+        level: int,
+        noise_levels: Sequence[float],
+        config: TescConfig,
+    ) -> Dict[float, RecallEvaluation]:
+        """Recall across a grid of noise levels (one Figure 5/6 curve)."""
+        return {
+            float(noise): self.recall_for(correlation, level, noise, config)
+            for noise in noise_levels
+        }
+
+    def sampler_sweep(
+        self,
+        correlation: str,
+        level: int,
+        noise_levels: Sequence[float],
+        samplers: Sequence[str],
+        base_config: TescConfig,
+    ) -> Dict[str, Dict[float, RecallEvaluation]]:
+        """Recall curves for several samplers (one Figure 5/6 subfigure)."""
+        curves: Dict[str, Dict[float, RecallEvaluation]] = {}
+        for sampler in samplers:
+            config = base_config.with_sampler(sampler)
+            curves[sampler] = self.noise_sweep(correlation, level, noise_levels, config)
+        return curves

@@ -1,0 +1,80 @@
+"""Hypothesis-test bookkeeping: verdicts and significance results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import EstimationError
+from repro.stats.normal import z_to_p_value
+
+
+class CorrelationVerdict(enum.Enum):
+    """Outcome of a TESC significance test."""
+
+    POSITIVE = "positive"
+    NEGATIVE = "negative"
+    INDEPENDENT = "independent"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """A z-score with its p-value and accept/reject decision.
+
+    Attributes
+    ----------
+    z_score:
+        The observed standardised statistic (Eq. 7).
+    p_value:
+        Tail probability under the null for the chosen alternative.
+    alpha:
+        Significance level the decision was made at.
+    alternative:
+        ``"two-sided"``, ``"greater"`` or ``"less"``.
+    verdict:
+        :class:`CorrelationVerdict` – positive / negative / independent.
+    """
+
+    z_score: float
+    p_value: float
+    alpha: float
+    alternative: str
+    verdict: CorrelationVerdict
+
+    @property
+    def significant(self) -> bool:
+        """Whether the null hypothesis of independence was rejected."""
+        return self.verdict is not CorrelationVerdict.INDEPENDENT
+
+
+def decide(z_score: float, alpha: float = 0.05,
+           alternative: str = "two-sided") -> SignificanceResult:
+    """Turn a z-score into a :class:`SignificanceResult`.
+
+    For the two-sided alternative the verdict's sign follows the sign of the
+    z-score; for one-sided alternatives only the requested direction can be
+    declared significant.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise EstimationError(f"alpha must be in (0, 1), got {alpha}")
+    p_value = z_to_p_value(z_score, alternative)
+    verdict = CorrelationVerdict.INDEPENDENT
+    if p_value < alpha:
+        if alternative == "greater":
+            verdict = CorrelationVerdict.POSITIVE
+        elif alternative == "less":
+            verdict = CorrelationVerdict.NEGATIVE
+        else:
+            verdict = (
+                CorrelationVerdict.POSITIVE if z_score > 0 else CorrelationVerdict.NEGATIVE
+            )
+    return SignificanceResult(
+        z_score=float(z_score),
+        p_value=float(p_value),
+        alpha=float(alpha),
+        alternative=alternative,
+        verdict=verdict,
+    )

@@ -1,0 +1,61 @@
+"""Normal-distribution helpers for significance assessment.
+
+The TESC statistic is asymptotically normal under the null hypothesis
+(Section 3.1), so p-values are plain normal tail probabilities of the
+observed z-score.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import EstimationError
+
+
+def normal_cdf(z: float) -> float:
+    """Standard normal cumulative distribution function."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def normal_sf(z: float) -> float:
+    """Standard normal survival function ``P(Z > z)``."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def z_to_p_value(z: float, alternative: str = "two-sided") -> float:
+    """Convert a z-score into a p-value.
+
+    Parameters
+    ----------
+    z:
+        The observed z-score.
+    alternative:
+        ``"two-sided"`` tests for any correlation, ``"greater"`` for positive
+        correlation (attraction) only, ``"less"`` for negative correlation
+        (repulsion) only.  The paper's experiments use one-tailed tests at
+        significance level 0.05.
+    """
+    if alternative == "two-sided":
+        return 2.0 * normal_sf(abs(z))
+    if alternative == "greater":
+        return normal_sf(z)
+    if alternative == "less":
+        return normal_cdf(z)
+    raise EstimationError(
+        f"alternative must be 'two-sided', 'greater' or 'less', got {alternative!r}"
+    )
+
+
+def critical_z(alpha: float, alternative: str = "two-sided") -> float:
+    """The rejection threshold on |z| for significance level ``alpha``."""
+    if not 0.0 < alpha < 1.0:
+        raise EstimationError(f"alpha must be in (0, 1), got {alpha}")
+    from scipy.stats import norm
+
+    if alternative == "two-sided":
+        return float(norm.isf(alpha / 2.0))
+    if alternative in ("greater", "less"):
+        return float(norm.isf(alpha))
+    raise EstimationError(
+        f"alternative must be 'two-sided', 'greater' or 'less', got {alternative!r}"
+    )

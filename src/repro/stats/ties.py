@@ -1,0 +1,112 @@
+"""Tie handling and the tie-corrected null variance (Eq. 5 and Eq. 6).
+
+Under the null hypothesis (the two events are independent with respect to the
+graph structure) the sampled Kendall statistic ``t(a, b)`` is asymptotically
+normal with mean 0.  Without ties its variance is Eq. 5:
+
+    sigma^2 = 2 (2n + 5) / (9 n (n - 1)).
+
+Reference nodes whose vicinities see only one of the two events create ties
+in the density vectors, and the paper switches to the tie-corrected variance
+of the *numerator* (Eq. 6), then divides by ``[n(n-1)/2]^2``.  More/larger
+ties always shrink the variance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+
+def tie_group_sizes(values: Sequence[float]) -> List[int]:
+    """Sizes of the tie groups in ``values``.
+
+    Every group of equal values of size >= 2 contributes its size; untied
+    values are excluded (a "tie" of size 1 contributes nothing to Eq. 6, so
+    including them would only add zero terms).
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise EstimationError(f"values must be a 1-D vector, got shape {array.shape}")
+    if array.size == 0:
+        return []
+    _, counts = np.unique(array, return_counts=True)
+    return [int(c) for c in counts if c >= 2]
+
+
+def null_variance_no_ties(n: int) -> float:
+    """Eq. 5: variance of ``t(a, b)`` under the null hypothesis, no ties."""
+    if n < 2:
+        raise EstimationError(f"at least two reference nodes are required, got {n}")
+    return 2.0 * (2 * n + 5) / (9.0 * n * (n - 1))
+
+
+def null_variance_numerator_with_ties(
+    n: int, ties_x: Sequence[int], ties_y: Sequence[int]
+) -> float:
+    """Eq. 6: tie-corrected variance of the numerator ``S`` under the null.
+
+    ``ties_x``/``ties_y`` are the tie-group sizes (``u_i`` and ``v_i`` in the
+    paper) of the two density vectors.  With no ties this reduces to Eq. 5
+    multiplied by ``[n(n-1)/2]^2``.
+    """
+    if n < 2:
+        raise EstimationError(f"at least two reference nodes are required, got {n}")
+    for name, ties in (("ties_x", ties_x), ("ties_y", ties_y)):
+        for size in ties:
+            if size < 1:
+                raise EstimationError(f"{name} contains a non-positive tie size {size}")
+            if size > n:
+                raise EstimationError(f"{name} contains a tie larger than n ({size} > {n})")
+
+    u = np.asarray(list(ties_x), dtype=float)
+    v = np.asarray(list(ties_y), dtype=float)
+
+    def term0(sizes: np.ndarray) -> float:
+        return float(np.sum(sizes * (sizes - 1) * (2 * sizes + 5)))
+
+    def term1(sizes: np.ndarray) -> float:
+        return float(np.sum(sizes * (sizes - 1) * (sizes - 2)))
+
+    def term2(sizes: np.ndarray) -> float:
+        return float(np.sum(sizes * (sizes - 1)))
+
+    variance = (n * (n - 1) * (2 * n + 5) - term0(u) - term0(v)) / 18.0
+    if n > 2:
+        variance += term1(u) * term1(v) / (9.0 * n * (n - 1) * (n - 2))
+    variance += term2(u) * term2(v) / (2.0 * n * (n - 1))
+    return float(variance)
+
+
+def tie_corrected_sigma(x: Sequence[float], y: Sequence[float]) -> float:
+    """Standard deviation of the numerator ``S`` under the null hypothesis.
+
+    Computes the tie groups of both vectors and plugs them into Eq. 6; with
+    no ties this equals ``sqrt(Eq. 5) * n(n-1)/2``.  The z-score of Eq. 7 is
+    then simply ``S / sigma_c``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size:
+        raise EstimationError("x and y must have the same length")
+    n = int(x.size)
+    variance = null_variance_numerator_with_ties(n, tie_group_sizes(x), tie_group_sizes(y))
+    if variance < 0:
+        raise EstimationError(f"negative null variance {variance}; ties are inconsistent")
+    return float(np.sqrt(variance))
+
+
+def degenerate_ties(x: Sequence[float], y: Sequence[float]) -> bool:
+    """Whether either vector is entirely one tie (zero null variance).
+
+    When every reference node sees the same density for one of the events,
+    the Kendall statistic carries no information and the tie-corrected null
+    variance is ~0; callers report a z-score of 0 in that case instead of
+    dividing by zero.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    return bool(np.unique(x).size <= 1 or np.unique(y).size <= 1)

@@ -1,0 +1,49 @@
+"""Logging configuration for the repro library.
+
+The library itself only ever attaches a ``NullHandler`` (library best
+practice); applications and the CLI call :func:`configure_logging` to get a
+console handler with a consistent format.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+LIBRARY_LOGGER_NAME = "repro"
+
+logging.getLogger(LIBRARY_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger under the library namespace.
+
+    ``get_logger("sampling")`` returns the ``repro.sampling`` logger, while
+    ``get_logger()`` returns the library root logger.
+    """
+    if not name:
+        return logging.getLogger(LIBRARY_LOGGER_NAME)
+    if name.startswith(LIBRARY_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LIBRARY_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a console handler to the library root logger.
+
+    Calling it twice replaces the previous handler instead of duplicating
+    output lines.
+    """
+    logger = logging.getLogger(LIBRARY_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,77 @@
+"""Random-number-generator plumbing.
+
+All stochastic components in the library accept either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
+normalise it through :func:`ensure_rng`.  Experiments spawn independent child
+generators with :func:`spawn_rngs` so that sub-tasks are reproducible and
+order-independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+#: The union of types accepted wherever the library needs randomness.
+RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Normalise ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for fresh OS entropy, an ``int`` seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator which is
+        returned unchanged.
+
+    Returns
+    -------
+    numpy.random.Generator
+        A generator ready for use.
+    """
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, np.random.SeedSequence):
+        return np.random.default_rng(random_state)
+    if random_state is None or isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(random_state)
+    raise TypeError(
+        "random_state must be None, an int, a numpy SeedSequence or a "
+        f"numpy Generator, got {type(random_state).__name__}"
+    )
+
+
+def spawn_rngs(random_state: RandomState, count: int) -> List[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    The children are derived through :class:`numpy.random.SeedSequence`
+    spawning, so each child stream is independent of the others regardless of
+    how many draws each consumer makes.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(random_state, np.random.Generator):
+        seeds = random_state.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = (
+        random_state
+        if isinstance(random_state, np.random.SeedSequence)
+        else np.random.SeedSequence(random_state)
+    )
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def derive_seed(random_state: RandomState, salt: Optional[int] = None) -> int:
+    """Derive a plain integer seed, optionally mixed with ``salt``.
+
+    Useful when an API (e.g. networkx generators) wants an ``int`` seed but
+    the caller holds a :class:`numpy.random.Generator`.
+    """
+    rng = ensure_rng(random_state)
+    seed = int(rng.integers(0, 2**31 - 1))
+    if salt is not None:
+        seed = (seed * 1_000_003 + int(salt)) % (2**31 - 1)
+    return seed

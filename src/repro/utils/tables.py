@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows the paper's tables report; this
+module renders them as aligned monospace tables so benchmark output and
+``EXPERIMENTS.md`` stay readable without extra dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+class TextTable:
+    """An aligned plain-text table.
+
+    Examples
+    --------
+    >>> table = TextTable(["pair", "z"])
+    >>> table.add_row(["a vs b", 3.14159])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    pair   | z
+    -------+-----
+    a vs b | 3.14
+    """
+
+    def __init__(self, columns: Sequence[str], float_format: str = "{:.2f}") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns: List[str] = [str(c) for c in columns]
+        self.float_format = float_format
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a row; floats are formatted with :attr:`float_format`."""
+        row = [self._format(value) for value in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    def _format(self, value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return self.float_format.format(value)
+        return str(value)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """The formatted rows added so far (copies, not live references)."""
+        return [list(row) for row in self._rows]
+
+    def render(self, markdown: bool = False) -> str:
+        """Render the table; ``markdown=True`` produces a GitHub-style table."""
+        widths = [len(col) for col in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+            return ("| " if markdown else "") + " | ".join(padded) + (" |" if markdown else "")
+
+        lines = [fmt_row(self.columns)]
+        if markdown:
+            lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        else:
+            lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(fmt_row(row))
+        return "\n".join(line.rstrip() for line in lines)
+
+
+def render_mapping(mapping: dict, title: Optional[str] = None) -> str:
+    """Render a flat key/value mapping as an aligned two-column block."""
+    table = TextTable(["key", "value"])
+    for key, value in mapping.items():
+        table.add_row([key, value])
+    body = table.render()
+    if title:
+        return f"{title}\n{body}"
+    return body

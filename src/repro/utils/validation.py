@@ -1,0 +1,64 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_fraction(value: Any, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` (or ``(0, 1)``)."""
+    try:
+        fraction = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from exc
+    if inclusive:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {fraction}")
+    else:
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(f"{name} must be in (0, 1), got {fraction}")
+    return fraction
+
+
+def check_vicinity_level(value: Any, name: str = "h") -> int:
+    """Validate a vicinity level ``h``.
+
+    The paper focuses on small levels (h = 1, 2, 3) because of the small-world
+    property of real networks; we allow any positive level but reject zero and
+    negatives, which would make every reference node a 0-tie.
+    """
+    level = check_positive_int(value, name)
+    return level
+
+
+def check_probability_vector(values: Any, name: str) -> None:
+    """Validate that ``values`` forms a probability distribution."""
+    import numpy as np
+
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ConfigurationError(f"{name} must be a non-empty 1-D array")
+    if np.any(array < 0):
+        raise ConfigurationError(f"{name} must be non-negative")
+    if not np.isclose(array.sum(), 1.0, atol=1e-8):
+        raise ConfigurationError(f"{name} must sum to 1, got {array.sum()}")

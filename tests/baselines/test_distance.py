@@ -1,0 +1,54 @@
+"""Tests for repro.baselines.distance (the Section 6 strawman)."""
+
+import pytest
+
+from repro.baselines.distance import average_distance_measure, randomization_test
+from repro.events.attributed_graph import AttributedGraph
+
+
+class TestAverageDistanceMeasure:
+    def test_adjacent_events_distance_one(self, path_graph):
+        attributed = AttributedGraph(path_graph, {"a": [0, 1], "b": [1, 2]})
+        value = average_distance_measure(attributed, "a", "b", random_state=1)
+        assert value <= 1.0
+
+    def test_far_events_have_larger_distance(self, path_graph):
+        attributed = AttributedGraph(path_graph, {"a": [0], "near": [1], "far": [5]})
+        near = average_distance_measure(attributed, "a", "near", random_state=1)
+        far = average_distance_measure(attributed, "a", "far", random_state=1)
+        assert far > near
+
+    def test_unreachable_penalty(self):
+        from repro.graph.adjacency import Graph
+
+        graph = Graph(4)
+        graph.add_edge(0, 1)  # nodes 2, 3 are isolated
+        attributed = AttributedGraph(graph, {"a": [0], "b": [3]})
+        value = average_distance_measure(attributed, "a", "b", unreachable_penalty=99.0)
+        assert value == 99.0
+
+    def test_empty_event_rejected(self, path_graph):
+        attributed = AttributedGraph(path_graph, {"a": [0]})
+        with pytest.raises(Exception):
+            average_distance_measure(attributed, "a", "nope")
+
+
+class TestRandomizationTest:
+    def test_attracting_pair_has_small_p(self, two_triangles_graph):
+        attributed = AttributedGraph(two_triangles_graph, {"a": [0, 1], "b": [1, 2]})
+        result = randomization_test(attributed, "a", "b", num_randomizations=30,
+                                    random_state=3)
+        assert result.observed <= result.null_mean
+        assert 0.0 < result.empirical_p_value <= 1.0
+
+    def test_fields_populated(self, attributed_random):
+        result = randomization_test(attributed_random, "a", "b", num_randomizations=5,
+                                    max_sources=10, random_state=4)
+        assert result.num_randomizations == 5
+        assert isinstance(result.z_score, float)
+
+    def test_invalid_rounds(self, attributed_random):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            randomization_test(attributed_random, "a", "b", num_randomizations=0)

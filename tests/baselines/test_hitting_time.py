@@ -1,0 +1,41 @@
+"""Tests for repro.baselines.hitting_time."""
+
+import pytest
+
+from repro.baselines.hitting_time import hitting_time_affinity
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import EstimationError
+
+
+class TestHittingTimeAffinity:
+    def test_range(self, attributed_random):
+        affinity = hitting_time_affinity(
+            attributed_random, "a", "b", max_steps=3, walks_per_source=5, random_state=1
+        )
+        assert 0.0 <= affinity <= 1.0
+
+    def test_nearby_events_have_higher_affinity(self, path_graph):
+        attributed = AttributedGraph(path_graph, {"a": [0], "near": [1], "far": [5]})
+        near = hitting_time_affinity(
+            attributed, "a", "near", max_steps=2, walks_per_source=200, random_state=2
+        )
+        far = hitting_time_affinity(
+            attributed, "a", "far", max_steps=2, walks_per_source=200, random_state=2
+        )
+        assert near > far
+
+    def test_deterministic_given_seed(self, attributed_random):
+        first = hitting_time_affinity(attributed_random, "a", "b", random_state=5)
+        second = hitting_time_affinity(attributed_random, "a", "b", random_state=5)
+        assert first == second
+
+    def test_empty_event_rejected(self, path_graph):
+        attributed = AttributedGraph(path_graph, {"a": [0]})
+        with pytest.raises(Exception):
+            hitting_time_affinity(attributed, "a", "missing")
+
+    def test_invalid_parameters(self, attributed_random):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            hitting_time_affinity(attributed_random, "a", "b", max_steps=0)

@@ -1,0 +1,74 @@
+"""Tests for repro.baselines.proximity (the pFP comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.proximity import ProximityPatternMiner
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import community_ring_graph
+
+
+@pytest.fixture(scope="module")
+def mining_graph():
+    graph = community_ring_graph(6, 40, 6.0, 10, random_state=3)
+    rng = np.random.default_rng(3)
+    community = lambda index: np.arange(index * 40, (index + 1) * 40)
+    frequent_a = rng.choice(community(0), 25, replace=False)
+    frequent_b = rng.choice(community(0), 25, replace=False)
+    rare_a = rng.choice(community(3), 3, replace=False)
+    rare_b = rng.choice(community(3), 3, replace=False)
+    far = rng.choice(community(4), 25, replace=False)
+    return AttributedGraph(
+        graph,
+        {
+            "frequent_a": frequent_a,
+            "frequent_b": frequent_b,
+            "rare_a": rare_a,
+            "rare_b": rare_b,
+            "far": far,
+        },
+    )
+
+
+class TestProximityPatternMiner:
+    def test_frequent_colocated_pair_found(self, mining_graph):
+        miner = ProximityPatternMiner(mining_graph, minsup=10 / mining_graph.num_nodes)
+        assert miner.discovers_pair("frequent_a", "frequent_b")
+
+    def test_rare_pair_missed(self, mining_graph):
+        miner = ProximityPatternMiner(mining_graph, minsup=10 / mining_graph.num_nodes)
+        assert not miner.discovers_pair("rare_a", "rare_b")
+
+    def test_far_apart_pair_missed(self, mining_graph):
+        miner = ProximityPatternMiner(mining_graph, minsup=10 / mining_graph.num_nodes)
+        assert not miner.discovers_pair("frequent_a", "far")
+
+    def test_support_ordering(self, mining_graph):
+        miner = ProximityPatternMiner(mining_graph, minsup=1e-9)
+        assert miner.pair_support("frequent_a", "frequent_b") > miner.pair_support(
+            "rare_a", "rare_b"
+        )
+
+    def test_mine_pairs_sorted_by_support(self, mining_graph):
+        miner = ProximityPatternMiner(mining_graph, minsup=1e-9)
+        patterns = miner.mine_pairs(["frequent_a", "frequent_b", "rare_a", "rare_b"])
+        supports = [pattern.support for pattern in patterns]
+        assert supports == sorted(supports, reverse=True)
+        assert patterns[0].contains_pair("frequent_a", "frequent_b")
+
+    def test_mine_pairs_respects_minsup(self, mining_graph):
+        miner = ProximityPatternMiner(mining_graph, minsup=10 / mining_graph.num_nodes)
+        patterns = miner.mine_pairs(["frequent_a", "frequent_b", "rare_a", "rare_b"])
+        assert all(pattern.support >= miner.minsup for pattern in patterns)
+
+    def test_invalid_damping(self, mining_graph):
+        with pytest.raises(ConfigurationError):
+            ProximityPatternMiner(mining_graph, minsup=0.1, damping=0.0)
+
+    def test_epsilon_filters_weak_presence(self, mining_graph):
+        strict = ProximityPatternMiner(mining_graph, minsup=1e-9, epsilon=0.9)
+        lenient = ProximityPatternMiner(mining_graph, minsup=1e-9, epsilon=0.0)
+        assert strict.pair_support("frequent_a", "frequent_b") <= lenient.pair_support(
+            "frequent_a", "frequent_b"
+        )

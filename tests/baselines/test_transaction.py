@@ -1,0 +1,78 @@
+"""Tests for repro.baselines.transaction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.transaction import (
+    lift,
+    transaction_correlation,
+    transaction_tau_b_dense,
+    transaction_z_dense,
+)
+from repro.events.event_set import EventLayer
+from repro.stats.hypothesis import CorrelationVerdict
+
+
+@pytest.fixture
+def layer():
+    # 100 transactions; a on 0..29, b on 20..49 (10 co-occurrences).
+    return EventLayer.from_mapping(
+        100, {"a": range(0, 30), "b": range(20, 50), "rare": [0], "other": [99]}
+    )
+
+
+class TestLift:
+    def test_value(self, layer):
+        # lift = N * n11 / (|a| * |b|) = 100 * 10 / 900
+        assert lift(layer, "a", "b") == pytest.approx(100 * 10 / 900)
+
+    def test_independent_events_lift_one(self):
+        layer = EventLayer.from_mapping(100, {"a": range(0, 50), "b": range(25, 75)})
+        assert lift(layer, "a", "b") == pytest.approx(1.0)
+
+    def test_disjoint_events_lift_zero(self, layer):
+        assert lift(layer, "rare", "other") == 0.0
+
+
+class TestTransactionCorrelation:
+    def test_positive_association(self):
+        layer = EventLayer.from_mapping(200, {"a": range(0, 50), "b": range(0, 60)})
+        result = transaction_correlation(layer, "a", "b")
+        assert result.tau_b > 0.5
+        assert result.z_score > 3.0
+        assert result.verdict is CorrelationVerdict.POSITIVE
+
+    def test_negative_association(self):
+        layer = EventLayer.from_mapping(100, {"a": range(0, 50), "b": range(50, 100)})
+        result = transaction_correlation(layer, "a", "b")
+        assert result.tau_b < -0.5
+        assert result.verdict is CorrelationVerdict.NEGATIVE
+
+    def test_closed_form_matches_dense_computation(self, layer):
+        result = transaction_correlation(layer, "a", "b")
+        indicator_a = layer.indicator("a")
+        indicator_b = layer.indicator("b")
+        assert result.tau_b == pytest.approx(
+            transaction_tau_b_dense(indicator_a, indicator_b), abs=1e-10
+        )
+        assert result.z_score == pytest.approx(
+            transaction_z_dense(indicator_a, indicator_b), abs=1e-8
+        )
+
+    def test_universal_event_degenerate(self):
+        layer = EventLayer.from_mapping(50, {"all": range(50), "b": range(10)})
+        result = transaction_correlation(layer, "all", "b")
+        assert result.z_score == 0.0
+
+    def test_contingency_recorded(self, layer):
+        result = transaction_correlation(layer, "a", "b")
+        assert result.contingency == (10, 20, 20, 50)
+
+    def test_matches_scipy_taub_on_dense_vectors(self, layer):
+        from scipy import stats as scipy_stats
+
+        indicator_a = layer.indicator("a").astype(float)
+        indicator_b = layer.indicator("b").astype(float)
+        expected = scipy_stats.kendalltau(indicator_a, indicator_b, variant="b").statistic
+        result = transaction_correlation(layer, "a", "b")
+        assert result.tau_b == pytest.approx(expected, abs=1e-10)

@@ -1,0 +1,59 @@
+"""Tests for repro.core.concordance (Eq. 1)."""
+
+import pytest
+
+from repro.core.concordance import concordance, concordance_counts
+from repro.exceptions import EstimationError
+
+
+class TestConcordanceFunction:
+    def test_both_increase(self):
+        assert concordance(0.5, 0.2, 0.6, 0.1) == 1
+
+    def test_both_decrease(self):
+        assert concordance(0.1, 0.5, 0.2, 0.6) == 1
+
+    def test_opposite_directions(self):
+        assert concordance(0.5, 0.2, 0.1, 0.6) == -1
+
+    def test_tie_in_first_event(self):
+        assert concordance(0.5, 0.5, 0.1, 0.6) == 0
+
+    def test_tie_in_second_event(self):
+        assert concordance(0.5, 0.2, 0.3, 0.3) == 0
+
+
+class TestConcordanceCounts:
+    def test_perfectly_concordant(self):
+        concordant, discordant, tied = concordance_counts([1, 2, 3], [4, 5, 6])
+        assert (concordant, discordant, tied) == (3, 0, 0)
+
+    def test_perfectly_discordant(self):
+        concordant, discordant, tied = concordance_counts([1, 2, 3], [6, 5, 4])
+        assert (concordant, discordant, tied) == (0, 3, 0)
+
+    def test_counts_sum_to_pairs(self, rng):
+        x = rng.integers(0, 3, size=25).astype(float)
+        y = rng.integers(0, 3, size=25).astype(float)
+        concordant, discordant, tied = concordance_counts(x, y)
+        assert concordant + discordant + tied == 25 * 24 // 2
+
+    def test_matches_pairwise_function(self, rng):
+        x = rng.random(12)
+        y = rng.random(12)
+        concordant, discordant, tied = concordance_counts(x, y)
+        expected = sum(
+            1
+            for i in range(12)
+            for j in range(i + 1, 12)
+            if concordance(x[i], x[j], y[i], y[j]) == 1
+        )
+        assert concordant == expected
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(EstimationError):
+            concordance_counts([1, 2], [1, 2, 3])
+
+    def test_single_node_rejected(self):
+        with pytest.raises(EstimationError):
+            concordance_counts([1], [2])

@@ -1,0 +1,53 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import DEFAULT_SAMPLE_SIZE, TescConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestTescConfig:
+    def test_defaults_match_paper(self):
+        config = TescConfig()
+        assert config.sample_size == DEFAULT_SAMPLE_SIZE == 900
+        assert config.alpha == 0.05
+        assert config.vicinity_level == 1
+        assert config.sampler == "batch_bfs"
+
+    def test_with_level(self):
+        config = TescConfig(vicinity_level=1).with_level(3)
+        assert config.vicinity_level == 3
+
+    def test_with_sampler(self):
+        config = TescConfig().with_sampler("importance", batch_per_vicinity=5)
+        assert config.sampler == "importance"
+        assert config.batch_per_vicinity == 5
+
+    def test_with_random_state(self):
+        config = TescConfig().with_random_state(99)
+        assert config.random_state == 99
+
+    @pytest.mark.parametrize("level", [0, -1])
+    def test_invalid_level(self, level):
+        with pytest.raises(ConfigurationError):
+            TescConfig(vicinity_level=level)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ConfigurationError):
+            TescConfig(alpha=alpha)
+
+    def test_invalid_alternative(self):
+        with pytest.raises(ConfigurationError):
+            TescConfig(alternative="both")
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ConfigurationError):
+            TescConfig(sample_size=0)
+
+    def test_invalid_sampler_name_type(self):
+        with pytest.raises(ConfigurationError):
+            TescConfig(sampler="")
+
+    def test_random_state_not_compared(self):
+        assert TescConfig(random_state=1) == TescConfig(random_state=2)

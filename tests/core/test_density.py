@@ -1,0 +1,74 @@
+"""Tests for repro.core.density (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.density import DensityComputer, density_vectors
+from repro.events.attributed_graph import AttributedGraph
+
+
+class TestDensityComputer:
+    def test_density_on_path_graph(self, path_graph):
+        # Path 0-1-2-3-4-5, event a on {0, 1}.
+        computer = DensityComputer(path_graph.to_csr())
+        indicator = np.zeros(6, dtype=bool)
+        indicator[[0, 1]] = True
+        # 1-vicinity of node 2 is {1, 2, 3}: one occurrence out of three nodes.
+        assert computer.density(2, indicator, 1) == pytest.approx(1 / 3)
+        # 1-vicinity of node 5 is {4, 5}: no occurrences.
+        assert computer.density(5, indicator, 1) == 0.0
+        # 2-vicinity of node 2 is {0..4}: two occurrences out of five nodes.
+        assert computer.density(2, indicator, 2) == pytest.approx(2 / 5)
+
+    def test_density_includes_reference_node_itself(self, path_graph):
+        computer = DensityComputer(path_graph.to_csr())
+        indicator = np.zeros(6, dtype=bool)
+        indicator[0] = True
+        assert computer.density(0, indicator, 1) == pytest.approx(1 / 2)
+
+    def test_density_pair_single_bfs(self, path_graph):
+        computer = DensityComputer(path_graph.to_csr())
+        indicator_a = np.zeros(6, dtype=bool)
+        indicator_a[[0, 1]] = True
+        indicator_b = np.zeros(6, dtype=bool)
+        indicator_b[[3]] = True
+        density_a, density_b = computer.density_pair(2, indicator_a, indicator_b, 1)
+        assert density_a == pytest.approx(1 / 3)
+        assert density_b == pytest.approx(1 / 3)
+
+    def test_density_pair_uses_one_bfs_per_reference(self, path_graph):
+        computer = DensityComputer(path_graph.to_csr())
+        indicator = np.zeros(6, dtype=bool)
+        computer.density_pair(2, indicator, indicator, 1)
+        assert computer.engine.bfs_calls == 1
+
+    def test_density_vectors_shape_and_range(self, attributed_random):
+        computer = DensityComputer(attributed_random.csr)
+        references = [0, 10, 20, 30]
+        densities_a, densities_b = computer.density_vectors(
+            references,
+            attributed_random.event_indicator("a"),
+            attributed_random.event_indicator("b"),
+            2,
+        )
+        assert densities_a.shape == (4,)
+        assert np.all((densities_a >= 0) & (densities_a <= 1))
+        assert np.all((densities_b >= 0) & (densities_b <= 1))
+
+    def test_invalid_level_rejected(self, path_graph):
+        from repro.exceptions import ConfigurationError
+
+        computer = DensityComputer(path_graph.to_csr())
+        with pytest.raises(ConfigurationError):
+            computer.density(0, np.zeros(6, dtype=bool), 0)
+
+
+class TestDensityVectorsWrapper:
+    def test_matches_direct_computation(self, attributed_path):
+        densities_a, densities_b = density_vectors(attributed_path, "a", "b", [1, 2, 4], 1)
+        # node 1: vicinity {0,1,2}; a on {0,1} -> 2/3, b on {4,5} -> 0
+        assert densities_a[0] == pytest.approx(2 / 3)
+        assert densities_b[0] == 0.0
+        # node 4: vicinity {3,4,5}; a -> 0, b -> 2/3
+        assert densities_a[2] == 0.0
+        assert densities_b[2] == pytest.approx(2 / 3)

@@ -1,0 +1,144 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.transaction import transaction_correlation
+from repro.core.config import TescConfig
+from repro.core.tesc import TescTester
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.datasets.synthetic_intrusion import make_intrusion_like
+from repro.datasets.synthetic_twitter import make_twitter_like
+from repro.exceptions import ConfigurationError
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp_like(
+        num_communities=12, community_size=80, num_positive_pairs=2,
+        num_negative_pairs=2, num_background_keywords=3, random_state=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def intrusion():
+    return make_intrusion_like(num_subnets=50, subnet_size=25, random_state=13)
+
+
+class TestDblpLike:
+    def test_structure(self, dblp):
+        assert dblp.num_communities == 12
+        assert dblp.attributed.num_nodes > 12 * 80  # core plus periphery
+        assert len(dblp.positive_pairs) == 2
+        assert len(dblp.negative_pairs) == 2
+        assert len(dblp.background_events) == 3
+
+    def test_all_planted_events_exist(self, dblp):
+        names = set(dblp.attributed.event_names())
+        for pair in dblp.positive_pairs + dblp.negative_pairs:
+            assert pair[0] in names and pair[1] in names
+
+    def test_positive_pair_is_structurally_positive(self, dblp):
+        tester = TescTester(dblp.attributed, TescConfig(sample_size=250, random_state=1))
+        event_a, event_b = dblp.positive_pairs[0]
+        assert tester.test(event_a, event_b).z_score > 2.0
+
+    def test_negative_pair_is_structurally_negative(self, dblp):
+        tester = TescTester(dblp.attributed, TescConfig(sample_size=250, random_state=1))
+        event_a, event_b = dblp.negative_pairs[0]
+        assert tester.test(event_a, event_b).z_score < -2.0
+
+    def test_negative_pair_has_nonnegative_tc(self, dblp):
+        event_a, event_b = dblp.negative_pairs[0]
+        tc = transaction_correlation(dblp.attributed.events, event_a, event_b)
+        assert tc.z_score > -1.0  # near zero or positive despite negative TESC
+
+    def test_deterministic(self):
+        first = make_dblp_like(num_communities=8, community_size=30,
+                               communities_per_pair=2, random_state=3)
+        second = make_dblp_like(num_communities=8, community_size=30,
+                                communities_per_pair=2, random_state=3)
+        assert first.attributed.num_edges == second.attributed.num_edges
+        assert first.attributed.event_summary() == second.attributed.event_summary()
+
+    def test_too_few_communities_rejected(self):
+        with pytest.raises(ValueError):
+            make_dblp_like(num_communities=3, community_size=20, communities_per_pair=3)
+
+
+class TestIntrusionLike:
+    def test_structure(self, intrusion):
+        assert len(intrusion.subnets) == 50
+        assert len(intrusion.positive_pairs) == 5
+        assert len(intrusion.negative_pairs) == 5
+        assert len(intrusion.rare_pairs) == 2
+
+    def test_hub_degrees_are_large(self, intrusion):
+        degrees = intrusion.attributed.csr.degrees()
+        assert degrees.max() > 20
+
+    def test_positive_pair_positive_tesc_flat_tc(self, intrusion):
+        tester = TescTester(intrusion.attributed, TescConfig(sample_size=250, random_state=2))
+        event_a, event_b = intrusion.positive_pairs[0]
+        result = tester.test(event_a, event_b)
+        tc = transaction_correlation(intrusion.attributed.events, event_a, event_b)
+        assert result.z_score > 2.0
+        assert tc.z_score < 2.0
+
+    def test_negative_pair_negative_tesc(self, intrusion):
+        tester = TescTester(
+            intrusion.attributed,
+            TescConfig(vicinity_level=2, sample_size=250, random_state=2),
+        )
+        event_a, event_b = intrusion.negative_pairs[0]
+        assert tester.test(event_a, event_b).z_score < -2.0
+
+    def test_rare_pairs_are_rare(self, intrusion):
+        for event_a, event_b in intrusion.rare_pairs:
+            assert intrusion.attributed.events.occurrence_count(event_a) < 30
+            assert intrusion.attributed.events.occurrence_count(event_b) < 30
+
+    def test_not_enough_subnets_rejected(self):
+        with pytest.raises(ValueError):
+            make_intrusion_like(num_subnets=10, subnet_size=10)
+
+
+class TestTwitterLike:
+    def test_returns_csr_by_default(self):
+        graph = make_twitter_like(num_nodes=2000, edges_per_node=4, random_state=5)
+        assert isinstance(graph, CSRGraph)
+        assert graph.num_nodes == 2000
+
+    def test_mutable_form(self):
+        graph = make_twitter_like(num_nodes=500, edges_per_node=3, random_state=5,
+                                  as_csr=False)
+        assert graph.num_nodes == 500
+
+    def test_scale_free_shape(self):
+        graph = make_twitter_like(num_nodes=3000, edges_per_node=5, random_state=6)
+        degrees = graph.degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_datasets()) == {"dblp", "intrusion", "twitter"}
+
+    def test_load_each_at_tiny_scale(self):
+        for name in available_datasets():
+            dataset = load_dataset(name, scale="tiny", random_state=1)
+            assert dataset is not None
+
+    def test_numeric_scale(self):
+        graph = load_dataset("twitter", scale="0.05", random_state=1)
+        assert graph.num_nodes >= 1000
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("imaginary")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("twitter", scale="huge")

@@ -1,0 +1,76 @@
+"""Tests for repro.events.attributed_graph."""
+
+import numpy as np
+import pytest
+
+from repro.events.attributed_graph import AttributedGraph
+from repro.events.event_set import EventLayer
+
+
+class TestConstruction:
+    def test_from_mutable_graph(self, path_graph):
+        attributed = AttributedGraph(path_graph, {"a": [0]})
+        assert attributed.num_nodes == 6
+        assert attributed.num_edges == 5
+
+    def test_from_csr_graph(self, path_graph):
+        attributed = AttributedGraph(path_graph.to_csr(), {"a": [0]})
+        assert attributed.num_nodes == 6
+
+    def test_from_event_layer(self, path_graph):
+        layer = EventLayer.from_mapping(6, {"a": [1]})
+        attributed = AttributedGraph(path_graph, layer)
+        assert attributed.events is layer
+
+    def test_mismatched_event_layer_rejected(self, path_graph):
+        layer = EventLayer.from_mapping(10, {"a": [1]})
+        with pytest.raises(ValueError):
+            AttributedGraph(path_graph, layer)
+
+    def test_no_events(self, path_graph):
+        attributed = AttributedGraph(path_graph)
+        assert attributed.event_names() == []
+
+    def test_invalid_graph_type(self):
+        with pytest.raises(TypeError):
+            AttributedGraph("nope")
+
+    def test_labels_length_checked(self, path_graph):
+        with pytest.raises(ValueError):
+            AttributedGraph(path_graph, labels=["only-one"])
+
+
+class TestEventHelpers:
+    def test_event_nodes_and_union(self, attributed_path):
+        assert list(attributed_path.event_nodes("a")) == [0, 1]
+        assert list(attributed_path.event_union("a", "b")) == [0, 1, 4, 5]
+
+    def test_event_indicator(self, attributed_path):
+        indicator = attributed_path.event_indicator("b")
+        assert indicator.sum() == 2
+
+    def test_event_names_and_summary(self, attributed_path):
+        assert attributed_path.event_names() == ["a", "b"]
+        assert attributed_path.event_summary() == {"a": 2, "b": 2}
+
+    def test_label_of_defaults_to_id(self, attributed_path):
+        assert attributed_path.label_of(3) == "3"
+
+    def test_label_of_with_labels(self, path_graph):
+        attributed = AttributedGraph(path_graph, {"a": [0]}, labels=list("abcdef"))
+        assert attributed.label_of(2) == "c"
+
+    def test_repr(self, attributed_path):
+        assert "AttributedGraph" in repr(attributed_path)
+
+
+class TestVicinityIndexSharing:
+    def test_same_index_returned(self, attributed_random):
+        first = attributed_random.vicinity_index(levels=(1,))
+        second = attributed_random.vicinity_index(levels=(1,))
+        assert first is second
+
+    def test_new_levels_extend_index(self, attributed_random):
+        first = attributed_random.vicinity_index(levels=(1,))
+        extended = attributed_random.vicinity_index(levels=(2,))
+        assert 1 in extended.levels and 2 in extended.levels

@@ -1,0 +1,102 @@
+"""Tests for repro.events.event_set."""
+
+import numpy as np
+import pytest
+
+from repro.events.event_set import EventLayer
+from repro.exceptions import EventError, UnknownEventError
+
+
+class TestConstruction:
+    def test_add_occurrence(self):
+        layer = EventLayer(5)
+        layer.add_occurrence("a", 3)
+        assert list(layer.nodes_of("a")) == [3]
+        assert layer.events_of(3) == {"a"}
+
+    def test_add_occurrences_deduplicates(self):
+        layer = EventLayer(5)
+        layer.add_occurrences("a", [1, 2, 2, 1])
+        assert layer.occurrence_count("a") == 2
+
+    def test_from_mapping(self):
+        layer = EventLayer.from_mapping(10, {"a": [1, 2], "b": range(3)})
+        assert layer.occurrence_count("a") == 2
+        assert layer.occurrence_count("b") == 3
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(EventError):
+            EventLayer(3).add_occurrence("a", 5)
+
+    def test_empty_event_name_rejected(self):
+        with pytest.raises(EventError):
+            EventLayer(3).add_occurrence("", 0)
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            EventLayer(-1)
+
+
+class TestQueries:
+    @pytest.fixture
+    def layer(self):
+        return EventLayer.from_mapping(10, {"a": [0, 1, 2], "b": [2, 3], "c": [9]})
+
+    def test_events_sorted(self, layer):
+        assert layer.events() == ["a", "b", "c"]
+        assert list(layer) == ["a", "b", "c"]
+
+    def test_contains_and_len(self, layer):
+        assert "a" in layer and "z" not in layer
+        assert len(layer) == 3
+
+    def test_nodes_of_sorted_array(self, layer):
+        nodes = layer.nodes_of("a")
+        assert isinstance(nodes, np.ndarray)
+        assert list(nodes) == [0, 1, 2]
+
+    def test_unknown_event_raises(self, layer):
+        with pytest.raises(UnknownEventError):
+            layer.nodes_of("missing")
+        with pytest.raises(UnknownEventError):
+            layer.occurrence_count("missing")
+
+    def test_events_of_returns_copy(self, layer):
+        events = layer.events_of(2)
+        events.add("zzz")
+        assert "zzz" not in layer.events_of(2)
+
+    def test_events_of_node_without_events(self, layer):
+        assert layer.events_of(5) == set()
+
+    def test_indicator(self, layer):
+        indicator = layer.indicator("b")
+        assert indicator.dtype == bool
+        assert indicator.sum() == 2
+        assert indicator[2] and indicator[3]
+
+    def test_event_sizes(self, layer):
+        assert layer.event_sizes() == {"a": 3, "b": 2, "c": 1}
+
+    def test_to_mapping(self, layer):
+        assert layer.to_mapping()["a"] == [0, 1, 2]
+
+
+class TestMutation:
+    def test_remove_event(self):
+        layer = EventLayer.from_mapping(5, {"a": [0, 1], "b": [1]})
+        layer.remove_event("a")
+        assert "a" not in layer
+        assert layer.events_of(1) == {"b"}
+        assert layer.events_of(0) == set()
+
+    def test_remove_unknown_event_raises(self):
+        with pytest.raises(UnknownEventError):
+            EventLayer(3).remove_event("ghost")
+
+    def test_copy_is_independent(self):
+        layer = EventLayer.from_mapping(5, {"a": [0]})
+        clone = layer.copy()
+        clone.add_occurrence("a", 1)
+        assert layer.occurrence_count("a") == 1
+        assert clone.occurrence_count("a") == 2

@@ -1,0 +1,52 @@
+"""Tests for repro.events.intensity."""
+
+import pytest
+
+from repro.events.event_set import EventLayer
+from repro.events.intensity import IntensityMap
+from repro.exceptions import EventError
+
+
+@pytest.fixture
+def intensity_map():
+    layer = EventLayer.from_mapping(6, {"kw": [0, 1, 2]})
+    return IntensityMap(layer)
+
+
+class TestIntensityMap:
+    def test_default_intensity_is_one(self, intensity_map):
+        assert intensity_map.intensity("kw", 0) == 1.0
+
+    def test_absent_event_is_zero(self, intensity_map):
+        assert intensity_map.intensity("kw", 5) == 0.0
+
+    def test_explicit_intensity(self, intensity_map):
+        intensity_map.set_intensity("kw", 1, 3.5)
+        assert intensity_map.intensity("kw", 1) == 3.5
+
+    def test_update_many(self, intensity_map):
+        intensity_map.update("kw", {0: 2.0, 2: 4.0})
+        assert intensity_map.intensity("kw", 2) == 4.0
+
+    def test_negative_intensity_rejected(self, intensity_map):
+        with pytest.raises(EventError):
+            intensity_map.set_intensity("kw", 0, -1.0)
+
+    def test_unknown_event_rejected(self, intensity_map):
+        with pytest.raises(EventError):
+            intensity_map.set_intensity("missing", 0, 1.0)
+
+    def test_intensity_on_non_occurrence_rejected(self, intensity_map):
+        with pytest.raises(EventError):
+            intensity_map.set_intensity("kw", 5, 1.0)
+
+    def test_intensity_vector(self, intensity_map):
+        intensity_map.set_intensity("kw", 0, 2.0)
+        vector = intensity_map.intensity_vector("kw")
+        assert vector[0] == 2.0
+        assert vector[1] == 1.0
+        assert vector[5] == 0.0
+
+    def test_total_intensity(self, intensity_map):
+        intensity_map.set_intensity("kw", 0, 2.0)
+        assert intensity_map.total_intensity("kw", [0, 1, 5]) == 3.0

@@ -1,0 +1,47 @@
+"""Tests for repro.events.queries."""
+
+import pytest
+
+from repro.events.event_set import EventLayer
+from repro.events.queries import (
+    contingency_table,
+    cooccurrence_count,
+    event_node_union,
+    jaccard_overlap,
+)
+
+
+@pytest.fixture
+def layer():
+    return EventLayer.from_mapping(10, {"a": [0, 1, 2, 3], "b": [2, 3, 4], "c": [9]})
+
+
+class TestQueries:
+    def test_union(self, layer):
+        assert list(event_node_union(layer, "a", "b")) == [0, 1, 2, 3, 4]
+
+    def test_cooccurrence(self, layer):
+        assert cooccurrence_count(layer, "a", "b") == 2
+        assert cooccurrence_count(layer, "a", "c") == 0
+
+    def test_jaccard(self, layer):
+        assert jaccard_overlap(layer, "a", "b") == pytest.approx(2 / 5)
+        assert jaccard_overlap(layer, "a", "c") == 0.0
+
+    def test_contingency_table_sums_to_n(self, layer):
+        n11, n10, n01, n00 = contingency_table(layer, "a", "b")
+        assert (n11, n10, n01) == (2, 2, 1)
+        assert n11 + n10 + n01 + n00 == 10
+
+    def test_contingency_disjoint_events(self, layer):
+        n11, n10, n01, n00 = contingency_table(layer, "a", "c")
+        assert n11 == 0
+        assert n10 == 4
+        assert n01 == 1
+        assert n00 == 5
+
+    def test_contingency_same_event(self, layer):
+        n11, n10, n01, n00 = contingency_table(layer, "a", "a")
+        assert n11 == 4
+        assert n10 == n01 == 0
+        assert n00 == 6

@@ -1,0 +1,115 @@
+"""Tests for repro.graph.adjacency."""
+
+import pytest
+
+from repro.exceptions import EdgeError, NodeNotFoundError
+from repro.graph.adjacency import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_preallocated_nodes(self):
+        assert Graph(5).num_nodes == 5
+
+    def test_negative_node_count_raises(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_add_node_returns_new_id(self):
+        graph = Graph(2)
+        assert graph.add_node() == 2
+        assert graph.num_nodes == 3
+
+    def test_add_nodes_returns_ids(self):
+        graph = Graph(1)
+        assert graph.add_nodes(3) == [1, 2, 3]
+
+    def test_add_nodes_negative_raises(self):
+        with pytest.raises(ValueError):
+            Graph(1).add_nodes(-2)
+
+
+class TestEdges:
+    def test_add_edge_symmetric(self):
+        graph = Graph(3)
+        assert graph.add_edge(0, 1) is True
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.num_edges == 1
+
+    def test_duplicate_edge_not_counted(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        assert graph.add_edge(1, 0) is False
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(EdgeError):
+            Graph(2).add_edge(1, 1)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph(2).add_edge(0, 5)
+
+    def test_add_edges_counts_new_only(self):
+        graph = Graph(4)
+        added = graph.add_edges([(0, 1), (1, 2), (0, 1)])
+        assert added == 2
+
+    def test_remove_edge(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        assert graph.remove_edge(0, 1) is True
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 0
+
+    def test_remove_missing_edge_returns_false(self):
+        assert Graph(3).remove_edge(0, 1) is False
+
+    def test_edges_iteration_each_once(self, two_triangles_graph):
+        edges = list(two_triangles_graph.edges())
+        assert len(edges) == two_triangles_graph.num_edges
+        assert all(u < v for u, v in edges)
+
+
+class TestQueries:
+    def test_degree(self, star_graph):
+        assert star_graph.degree(0) == 5
+        assert star_graph.degree(3) == 1
+
+    def test_degree_unknown_node(self, star_graph):
+        with pytest.raises(NodeNotFoundError):
+            star_graph.degree(99)
+
+    def test_neighbors(self, path_graph):
+        assert path_graph.neighbors(2) == {1, 3}
+
+    def test_nodes_range(self, path_graph):
+        assert list(path_graph.nodes()) == list(range(6))
+
+    def test_copy_is_independent(self, path_graph):
+        clone = path_graph.copy()
+        clone.add_edge(0, 5)
+        assert not path_graph.has_edge(0, 5)
+        assert clone.has_edge(0, 5)
+
+    def test_equality(self, path_graph):
+        assert path_graph == path_graph.copy()
+        other = path_graph.copy()
+        other.add_edge(0, 2)
+        assert path_graph != other
+
+    def test_repr_mentions_counts(self, path_graph):
+        assert "num_nodes=6" in repr(path_graph)
+
+
+class TestConversion:
+    def test_to_csr_round_trip(self, two_triangles_graph):
+        csr = two_triangles_graph.to_csr()
+        assert csr.num_nodes == two_triangles_graph.num_nodes
+        assert csr.num_edges == two_triangles_graph.num_edges
+        assert set(csr.edges()) == set(two_triangles_graph.edges())

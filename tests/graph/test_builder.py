@@ -1,0 +1,47 @@
+"""Tests for repro.graph.builder."""
+
+from repro.graph.builder import GraphBuilder
+
+
+class TestGraphBuilder:
+    def test_labels_get_dense_ids(self):
+        builder = GraphBuilder()
+        assert builder.add_node("alice") == 0
+        assert builder.add_node("bob") == 1
+        assert builder.add_node("alice") == 0
+
+    def test_add_edge_registers_labels(self):
+        builder = GraphBuilder()
+        builder.add_edge("x", "y")
+        assert builder.num_nodes == 2
+        assert builder.node_id("y") == 1
+
+    def test_self_edge_is_ignored(self):
+        builder = GraphBuilder()
+        builder.add_edge("x", "x")
+        assert builder.build().num_edges == 0
+
+    def test_build_collapses_duplicates(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("b", "a"), ("a", "c")])
+        graph = builder.build()
+        assert graph.num_edges == 2
+
+    def test_build_csr_matches_build(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("b", "c"), ("c", "d")])
+        assert set(builder.build_csr().edges()) == set(builder.build().edges())
+
+    def test_label_round_trip(self):
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob")
+        assert builder.label_of(0) == "alice"
+        assert builder.labels() == ["alice", "bob"]
+
+    def test_unknown_label_returns_none(self):
+        assert GraphBuilder().node_id("ghost") is None
+
+    def test_num_edge_records_counts_raw(self):
+        builder = GraphBuilder()
+        builder.add_edges([("a", "b"), ("a", "b")])
+        assert builder.num_edge_records == 2

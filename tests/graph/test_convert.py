@@ -1,0 +1,60 @@
+"""Tests for repro.graph.convert (networkx interop)."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.convert import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_edge_and_node_counts(self, two_triangles_graph):
+        nx_graph = to_networkx(two_triangles_graph)
+        assert nx_graph.number_of_nodes() == 6
+        assert nx_graph.number_of_edges() == 7
+
+    def test_csr_input(self, two_triangles_graph):
+        nx_graph = to_networkx(two_triangles_graph.to_csr())
+        assert nx_graph.number_of_edges() == 7
+
+    def test_labels(self, path_graph):
+        labels = list("abcdef")
+        nx_graph = to_networkx(path_graph, labels=labels)
+        assert set(nx_graph.nodes()) == set(labels)
+        assert nx_graph.has_edge("a", "b")
+
+    def test_label_length_mismatch(self, path_graph):
+        with pytest.raises(ValueError):
+            to_networkx(path_graph, labels=["a"])
+
+    def test_invalid_type(self):
+        with pytest.raises(TypeError):
+            to_networkx("not a graph")
+
+
+class TestFromNetworkx:
+    def test_round_trip(self, random_graph):
+        nx_graph = to_networkx(random_graph)
+        back, mapping = from_networkx(nx_graph)
+        assert back.num_nodes == random_graph.num_nodes
+        assert back.num_edges == random_graph.num_edges
+
+    def test_string_labels(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("alice", "bob")
+        graph, mapping = from_networkx(nx_graph)
+        assert graph.num_nodes == 2
+        assert graph.has_edge(mapping["alice"], mapping["bob"])
+
+    def test_directed_graph_becomes_undirected(self):
+        nx_graph = nx.DiGraph()
+        nx_graph.add_edge(0, 1)
+        nx_graph.add_edge(1, 0)
+        graph, _ = from_networkx(nx_graph)
+        assert graph.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 0)
+        nx_graph.add_edge(0, 1)
+        graph, _ = from_networkx(nx_graph)
+        assert graph.num_edges == 1

@@ -1,0 +1,138 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    community_ring_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    powerlaw_cluster_graph,
+    random_node_subset,
+    ring_lattice_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.metrics import connected_components
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        graph = erdos_renyi_graph(100, 0.05, random_state=1)
+        assert graph.num_nodes == 100
+        expected = 0.05 * 100 * 99 / 2
+        assert 0.5 * expected < graph.num_edges < 1.5 * expected
+
+    def test_zero_probability(self):
+        assert erdos_renyi_graph(50, 0.0, random_state=1).num_edges == 0
+
+    def test_deterministic(self):
+        first = erdos_renyi_graph(60, 0.1, random_state=9)
+        second = erdos_renyi_graph(60, 0.1, random_state=9)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_invalid_probability(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_sizes_and_connectivity(self):
+        graph = barabasi_albert_graph(300, 3, random_state=2)
+        assert graph.num_nodes == 300
+        assert graph.num_edges >= 3 * (300 - 3) * 0.8
+        components = connected_components(graph.to_csr())
+        assert components[0].size == 300
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(500, 2, random_state=3)
+        degrees = graph.to_csr().degrees()
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_m_too_large_raises(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5)
+
+
+class TestRingLatticeAndWattsStrogatz:
+    def test_ring_lattice_is_regular(self):
+        graph = ring_lattice_graph(20, 2)
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_watts_strogatz_keeps_edge_count_close(self):
+        graph = watts_strogatz_graph(100, 2, 0.1, random_state=5)
+        assert graph.num_nodes == 100
+        assert abs(graph.num_edges - 200) <= 10
+
+    def test_zero_rewiring_is_lattice(self):
+        assert set(watts_strogatz_graph(30, 2, 0.0, random_state=1).edges()) == set(
+            ring_lattice_graph(30, 2).edges()
+        )
+
+
+class TestPlantedPartition:
+    def test_block_structure(self):
+        graph = planted_partition_graph([50, 50], 0.2, 0.01, random_state=4)
+        intra = sum(1 for u, v in graph.edges() if (u < 50) == (v < 50))
+        inter = graph.num_edges - intra
+        assert intra > inter
+
+    def test_single_community(self):
+        graph = planted_partition_graph([40], 0.1, 0.0, random_state=1)
+        assert graph.num_nodes == 40
+
+    def test_empty_communities_rejected(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph([], 0.1, 0.1)
+
+
+class TestCommunityRing:
+    def test_sizes(self):
+        graph = community_ring_graph(8, 30, 4.0, 10, random_state=6)
+        assert graph.num_nodes == 240
+        assert graph.num_edges > 0
+
+    def test_far_communities_are_far_apart(self):
+        from repro.graph.traversal import shortest_path_lengths_from
+
+        graph = community_ring_graph(12, 25, 5.0, 10, random_state=7)
+        csr = graph.to_csr()
+        distances = shortest_path_lengths_from(csr, 0)
+        opposite = np.arange(6 * 25, 7 * 25)
+        reachable = distances[opposite][distances[opposite] >= 0]
+        assert reachable.size == 0 or reachable.min() >= 4
+
+    def test_adjacent_communities_are_close(self):
+        from repro.graph.traversal import shortest_path_lengths_from
+
+        graph = community_ring_graph(12, 25, 5.0, 15, random_state=8)
+        csr = graph.to_csr()
+        distances = shortest_path_lengths_from(csr, 0)
+        neighbour_community = np.arange(25, 50)
+        reachable = distances[neighbour_community][distances[neighbour_community] >= 0]
+        assert reachable.size > 0
+        assert reachable.min() <= 4
+
+
+class TestPowerlawCluster:
+    def test_sizes(self):
+        graph = powerlaw_cluster_graph(200, 3, 0.5, random_state=9)
+        assert graph.num_nodes == 200
+        assert graph.num_edges >= 3 * (200 - 3) * 0.5
+
+
+class TestRandomNodeSubset:
+    def test_distinct_and_sorted(self):
+        subset = random_node_subset(100, 20, random_state=1)
+        assert len(subset) == 20
+        assert len(set(subset.tolist())) == 20
+        assert list(subset) == sorted(subset)
+
+    def test_too_many_raises(self):
+        with pytest.raises(ValueError):
+            random_node_subset(5, 10)
+
+    def test_zero_count(self):
+        assert random_node_subset(5, 0).size == 0

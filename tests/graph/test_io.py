@@ -1,0 +1,80 @@
+"""Tests for repro.graph.io."""
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.io import (
+    read_edge_list,
+    read_event_file,
+    write_edge_list,
+    write_event_file,
+)
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path, two_triangles_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(two_triangles_graph, str(path))
+        loaded, labels = read_edge_list(str(path))
+        assert loaded.num_nodes == two_triangles_graph.num_nodes
+        assert loaded.num_edges == two_triangles_graph.num_edges
+
+    def test_labels_preserved(self, tmp_path):
+        path = tmp_path / "named.txt"
+        path.write_text("alice bob\nbob carol\n")
+        graph, labels = read_edge_list(str(path))
+        assert graph.num_nodes == 3
+        assert set(labels) == {"alice", "bob", "carol"}
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "comments.txt"
+        path.write_text("# header\n\n0 1\n")
+        graph, _ = read_edge_list(str(path))
+        assert graph.num_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("justonenode\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(str(path))
+
+    def test_missing_file_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list("/nonexistent/file.txt")
+
+
+class TestEventFileIO:
+    def test_round_trip_with_ids(self, tmp_path):
+        path = tmp_path / "events.txt"
+        events = {"wireless": [1, 2, 3], "sensor": [2, 4]}
+        write_event_file(events, str(path))
+        loaded = read_event_file(str(path))
+        assert loaded == {"wireless": [1, 2, 3], "sensor": [2, 4]}
+
+    def test_label_mapping(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("wireless\talice\nwireless\tbob\n")
+        loaded = read_event_file(str(path), label_to_id={"alice": 0, "bob": 1})
+        assert loaded == {"wireless": [0, 1]}
+
+    def test_unknown_label_raises(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("wireless\tghost\n")
+        with pytest.raises(GraphFormatError):
+            read_event_file(str(path), label_to_id={"alice": 0})
+
+    def test_non_integer_without_mapping_raises(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("wireless\talice\n")
+        with pytest.raises(GraphFormatError):
+            read_event_file(str(path))
+
+    def test_missing_file_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_event_file("/nonexistent/events.txt")
+
+    def test_write_with_labels(self, tmp_path):
+        path = tmp_path / "events.txt"
+        write_event_file({"kw": [0, 1]}, str(path), labels=["alice", "bob"])
+        content = path.read_text()
+        assert "alice" in content and "bob" in content

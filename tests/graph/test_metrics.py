@@ -1,0 +1,80 @@
+"""Tests for repro.graph.metrics."""
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.graph.metrics import (
+    clustering_coefficient,
+    connected_components,
+    degree_histogram,
+    summarize_graph,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self, path_graph):
+        components = connected_components(path_graph.to_csr())
+        assert len(components) == 1
+        assert components[0].size == 6
+
+    def test_two_components(self):
+        graph = Graph(5)
+        graph.add_edges([(0, 1), (2, 3)])
+        components = connected_components(graph.to_csr())
+        assert len(components) == 3
+        assert components[0].size == 2
+
+    def test_components_sorted_by_size(self):
+        graph = Graph(6)
+        graph.add_edges([(0, 1), (1, 2), (3, 4)])
+        components = connected_components(graph.to_csr())
+        sizes = [component.size for component in components]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestSummarizeGraph:
+    def test_fields(self, random_graph):
+        summary = summarize_graph(random_graph.to_csr(), random_state=0)
+        assert summary.num_nodes == 200
+        assert summary.num_edges == random_graph.num_edges
+        assert summary.min_degree <= summary.mean_degree <= summary.max_degree
+        assert summary.largest_component_size <= 200
+
+    def test_as_dict_keys(self, path_graph):
+        summary = summarize_graph(path_graph.to_csr(), random_state=0)
+        as_dict = summary.as_dict()
+        assert "nodes" in as_dict and "edges" in as_dict
+
+    def test_distance_estimates_on_path(self, path_graph):
+        summary = summarize_graph(path_graph.to_csr(), distance_samples=6, random_state=0)
+        assert summary.estimated_diameter_lower_bound >= 3
+
+    def test_no_distance_samples(self, path_graph):
+        summary = summarize_graph(path_graph.to_csr(), distance_samples=0)
+        assert summary.estimated_mean_distance is None
+
+
+class TestDegreeHistogram:
+    def test_path_graph(self, path_graph):
+        hist = degree_histogram(path_graph.to_csr())
+        assert hist[1] == 2
+        assert hist[2] == 4
+
+    def test_sums_to_node_count(self, random_graph):
+        hist = degree_histogram(random_graph.to_csr())
+        assert hist.sum() == 200
+
+
+class TestClusteringCoefficient:
+    def test_triangle_is_one(self):
+        graph = Graph(3)
+        graph.add_edges([(0, 1), (1, 2), (0, 2)])
+        assert clustering_coefficient(graph.to_csr()) == 1.0
+
+    def test_path_is_zero(self, path_graph):
+        assert clustering_coefficient(path_graph.to_csr()) == 0.0
+
+    def test_subset_of_nodes(self, two_triangles_graph):
+        csr = two_triangles_graph.to_csr()
+        value = clustering_coefficient(csr, nodes=np.array([0, 1]))
+        assert value == 1.0

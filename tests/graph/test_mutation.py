@@ -1,0 +1,66 @@
+"""Tests for repro.graph.mutation."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.mutation import add_random_edges, remove_random_edges, rewire_random_edges
+
+
+class TestRemoveRandomEdges:
+    def test_removes_requested_count(self, random_graph):
+        before = random_graph.num_edges
+        mutated = remove_random_edges(random_graph, 10, random_state=1)
+        assert mutated.num_edges == before - 10
+        assert random_graph.num_edges == before  # original untouched
+
+    def test_in_place(self, random_graph):
+        before = random_graph.num_edges
+        returned = remove_random_edges(random_graph, 5, random_state=1, in_place=True)
+        assert returned is random_graph
+        assert random_graph.num_edges == before - 5
+
+    def test_removing_more_than_available_empties_graph(self, path_graph):
+        mutated = remove_random_edges(path_graph, 100, random_state=1)
+        assert mutated.num_edges == 0
+
+    def test_zero_count_is_noop(self, path_graph):
+        assert remove_random_edges(path_graph, 0, random_state=1) == path_graph
+
+    def test_negative_count_raises(self, path_graph):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            remove_random_edges(path_graph, -1)
+
+
+class TestAddRandomEdges:
+    def test_adds_requested_count(self, random_graph):
+        before = random_graph.num_edges
+        mutated = add_random_edges(random_graph, 25, random_state=2)
+        assert mutated.num_edges == before + 25
+
+    def test_no_self_loops_or_duplicates(self, path_graph):
+        mutated = add_random_edges(path_graph, 8, random_state=3)
+        edges = list(mutated.edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_stops_at_complete_graph(self):
+        graph = erdos_renyi_graph(5, 0.0, random_state=1)
+        mutated = add_random_edges(graph, 1000, random_state=1)
+        assert mutated.num_edges == 10  # complete graph on 5 nodes
+
+    def test_original_untouched(self, path_graph):
+        add_random_edges(path_graph, 3, random_state=4)
+        assert path_graph.num_edges == 5
+
+
+class TestRewireRandomEdges:
+    def test_edge_count_preserved(self, random_graph):
+        before = random_graph.num_edges
+        mutated = rewire_random_edges(random_graph, 10, random_state=5)
+        assert mutated.num_edges == before
+
+    def test_structure_changes(self, random_graph):
+        mutated = rewire_random_edges(random_graph, 30, random_state=6)
+        assert set(mutated.edges()) != set(random_graph.edges())

@@ -1,0 +1,132 @@
+"""Tests for repro.graph.traversal (h-hop BFS, Batch BFS)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.convert import to_networkx
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.traversal import (
+    BFSEngine,
+    batch_bfs_vicinity,
+    bfs_vicinity,
+    bfs_vicinity_subgraph,
+    nodes_at_distance,
+    shortest_path_lengths_from,
+)
+
+
+class TestBfsVicinity:
+    def test_zero_hops_is_source_only(self, path_graph):
+        csr = path_graph.to_csr()
+        assert list(bfs_vicinity(csr, 2, 0)) == [2]
+
+    def test_path_graph_levels(self, path_graph):
+        csr = path_graph.to_csr()
+        assert sorted(bfs_vicinity(csr, 2, 1)) == [1, 2, 3]
+        assert sorted(bfs_vicinity(csr, 2, 2)) == [0, 1, 2, 3, 4]
+        assert sorted(bfs_vicinity(csr, 0, 5)) == list(range(6))
+
+    def test_star_graph(self, star_graph):
+        csr = star_graph.to_csr()
+        assert sorted(bfs_vicinity(csr, 3, 1)) == [0, 3]
+        assert sorted(bfs_vicinity(csr, 3, 2)) == list(range(6))
+
+    def test_unknown_source_raises(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            bfs_vicinity(path_graph.to_csr(), 99, 1)
+
+    def test_matches_networkx_ego_graph(self, random_graph):
+        csr = random_graph.to_csr()
+        nx_graph = to_networkx(random_graph)
+        for source in (0, 17, 101):
+            for hops in (1, 2, 3):
+                expected = set(nx.ego_graph(nx_graph, source, radius=hops).nodes())
+                actual = set(int(x) for x in bfs_vicinity(csr, source, hops))
+                assert actual == expected
+
+
+class TestBatchBfs:
+    def test_union_of_single_source_vicinities(self, random_graph):
+        csr = random_graph.to_csr()
+        sources = [0, 5, 10]
+        expected = set()
+        for source in sources:
+            expected |= set(int(x) for x in bfs_vicinity(csr, source, 2))
+        actual = set(int(x) for x in batch_bfs_vicinity(csr, sources, 2))
+        assert actual == expected
+
+    def test_duplicate_sources_are_harmless(self, path_graph):
+        csr = path_graph.to_csr()
+        result = batch_bfs_vicinity(csr, [0, 0, 1], 1)
+        assert sorted(result) == [0, 1, 2]
+
+    def test_each_node_reported_once(self, random_graph):
+        csr = random_graph.to_csr()
+        result = batch_bfs_vicinity(csr, range(0, 50), 2)
+        assert len(result) == len(set(int(x) for x in result))
+
+
+class TestBFSEngine:
+    def test_counters_increase(self, random_graph):
+        engine = BFSEngine(random_graph.to_csr())
+        engine.vicinity(0, 2)
+        engine.vicinity(1, 2)
+        assert engine.bfs_calls == 2
+        assert engine.nodes_scanned > 0
+
+    def test_reset_counters(self, random_graph):
+        engine = BFSEngine(random_graph.to_csr())
+        engine.vicinity(0, 1)
+        engine.reset_counters()
+        assert engine.bfs_calls == 0
+
+    def test_repeated_calls_are_consistent(self, random_graph):
+        engine = BFSEngine(random_graph.to_csr())
+        first = sorted(engine.vicinity(3, 2))
+        second = sorted(engine.vicinity(3, 2))
+        assert first == second
+
+    def test_count_marked(self, path_graph):
+        engine = BFSEngine(path_graph.to_csr())
+        marked = np.zeros(6, dtype=bool)
+        marked[[0, 3]] = True
+        count, size = engine.count_marked_in_vicinity(2, 1, marked)
+        assert (count, size) == (1, 3)
+
+    def test_vicinity_size(self, star_graph):
+        engine = BFSEngine(star_graph.to_csr())
+        assert engine.vicinity_size(0, 1) == 6
+
+
+class TestSubgraphAndDistances:
+    def test_vicinity_subgraph_edges_are_induced(self, two_triangles_graph):
+        csr = two_triangles_graph.to_csr()
+        nodes, edges = bfs_vicinity_subgraph(csr, 0, 1)
+        assert sorted(nodes) == [0, 1, 2]
+        assert set(edges) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_shortest_path_lengths_match_networkx(self, random_graph):
+        csr = random_graph.to_csr()
+        nx_graph = to_networkx(random_graph)
+        expected = nx.single_source_shortest_path_length(nx_graph, 0)
+        actual = shortest_path_lengths_from(csr, 0)
+        for node in range(random_graph.num_nodes):
+            assert actual[node] == expected.get(node, -1)
+
+    def test_cutoff_limits_depth(self, path_graph):
+        distances = shortest_path_lengths_from(path_graph.to_csr(), 0, cutoff=2)
+        assert distances[2] == 2
+        assert distances[3] == -1
+
+    def test_nodes_at_distance(self, path_graph):
+        csr = path_graph.to_csr()
+        assert list(nodes_at_distance(csr, 0, 3)) == [3]
+        assert list(nodes_at_distance(csr, 0, 0)) == [0]
+
+    def test_disconnected_nodes_are_minus_one(self):
+        graph = erdos_renyi_graph(10, 0.0, random_state=1)
+        distances = shortest_path_lengths_from(graph.to_csr(), 0)
+        assert distances[0] == 0
+        assert np.all(distances[1:] == -1)

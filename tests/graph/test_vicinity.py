@@ -1,0 +1,63 @@
+"""Tests for repro.graph.vicinity."""
+
+import pytest
+
+from repro.graph.traversal import bfs_vicinity
+from repro.graph.vicinity import VicinityIndex
+
+
+class TestVicinityIndex:
+    def test_lazy_size_matches_bfs(self, random_graph):
+        csr = random_graph.to_csr()
+        index = VicinityIndex(csr, levels=(1, 2))
+        for node in (0, 3, 50):
+            for level in (1, 2):
+                assert index.size(node, level) == len(bfs_vicinity(csr, node, level))
+
+    def test_is_cached_after_access(self, path_graph):
+        index = VicinityIndex(path_graph.to_csr(), levels=(1,))
+        assert not index.is_cached(2, 1)
+        index.size(2, 1)
+        assert index.is_cached(2, 1)
+
+    def test_precompute_fills_all(self, path_graph):
+        index = VicinityIndex(path_graph.to_csr(), levels=(1,), lazy=False)
+        assert all(index.is_cached(node, 1) for node in range(6))
+
+    def test_sizes_vector(self, path_graph):
+        index = VicinityIndex(path_graph.to_csr(), levels=(1,))
+        sizes = index.sizes([0, 2, 5], 1)
+        assert list(sizes) == [2, 3, 2]
+
+    def test_total_size(self, path_graph):
+        index = VicinityIndex(path_graph.to_csr(), levels=(1,))
+        assert index.total_size([0, 2, 5], 1) == 7
+
+    def test_unknown_level_raises(self, path_graph):
+        index = VicinityIndex(path_graph.to_csr(), levels=(1,))
+        with pytest.raises(KeyError):
+            index.size(0, 3)
+
+    def test_invalid_level_raises(self, path_graph):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            VicinityIndex(path_graph.to_csr(), levels=(0,))
+
+    def test_empty_levels_raise(self, path_graph):
+        with pytest.raises(ValueError):
+            VicinityIndex(path_graph.to_csr(), levels=())
+
+    def test_invalidate_specific_nodes(self, path_graph):
+        index = VicinityIndex(path_graph.to_csr(), levels=(1,))
+        index.size(0, 1)
+        index.size(1, 1)
+        index.invalidate([0])
+        assert not index.is_cached(0, 1)
+        assert index.is_cached(1, 1)
+
+    def test_invalidate_all(self, path_graph):
+        index = VicinityIndex(path_graph.to_csr(), levels=(1,))
+        index.size(0, 1)
+        index.invalidate()
+        assert not index.is_cached(0, 1)

@@ -1,0 +1,49 @@
+"""Tests for repro.sampling.registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sampling.base import ReferenceSampler
+from repro.sampling.registry import available_samplers, create_sampler, register_sampler
+
+
+class TestRegistry:
+    def test_available_samplers_contains_paper_algorithms(self):
+        names = available_samplers()
+        for expected in ("batch_bfs", "importance", "whole_graph", "reject", "exhaustive"):
+            assert expected in names
+
+    def test_create_each_registered_sampler(self, random_graph):
+        csr = random_graph.to_csr()
+        for name in available_samplers():
+            sampler = create_sampler(name, csr, random_state=1)
+            assert isinstance(sampler, ReferenceSampler)
+
+    def test_unknown_name_raises(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            create_sampler("nonexistent", random_graph.to_csr())
+
+    def test_batch_importance_uses_batching(self, random_graph):
+        sampler = create_sampler("batch_importance", random_graph.to_csr(), random_state=1)
+        assert sampler.batch_per_vicinity > 1
+
+    def test_importance_batch_override(self, random_graph):
+        sampler = create_sampler(
+            "importance", random_graph.to_csr(), random_state=1, batch_per_vicinity=7
+        )
+        assert sampler.batch_per_vicinity == 7
+
+    def test_register_custom_sampler(self, random_graph):
+        from repro.sampling.batch_bfs import BatchBFSSampler
+
+        register_sampler(
+            "custom_for_test",
+            lambda graph, **kwargs: BatchBFSSampler(graph),
+            overwrite=True,
+        )
+        sampler = create_sampler("custom_for_test", random_graph.to_csr())
+        assert isinstance(sampler, BatchBFSSampler)
+
+    def test_register_duplicate_without_overwrite_raises(self):
+        with pytest.raises(ConfigurationError):
+            register_sampler("batch_bfs", lambda graph, **kwargs: None)

@@ -1,0 +1,97 @@
+"""Tests for the event-pair simulators (Section 5.2 generation protocols)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import community_ring_graph, erdos_renyi_graph
+from repro.graph.traversal import batch_bfs_vicinity, shortest_path_lengths_from
+from repro.simulation.independent import generate_independent_pair
+from repro.simulation.negative import generate_negative_pair
+from repro.simulation.positive import generate_positive_pair
+
+
+@pytest.fixture(scope="module")
+def simulation_graph():
+    return community_ring_graph(10, 60, 5.0, 15, random_state=11).to_csr()
+
+
+class TestGeneratePositivePair:
+    def test_every_a_node_has_nearby_b_node(self, simulation_graph):
+        nodes_a, nodes_b = generate_positive_pair(simulation_graph, 40, 2, random_state=1)
+        b_set = set(int(x) for x in nodes_b)
+        for a_node in nodes_a:
+            distances = shortest_path_lengths_from(simulation_graph, int(a_node), cutoff=2)
+            within = {int(x) for x in np.flatnonzero((distances >= 0) & (distances <= 2))}
+            assert within & b_set, f"a-node {a_node} has no b companion within 2 hops"
+
+    def test_sizes(self, simulation_graph):
+        nodes_a, nodes_b = generate_positive_pair(simulation_graph, 50, 1, random_state=2)
+        assert nodes_a.size == 50
+        assert 1 <= nodes_b.size <= 50  # companions may collide
+
+    def test_links_metadata(self, simulation_graph):
+        nodes_a, nodes_b, links = generate_positive_pair(
+            simulation_graph, 20, 2, random_state=3, return_links=True
+        )
+        assert len(links) == 20
+        assert all(0 <= link.distance <= 2 for link in links)
+
+    def test_distances_truncated_at_h(self, simulation_graph):
+        _, _, links = generate_positive_pair(
+            simulation_graph, 100, 1, random_state=4, return_links=True
+        )
+        assert max(link.distance for link in links) <= 1
+
+    def test_too_many_event_nodes_rejected(self, simulation_graph):
+        with pytest.raises(ConfigurationError):
+            generate_positive_pair(simulation_graph, 10**6, 1)
+
+    def test_deterministic(self, simulation_graph):
+        first = generate_positive_pair(simulation_graph, 30, 2, random_state=9)
+        second = generate_positive_pair(simulation_graph, 30, 2, random_state=9)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+
+class TestGenerateNegativePair:
+    def test_b_nodes_outside_a_vicinity(self, simulation_graph):
+        nodes_a, nodes_b = generate_negative_pair(simulation_graph, 30, 2, random_state=5)
+        vicinity_a = set(int(x) for x in batch_bfs_vicinity(simulation_graph, nodes_a, 2))
+        assert not (set(int(x) for x in nodes_b) & vicinity_a)
+
+    def test_minimum_distance_is_h_plus_one(self, simulation_graph):
+        nodes_a, nodes_b = generate_negative_pair(simulation_graph, 20, 1, random_state=6)
+        b_set = set(int(x) for x in nodes_b)
+        for a_node in nodes_a[:5]:
+            distances = shortest_path_lengths_from(simulation_graph, int(a_node))
+            for b_node in list(b_set)[:10]:
+                assert distances[b_node] == -1 or distances[b_node] >= 2
+
+    def test_covering_vicinity_raises(self):
+        # A complete-ish graph: the 1-vicinity of any node covers everything.
+        graph = erdos_renyi_graph(30, 0.9, random_state=7).to_csr()
+        with pytest.raises(ConfigurationError):
+            generate_negative_pair(graph, 10, 2, random_state=7)
+
+    def test_b_size_capped_by_eligible_nodes(self, simulation_graph):
+        nodes_a, nodes_b = generate_negative_pair(
+            simulation_graph, 100, 3, random_state=8, num_b_nodes=10**5
+        )
+        assert nodes_b.size >= 1
+
+
+class TestGenerateIndependentPair:
+    def test_sizes_and_overlap_allowed(self, simulation_graph):
+        nodes_a, nodes_b = generate_independent_pair(simulation_graph, 50, random_state=9)
+        assert nodes_a.size == 50 and nodes_b.size == 50
+
+    def test_disjoint_mode(self, simulation_graph):
+        nodes_a, nodes_b = generate_independent_pair(
+            simulation_graph, 50, random_state=9, allow_overlap=False
+        )
+        assert not (set(nodes_a.tolist()) & set(nodes_b.tolist()))
+
+    def test_size_too_large_rejected(self, simulation_graph):
+        with pytest.raises(ConfigurationError):
+            generate_independent_pair(simulation_graph, 10**6)

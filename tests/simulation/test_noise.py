@@ -1,0 +1,60 @@
+"""Tests for repro.simulation.noise."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import community_ring_graph
+from repro.graph.traversal import batch_bfs_vicinity
+from repro.simulation.negative import generate_negative_pair
+from repro.simulation.noise import add_negative_noise, add_positive_noise
+from repro.simulation.positive import generate_positive_pair
+
+
+@pytest.fixture(scope="module")
+def noise_graph():
+    return community_ring_graph(8, 50, 5.0, 12, random_state=21).to_csr()
+
+
+class TestAddPositiveNoise:
+    def test_zero_noise_is_identity(self, noise_graph):
+        nodes_a, nodes_b = generate_positive_pair(noise_graph, 30, 1, random_state=1)
+        unchanged = add_positive_noise(noise_graph, nodes_a, nodes_b, 1, 0.0, random_state=1)
+        assert np.array_equal(unchanged, nodes_b)
+
+    def test_relocated_nodes_leave_vicinity(self, noise_graph):
+        nodes_a, nodes_b = generate_positive_pair(noise_graph, 30, 1, random_state=2)
+        noisy = add_positive_noise(noise_graph, nodes_a, nodes_b, 1, 0.7, random_state=2)
+        vicinity_a = set(int(x) for x in batch_bfs_vicinity(noise_graph, nodes_a, 1))
+        outside = [node for node in noisy if int(node) not in vicinity_a]
+        assert len(outside) > 0
+
+    def test_full_noise_moves_everything_outside(self, noise_graph):
+        nodes_a, nodes_b = generate_positive_pair(noise_graph, 30, 1, random_state=3)
+        noisy = add_positive_noise(noise_graph, nodes_a, nodes_b, 1, 1.0, random_state=3)
+        vicinity_a = set(int(x) for x in batch_bfs_vicinity(noise_graph, nodes_a, 1))
+        assert all(int(node) not in vicinity_a for node in noisy)
+
+    def test_invalid_noise_rejected(self, noise_graph):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            add_positive_noise(noise_graph, np.array([0]), np.array([1]), 1, 1.5)
+
+
+class TestAddNegativeNoise:
+    def test_zero_noise_is_identity(self, noise_graph):
+        nodes_a, nodes_b = generate_negative_pair(noise_graph, 30, 1, random_state=4)
+        unchanged = add_negative_noise(noise_graph, nodes_a, nodes_b, 1, 0.0, random_state=4)
+        assert np.array_equal(unchanged, nodes_b)
+
+    def test_noise_moves_b_nodes_near_a(self, noise_graph):
+        nodes_a, nodes_b = generate_negative_pair(noise_graph, 30, 1, random_state=5)
+        noisy = add_negative_noise(noise_graph, nodes_a, nodes_b, 1, 0.8, random_state=5)
+        vicinity_a = set(int(x) for x in batch_bfs_vicinity(noise_graph, nodes_a, 1))
+        moved_inside = [node for node in noisy if int(node) in vicinity_a]
+        assert len(moved_inside) > 0
+
+    def test_result_is_sorted_unique(self, noise_graph):
+        nodes_a, nodes_b = generate_negative_pair(noise_graph, 20, 1, random_state=6)
+        noisy = add_negative_noise(noise_graph, nodes_a, nodes_b, 1, 0.5, random_state=6)
+        assert list(noisy) == sorted(set(int(x) for x in noisy))

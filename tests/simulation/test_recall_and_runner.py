@@ -1,0 +1,85 @@
+"""Tests for repro.simulation.recall and repro.simulation.runner."""
+
+import pytest
+
+from repro.core.config import TescConfig
+from repro.core.tesc import TescResult
+from repro.exceptions import ConfigurationError
+from repro.graph.generators import community_ring_graph
+from repro.simulation.recall import RecallEvaluation, evaluate_recall
+from repro.simulation.runner import SimulationStudy
+
+
+@pytest.fixture(scope="module")
+def study_graph():
+    return community_ring_graph(8, 50, 5.0, 12, random_state=33).to_csr()
+
+
+@pytest.fixture(scope="module")
+def study(study_graph):
+    return SimulationStudy(study_graph, event_size=60, num_pairs=3, random_state=1)
+
+
+class TestSimulationStudy:
+    def test_generate_positive_pairs(self, study):
+        pairs = study.generate_pairs("positive", 1)
+        assert len(pairs) == 3
+        assert all(pair.correlation == "positive" for pair in pairs)
+
+    def test_generate_negative_pairs_with_noise(self, study):
+        pairs = study.generate_pairs("negative", 1, noise=0.3)
+        assert len(pairs) == 3
+        assert all(pair.noise == 0.3 for pair in pairs)
+
+    def test_invalid_correlation_kind(self, study):
+        with pytest.raises(ValueError):
+            study.generate_pairs("sideways", 1)
+
+    def test_recall_for_clean_positive_pairs_is_high(self, study):
+        config = TescConfig(sample_size=150, random_state=5)
+        evaluation = study.recall_for("positive", 1, 0.0, config)
+        assert evaluation.total == 3
+        assert evaluation.recall >= 2 / 3
+
+    def test_recall_for_clean_negative_pairs_is_high(self, study):
+        config = TescConfig(sample_size=150, random_state=5)
+        evaluation = study.recall_for("negative", 1, 0.0, config)
+        assert evaluation.recall >= 2 / 3
+
+    def test_noise_sweep_keys(self, study):
+        config = TescConfig(sample_size=100, random_state=5)
+        curves = study.noise_sweep("positive", 1, [0.0, 0.5], config)
+        assert set(curves) == {0.0, 0.5}
+
+    def test_sampler_sweep_structure(self, study):
+        config = TescConfig(sample_size=100, random_state=5)
+        curves = study.sampler_sweep("positive", 1, [0.0], ["batch_bfs", "importance"], config)
+        assert set(curves) == {"batch_bfs", "importance"}
+
+
+class TestEvaluateRecall:
+    def test_counts_and_mean_z(self, study, study_graph):
+        pairs = [(pair.nodes_a, pair.nodes_b) for pair in study.generate_pairs("positive", 1)]
+        config = TescConfig(sample_size=120, random_state=3)
+        evaluation = evaluate_recall(study_graph, pairs, "positive", config)
+        assert evaluation.total == len(pairs)
+        assert 0 <= evaluation.detected <= evaluation.total
+        assert evaluation.mean_z != 0.0
+
+    def test_keep_results(self, study, study_graph):
+        pairs = [(pair.nodes_a, pair.nodes_b) for pair in study.generate_pairs("positive", 1)][:1]
+        config = TescConfig(sample_size=100, random_state=3)
+        evaluation = evaluate_recall(study_graph, pairs, "positive", config, keep_results=True)
+        assert len(evaluation.results) == 1
+        assert isinstance(evaluation.results[0], TescResult)
+
+    def test_invalid_expected_kind(self, study_graph):
+        with pytest.raises(ConfigurationError):
+            evaluate_recall(study_graph, [], "sideways", TescConfig())
+
+
+class TestRecallEvaluation:
+    def test_empty_evaluation(self):
+        evaluation = RecallEvaluation(expected="positive")
+        assert evaluation.recall == 0.0
+        assert evaluation.mean_z == 0.0

@@ -1,0 +1,49 @@
+"""Tests for repro.stats.hypothesis."""
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.stats.hypothesis import CorrelationVerdict, decide
+
+
+class TestDecide:
+    def test_large_positive_z_two_sided(self):
+        result = decide(5.0)
+        assert result.verdict is CorrelationVerdict.POSITIVE
+        assert result.significant
+
+    def test_large_negative_z_two_sided(self):
+        result = decide(-5.0)
+        assert result.verdict is CorrelationVerdict.NEGATIVE
+
+    def test_small_z_is_independent(self):
+        result = decide(0.5)
+        assert result.verdict is CorrelationVerdict.INDEPENDENT
+        assert not result.significant
+
+    def test_one_sided_greater_ignores_negative(self):
+        assert decide(-10.0, alternative="greater").verdict is CorrelationVerdict.INDEPENDENT
+        assert decide(3.0, alternative="greater").verdict is CorrelationVerdict.POSITIVE
+
+    def test_one_sided_less_ignores_positive(self):
+        assert decide(10.0, alternative="less").verdict is CorrelationVerdict.INDEPENDENT
+        assert decide(-3.0, alternative="less").verdict is CorrelationVerdict.NEGATIVE
+
+    def test_alpha_threshold_behaviour(self):
+        borderline = 1.8
+        assert decide(borderline, alpha=0.05, alternative="greater").significant
+        assert not decide(borderline, alpha=0.01, alternative="greater").significant
+
+    def test_result_fields(self):
+        result = decide(2.5, alpha=0.05, alternative="greater")
+        assert result.z_score == 2.5
+        assert result.alpha == 0.05
+        assert result.alternative == "greater"
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(EstimationError):
+            decide(1.0, alpha=0.0)
+
+    def test_verdict_str(self):
+        assert str(CorrelationVerdict.POSITIVE) == "positive"

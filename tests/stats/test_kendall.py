@@ -1,0 +1,127 @@
+"""Tests for repro.stats.kendall, cross-checked against scipy and brute force."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import EstimationError
+from repro.stats.kendall import (
+    concordance_matrix,
+    kendall_tau_a,
+    kendall_tau_b,
+    pair_concordance_sum,
+    weighted_pair_concordance,
+)
+
+
+def brute_force_s(x, y):
+    s = 0
+    n = len(x)
+    for i in range(n):
+        for j in range(i + 1, n):
+            product = (x[i] - x[j]) * (y[i] - y[j])
+            s += 1 if product > 0 else (-1 if product < 0 else 0)
+    return s
+
+
+class TestPairConcordanceSum:
+    def test_perfect_agreement(self):
+        x = [1, 2, 3, 4]
+        assert pair_concordance_sum(x, x) == 6
+
+    def test_perfect_disagreement(self):
+        assert pair_concordance_sum([1, 2, 3, 4], [4, 3, 2, 1]) == -6
+
+    def test_matches_brute_force_with_ties(self, rng):
+        for _ in range(10):
+            x = rng.integers(0, 5, size=20).astype(float)
+            y = rng.integers(0, 5, size=20).astype(float)
+            assert pair_concordance_sum(x, y) == brute_force_s(x, y)
+
+    def test_single_observation_raises(self):
+        with pytest.raises(EstimationError):
+            pair_concordance_sum([1.0], [2.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(EstimationError):
+            pair_concordance_sum([1, 2], [1, 2, 3])
+
+
+class TestConcordanceMatrix:
+    def test_symmetry_and_diagonal(self):
+        matrix = concordance_matrix([1.0, 2.0, 3.0], [1.0, 3.0, 2.0])
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_values_in_range(self, rng):
+        matrix = concordance_matrix(rng.random(10), rng.random(10))
+        assert set(np.unique(matrix)).issubset({-1, 0, 1})
+
+
+class TestKendallTauA:
+    def test_range(self, rng):
+        x, y = rng.random(30), rng.random(30)
+        assert -1.0 <= kendall_tau_a(x, y) <= 1.0
+
+    def test_perfect_correlation(self):
+        x = np.arange(10, dtype=float)
+        assert kendall_tau_a(x, x) == 1.0
+        assert kendall_tau_a(x, -x) == -1.0
+
+    def test_matches_scipy_without_ties(self, rng):
+        x = rng.permutation(25).astype(float)
+        y = rng.permutation(25).astype(float)
+        expected = scipy_stats.kendalltau(x, y, variant="b").statistic
+        assert kendall_tau_a(x, y) == pytest.approx(expected)
+
+
+class TestKendallTauB:
+    def test_matches_scipy_with_ties(self, rng):
+        for _ in range(10):
+            x = rng.integers(0, 4, size=30).astype(float)
+            y = rng.integers(0, 4, size=30).astype(float)
+            expected = scipy_stats.kendalltau(x, y, variant="b").statistic
+            assert kendall_tau_b(x, y) == pytest.approx(expected, abs=1e-12)
+
+    def test_constant_vector_returns_zero(self):
+        assert kendall_tau_b([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_binary_vectors(self):
+        x = np.array([1, 1, 0, 0], dtype=float)
+        y = np.array([1, 0, 1, 0], dtype=float)
+        expected = scipy_stats.kendalltau(x, y, variant="b").statistic
+        assert kendall_tau_b(x, y) == pytest.approx(expected)
+
+
+class TestWeightedPairConcordance:
+    def test_unit_weights_reduce_to_plain(self, rng):
+        x, y = rng.random(15), rng.random(15)
+        numerator, denominator = weighted_pair_concordance(x, y, np.ones(15))
+        assert numerator == pytest.approx(pair_concordance_sum(x, y))
+        assert denominator == pytest.approx(15 * 14 / 2)
+
+    def test_weighted_ratio_in_range(self, rng):
+        x, y = rng.random(20), rng.random(20)
+        weights = rng.random(20) + 0.1
+        numerator, denominator = weighted_pair_concordance(x, y, weights)
+        assert -1.0 <= numerator / denominator <= 1.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(EstimationError):
+            weighted_pair_concordance([1, 2], [1, 2], [-1.0, 1.0])
+
+    def test_matches_brute_force(self, rng):
+        x = rng.random(12)
+        y = rng.random(12)
+        weights = rng.random(12) + 0.5
+        numerator, denominator = weighted_pair_concordance(x, y, weights)
+        expected_numerator = 0.0
+        expected_denominator = 0.0
+        for i in range(12):
+            for j in range(i + 1, 12):
+                product = (x[i] - x[j]) * (y[i] - y[j])
+                sign = 1 if product > 0 else (-1 if product < 0 else 0)
+                expected_numerator += sign * weights[i] * weights[j]
+                expected_denominator += weights[i] * weights[j]
+        assert numerator == pytest.approx(expected_numerator)
+        assert denominator == pytest.approx(expected_denominator)

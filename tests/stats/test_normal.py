@@ -1,0 +1,59 @@
+"""Tests for repro.stats.normal."""
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import EstimationError
+from repro.stats.normal import critical_z, normal_cdf, normal_sf, z_to_p_value
+
+
+class TestNormalFunctions:
+    @pytest.mark.parametrize("z", [-3.0, -1.0, 0.0, 0.5, 2.33, 4.0])
+    def test_cdf_matches_scipy(self, z):
+        assert normal_cdf(z) == pytest.approx(scipy_stats.norm.cdf(z), abs=1e-12)
+
+    @pytest.mark.parametrize("z", [-3.0, 0.0, 1.96, 5.0])
+    def test_sf_matches_scipy(self, z):
+        assert normal_sf(z) == pytest.approx(scipy_stats.norm.sf(z), abs=1e-12)
+
+    def test_cdf_plus_sf_is_one(self):
+        assert normal_cdf(1.3) + normal_sf(1.3) == pytest.approx(1.0)
+
+
+class TestZToPValue:
+    def test_two_sided_symmetry(self):
+        assert z_to_p_value(2.0) == pytest.approx(z_to_p_value(-2.0))
+
+    def test_one_sided_greater(self):
+        assert z_to_p_value(2.33, "greater") == pytest.approx(0.0099, abs=1e-3)
+
+    def test_one_sided_less(self):
+        assert z_to_p_value(-2.33, "less") == pytest.approx(0.0099, abs=1e-3)
+
+    def test_zero_z_two_sided_is_one(self):
+        assert z_to_p_value(0.0) == pytest.approx(1.0)
+
+    def test_invalid_alternative(self):
+        with pytest.raises(EstimationError):
+            z_to_p_value(1.0, "sideways")
+
+    def test_paper_threshold_correspondence(self):
+        """The paper notes z > 2.33 corresponds to one-tailed p < 0.01."""
+        assert z_to_p_value(2.34, "greater") < 0.01
+        assert z_to_p_value(2.32, "greater") > 0.009
+
+
+class TestCriticalZ:
+    def test_two_sided_05(self):
+        assert critical_z(0.05) == pytest.approx(1.959964, abs=1e-4)
+
+    def test_one_sided_05(self):
+        assert critical_z(0.05, "greater") == pytest.approx(1.644854, abs=1e-4)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(EstimationError):
+            critical_z(1.5)
+
+    def test_invalid_alternative(self):
+        with pytest.raises(EstimationError):
+            critical_z(0.05, "nope")

@@ -1,0 +1,114 @@
+"""Tests for repro.stats.ties (Eq. 5 and Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.stats.ties import (
+    degenerate_ties,
+    null_variance_no_ties,
+    null_variance_numerator_with_ties,
+    tie_corrected_sigma,
+    tie_group_sizes,
+)
+
+
+class TestTieGroupSizes:
+    def test_no_ties(self):
+        assert tie_group_sizes([1.0, 2.0, 3.0]) == []
+
+    def test_groups(self):
+        assert sorted(tie_group_sizes([1, 1, 2, 2, 2, 3])) == [2, 3]
+
+    def test_all_tied(self):
+        assert tie_group_sizes([5, 5, 5, 5]) == [4]
+
+    def test_empty(self):
+        assert tie_group_sizes([]) == []
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(EstimationError):
+            tie_group_sizes(np.zeros((2, 2)))
+
+
+class TestNullVarianceNoTies:
+    def test_paper_formula(self):
+        n = 900
+        assert null_variance_no_ties(n) == pytest.approx(2 * (2 * n + 5) / (9 * n * (n - 1)))
+
+    def test_decreases_with_n(self):
+        assert null_variance_no_ties(100) > null_variance_no_ties(1000)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(EstimationError):
+            null_variance_no_ties(1)
+
+
+class TestNullVarianceWithTies:
+    def test_no_ties_reduces_to_eq5_scaled(self):
+        n = 50
+        pairs = 0.5 * n * (n - 1)
+        expected = null_variance_no_ties(n) * pairs**2
+        assert null_variance_numerator_with_ties(n, [], []) == pytest.approx(expected)
+
+    def test_ties_reduce_variance(self):
+        n = 50
+        without = null_variance_numerator_with_ties(n, [], [])
+        with_ties = null_variance_numerator_with_ties(n, [10, 5], [8])
+        assert with_ties < without
+
+    def test_larger_ties_reduce_more(self):
+        n = 60
+        small = null_variance_numerator_with_ties(n, [5], [5])
+        large = null_variance_numerator_with_ties(n, [30], [30])
+        assert large < small
+
+    def test_tie_larger_than_n_rejected(self):
+        with pytest.raises(EstimationError):
+            null_variance_numerator_with_ties(10, [11], [])
+
+    def test_non_positive_tie_rejected(self):
+        with pytest.raises(EstimationError):
+            null_variance_numerator_with_ties(10, [0], [])
+
+    def test_variance_positive_for_partial_ties(self):
+        assert null_variance_numerator_with_ties(30, [10, 10], [15]) > 0
+
+
+class TestTieCorrectedSigma:
+    def test_matches_manual_computation(self, rng):
+        x = rng.integers(0, 3, size=40).astype(float)
+        y = rng.integers(0, 3, size=40).astype(float)
+        sigma = tie_corrected_sigma(x, y)
+        expected = np.sqrt(
+            null_variance_numerator_with_ties(40, tie_group_sizes(x), tie_group_sizes(y))
+        )
+        assert sigma == pytest.approx(expected)
+
+    def test_z_scores_are_standard_normal_under_null(self, rng):
+        """Monte-Carlo check of the asymptotic normality claim (Section 3.1)."""
+        from repro.stats.kendall import pair_concordance_sum
+
+        n = 60
+        z_scores = []
+        for _ in range(300):
+            x = rng.random(n)
+            y = rng.random(n)
+            s = pair_concordance_sum(x, y)
+            z_scores.append(s / tie_corrected_sigma(x, y))
+        z_scores = np.array(z_scores)
+        assert abs(z_scores.mean()) < 0.2
+        assert 0.8 < z_scores.std() < 1.2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            tie_corrected_sigma([1, 2], [1, 2, 3])
+
+
+class TestDegenerateTies:
+    def test_constant_vector_is_degenerate(self):
+        assert degenerate_ties([1, 1, 1], [1, 2, 3])
+        assert degenerate_ties([1, 2, 3], [0, 0, 0])
+
+    def test_varying_vectors_not_degenerate(self):
+        assert not degenerate_ties([1, 2, 2], [3, 3, 4])

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import community_ring_graph
+from repro.graph.io import write_edge_list, write_event_file
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestTestCommand:
+    @pytest.fixture
+    def files(self, tmp_path):
+        graph = community_ring_graph(6, 30, 5.0, 8, random_state=2)
+        edges_path = tmp_path / "graph.txt"
+        events_path = tmp_path / "events.txt"
+        write_edge_list(graph, str(edges_path))
+        write_event_file(
+            {"a": list(range(0, 30)), "b": list(range(30, 60))}, str(events_path)
+        )
+        return str(edges_path), str(events_path)
+
+    def test_end_to_end(self, files, capsys):
+        edges_path, events_path = files
+        exit_code = main(
+            [
+                "test",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--event-a", "a",
+                "--event-b", "b",
+                "--level", "1",
+                "--sample-size", "80",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "z-score" in output
+        assert "verdict" in output
+
+
+class TestDatasetCommand:
+    def test_dblp_summary(self, capsys):
+        exit_code = main(["dataset", "dblp", "--scale", "0.2", "--seed", "1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "nodes" in output
+        assert "event" in output
+
+    def test_twitter_summary(self, capsys):
+        exit_code = main(["dataset", "twitter", "--scale", "0.05", "--seed", "1"])
+        assert exit_code == 0
+        assert "nodes" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_positive_simulation(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--correlation", "positive",
+                "--level", "1",
+                "--num-pairs", "2",
+                "--event-size", "80",
+                "--sample-size", "80",
+                "--seed", "4",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "recall" in output
+
+
+class TestExperimentCommand:
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])

@@ -1,0 +1,32 @@
+"""Tests for repro.utils.logging."""
+
+import io
+import logging
+
+from repro.utils.logging import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_root_logger_name(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger_is_namespaced(self):
+        assert get_logger("sampling").name == "repro.sampling"
+
+    def test_already_namespaced_name_is_kept(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+
+class TestConfigureLogging:
+    def test_writes_to_stream(self):
+        stream = io.StringIO()
+        logger = configure_logging(level=logging.INFO, stream=stream)
+        logger.info("hello from test")
+        assert "hello from test" in stream.getvalue()
+
+    def test_reconfiguration_does_not_duplicate_handlers(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        logger = configure_logging(stream=stream)
+        logger.info("only once")
+        assert stream.getvalue().count("only once") == 1

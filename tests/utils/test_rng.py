@@ -1,0 +1,69 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = ensure_rng(7).integers(0, 1000, size=5)
+        second = ensure_rng(7).integers(0, 1000, size=5)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = ensure_rng(1).integers(0, 10**9)
+        second = ensure_rng(2).integers(0, 10**9)
+        assert first != second
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(11)
+        assert isinstance(ensure_rng(sequence), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(5, 4)) == 4
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(5, 2)
+        draws_a = children[0].integers(0, 10**9, size=10)
+        draws_b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_deterministic_given_seed(self):
+        first = [child.integers(0, 10**9) for child in spawn_rngs(9, 3)]
+        second = [child.integers(0, 10**9) for child in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(4), 3)
+        assert len(children) == 3
+
+
+class TestDeriveSeed:
+    def test_in_range(self):
+        seed = derive_seed(5)
+        assert 0 <= seed < 2**31
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(5, salt=1) != derive_seed(5, salt=2)

@@ -1,0 +1,64 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import TextTable, render_mapping
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "value"])
+        table.add_row(["alpha", 1])
+        table.add_row(["b", 22])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, separator, two rows
+
+    def test_float_formatting(self):
+        table = TextTable(["x"], float_format="{:.1f}")
+        table.add_row([3.14159])
+        assert "3.1" in table.render()
+        assert "3.14" not in table.render()
+
+    def test_bool_formatting(self):
+        table = TextTable(["flag"])
+        table.add_row([True])
+        table.add_row([False])
+        rendered = table.render()
+        assert "yes" in rendered and "no" in rendered
+
+    def test_markdown_render(self):
+        table = TextTable(["a", "b"])
+        table.add_row([1, 2])
+        rendered = table.render(markdown=True)
+        assert rendered.splitlines()[0].startswith("|")
+        assert "|---" in rendered.replace(" ", "")
+
+    def test_row_width_mismatch_raises(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_len_and_rows_copy(self):
+        table = TextTable(["a"])
+        table.add_row([1])
+        assert len(table) == 1
+        rows = table.rows
+        rows[0][0] = "mutated"
+        assert table.rows[0][0] == "1"
+
+
+class TestRenderMapping:
+    def test_contains_keys_and_title(self):
+        rendered = render_mapping({"nodes": 10, "edges": 20}, title="summary")
+        assert rendered.startswith("summary")
+        assert "nodes" in rendered and "20" in rendered
+
+    def test_without_title(self):
+        rendered = render_mapping({"k": "v"})
+        assert "k" in rendered
