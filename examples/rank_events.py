@@ -1,0 +1,70 @@
+"""Throughput scenario: rank every keyword pair on one graph in a single batch.
+
+The paper's workloads (keyword screening, intrusion-alert correlation) test
+*many* event pairs against one graph.  Looping
+:class:`~repro.core.tesc.TescTester` pays the sampling and density costs per
+pair; :class:`~repro.core.batch.BatchTescEngine` pays them once — one shared
+reference sample, one density pass over all events — and returns the pairs
+ranked.  This example runs both on the same DBLP-like network and prints the
+ranking together with the measured speedup.
+
+Run with:  python examples/rank_events.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import BatchTescEngine, TescConfig, TescTester
+from repro.datasets import make_dblp_like
+from repro.utils.timing import format_seconds
+
+
+def main() -> None:
+    dataset = make_dblp_like(
+        num_communities=20, community_size=120,
+        num_positive_pairs=4, num_negative_pairs=4,
+        num_background_keywords=8, random_state=2024,
+    )
+    attributed = dataset.attributed
+    config = TescConfig(vicinity_level=1, sample_size=400, random_state=5)
+
+    pairs = list(dataset.positive_pairs) + list(dataset.negative_pairs)
+    background = dataset.background_events
+    pairs += [(background[i], background[i + 1]) for i in range(0, len(background), 2)]
+
+    print(f"co-author graph: {attributed.num_nodes} authors, "
+          f"{attributed.num_edges} co-author edges; testing {len(pairs)} keyword pairs")
+    print()
+
+    # The throughput path: one shared sample, one density pass, ranked output.
+    engine = BatchTescEngine(attributed, config)
+    started = time.perf_counter()
+    ranking = engine.rank_pairs(pairs, sort_by="abs_z")
+    batch_seconds = time.perf_counter() - started
+
+    print(ranking.render())
+    print()
+    counts = ranking.verdict_counts()
+    print(f"verdicts: {counts['positive']} positive, {counts['negative']} negative, "
+          f"{counts['independent']} independent "
+          f"(planted: {len(dataset.positive_pairs)} / {len(dataset.negative_pairs)})")
+    print(f"shared reference nodes: {ranking.sample.num_distinct}, "
+          f"density BFS calls: {engine.stats.density_bfs_calls} "
+          f"(instead of ~{ranking.sample.num_distinct * len(pairs)} for the loop)")
+
+    # The same pairs through the per-pair tester, for the wall-clock contrast.
+    tester = TescTester(attributed, config)
+    started = time.perf_counter()
+    for event_a, event_b in pairs:
+        tester.test(event_a, event_b)
+    loop_seconds = time.perf_counter() - started
+
+    print()
+    print(f"batch engine: {format_seconds(batch_seconds)}, per-pair loop: "
+          f"{format_seconds(loop_seconds)} — "
+          f"{loop_seconds / batch_seconds:.1f}x faster in one batch")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ Quickstart
 True
 """
 
+from repro.core.batch import BatchTescEngine, PairRanking, RankedPair, rank_pairs
 from repro.core.config import TescConfig
 from repro.core.tesc import TescResult, TescTester, measure_tesc
 from repro.events.attributed_graph import AttributedGraph
@@ -31,13 +32,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttributedGraph",
+    "BatchTescEngine",
     "EventLayer",
     "Graph",
     "CSRGraph",
+    "PairRanking",
+    "RankedPair",
     "TescConfig",
     "TescTester",
     "TescResult",
     "CorrelationVerdict",
     "measure_tesc",
+    "rank_pairs",
     "__version__",
 ]

@@ -5,6 +5,9 @@ Subcommands
 ``tesc test``
     Run a TESC significance test for two events stored in edge-list/event
     files.
+``tesc rank``
+    Batch-test many event pairs on one graph with the shared-sample
+    :class:`~repro.core.batch.BatchTescEngine` and print them ranked.
 ``tesc experiment``
     Run one of the paper's experiments (figure5 ... table5) and print the
     regenerated tables.
@@ -21,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
+from repro.core.batch import SORT_KEYS, BatchTescEngine
 from repro.core.config import TescConfig
 from repro.core.tesc import TescTester
 from repro.datasets.registry import available_datasets, load_dataset
@@ -57,6 +61,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--alternative", default="two-sided", choices=["two-sided", "greater", "less"]
     )
     test_parser.add_argument("--seed", type=int, default=None)
+
+    rank_parser = subparsers.add_parser(
+        "rank", help="batch-test many event pairs and print them ranked"
+    )
+    rank_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
+    rank_parser.add_argument("--events", required=True, help="event file (event<TAB>node)")
+    rank_parser.add_argument(
+        "--pair", nargs=2, action="append", metavar=("EVENT_A", "EVENT_B"),
+        help="one pair to test (repeatable); default: all pairs of events in the file",
+    )
+    rank_parser.add_argument("--level", type=int, default=1, help="vicinity level h")
+    rank_parser.add_argument("--sample-size", type=int, default=900)
+    rank_parser.add_argument(
+        "--sampler", default="batch_bfs",
+        choices=["batch_bfs", "exhaustive", "whole_graph", "reject"],
+        help="uniform samplers only (importance weights cannot be shared across pairs)",
+    )
+    rank_parser.add_argument("--alpha", type=float, default=0.05)
+    rank_parser.add_argument("--top-k", type=int, default=None,
+                             help="print only the k best-ranked pairs")
+    rank_parser.add_argument("--sort-by", default="score", choices=list(SORT_KEYS))
+    rank_parser.add_argument("--markdown", action="store_true",
+                             help="render the ranking as markdown")
+    rank_parser.add_argument("--seed", type=int, default=None)
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="reproduce one of the paper's tables/figures"
@@ -109,6 +137,40 @@ def _command_test(args: argparse.Namespace) -> int:
                 "sampler": args.sampler,
             },
             title="TESC test",
+        )
+    )
+    return 0
+
+
+def _command_rank(args: argparse.Namespace) -> int:
+    graph, labels = read_edge_list(args.edges)
+    label_to_id = {label: index for index, label in enumerate(labels)}
+    events = read_event_file(args.events, label_to_id=label_to_id)
+    attributed = AttributedGraph(graph, events, labels=labels)
+    config = TescConfig(
+        vicinity_level=args.level,
+        sample_size=args.sample_size,
+        sampler=args.sampler,
+        alpha=args.alpha,
+        random_state=args.seed,
+    )
+    pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"
+    engine = BatchTescEngine(attributed, config)
+    ranking = engine.rank_pairs(pairs, top_k=args.top_k, sort_by=args.sort_by)
+    print(ranking.render(markdown=args.markdown))
+    print()
+    print(
+        render_mapping(
+            {
+                "pairs tested": engine.stats.num_pairs,
+                "events involved": engine.stats.num_events,
+                "shared reference nodes": ranking.sample.num_distinct,
+                "sampling passes": engine.stats.samples_drawn,
+                "density BFS calls": engine.stats.density_bfs_calls,
+                "sampler": args.sampler,
+                "level": args.level,
+            },
+            title="batch engine",
         )
     )
     return 0
@@ -188,6 +250,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         configure_logging()
     if args.command == "test":
         return _command_test(args)
+    if args.command == "rank":
+        return _command_rank(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "dataset":

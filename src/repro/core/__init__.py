@@ -1,15 +1,19 @@
-"""Core TESC measure: densities, concordance, estimators and the tester.
+"""Core TESC measure: densities, concordance, estimators and the testers.
 
-The public entry points are :class:`TescTester` (object API) and
-:func:`measure_tesc` (one-call convenience function); both return a
-:class:`TescResult` bundling the estimate, z-score, p-value and verdict.
+The public entry points are :class:`TescTester` (per-pair object API),
+:func:`measure_tesc` (one-call convenience function), and — for many-pair
+workloads — :class:`BatchTescEngine` / :func:`rank_pairs`, which amortise
+sampling, vicinity indexing and density computation across a whole pair set
+and return a ranked :class:`PairRanking`.
 """
 
+from repro.core.batch import BatchTescEngine, PairRanking, RankedPair, rank_pairs
 from repro.core.config import TescConfig
-from repro.core.density import DensityComputer, density_vectors
+from repro.core.density import DensityComputer, DensityMatrix, density_vectors
 from repro.core.concordance import concordance, concordance_counts
 from repro.core.estimators import (
     EstimateComponents,
+    PairEstimateBatcher,
     importance_weighted_estimate,
     plain_estimate,
 )
@@ -17,14 +21,20 @@ from repro.core.tesc import TescResult, TescTester, measure_tesc
 from repro.core.weighted import distance_weighted_densities, weighted_tesc_score
 
 __all__ = [
+    "BatchTescEngine",
     "TescConfig",
     "DensityComputer",
+    "DensityMatrix",
     "density_vectors",
     "concordance",
     "concordance_counts",
     "EstimateComponents",
+    "PairEstimateBatcher",
+    "PairRanking",
+    "RankedPair",
     "plain_estimate",
     "importance_weighted_estimate",
+    "rank_pairs",
     "TescResult",
     "TescTester",
     "measure_tesc",

@@ -1,0 +1,569 @@
+"""Batch pair-testing and ranking engine.
+
+The paper's headline workloads (Tables 1–5, keyword correlation, intrusion
+alerts) all test *many* event pairs on one graph, yet
+:meth:`~repro.core.tesc.TescTester.test` pays sampling, vicinity-index and
+density costs once per pair.  :class:`BatchTescEngine` amortises that work
+across a whole pair set:
+
+1. **One shared reference sample per (event-universe, level).**  The engine
+   samples the reference population of the *union* of all events being
+   ranked, through a :class:`~repro.sampling.cache.CachingSampler`, so the
+   sampling pass (and the vicinity index a sampler may need) runs at most
+   once per level no matter how many pairs are tested.
+2. **One density pass for all events.**
+   :meth:`~repro.core.density.DensityComputer.density_matrix` performs one
+   h-hop BFS per reference node and reads every event's density off the same
+   vicinity — ``n`` BFS total instead of ``n`` per pair.
+3. **Per-pair populations recovered for free.**  Hop distance is symmetric,
+   so a reference node lies in a pair's population ``V^h_{a∪b}`` exactly
+   when its vicinity contains an occurrence of either event — i.e. when one
+   of the counts the density pass already produced is positive.  Restricted
+   to those columns, a uniform shared sample is a uniform sample of the
+   pair's own population, and in exhaustive mode the per-pair results are
+   *numerically identical* to looped :class:`~repro.core.tesc.TescTester`
+   runs.
+4. **Shared estimator state.**  Each event's ``O(n²)`` concordance-sign
+   matrix is computed once by :class:`~repro.core.estimators.PairEstimateBatcher`
+   and sliced per pair.
+
+The entry points are :meth:`BatchTescEngine.rank_pairs` (object API) and
+:func:`rank_pairs` (one-call convenience), both returning a
+:class:`PairRanking`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import TescConfig
+from repro.core.density import DensityComputer, DensityMatrix
+from repro.core.estimators import EstimateComponents, PairEstimateBatcher
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import ConfigurationError, InsufficientSampleError
+from repro.sampling.base import ReferenceSample
+from repro.sampling.cache import CachingSampler, event_nodes_fingerprint
+from repro.sampling.registry import create_sampler
+from repro.stats.hypothesis import CorrelationVerdict, decide
+from repro.utils.tables import TextTable
+from repro.utils.timing import Timer
+
+#: Ranking keys accepted by :meth:`BatchTescEngine.rank_pairs`.
+SORT_KEYS = ("score", "z_score", "abs_z", "p_value")
+
+#: Samplers whose draws carry importance weights; those weights are defined
+#: relative to the population they were drawn from and cannot be restricted
+#: to per-pair populations, so the batch engine rejects them up front.
+WEIGHTED_SAMPLERS = ("importance", "batch_importance")
+
+#: How many density matrices (each with its per-event sign matrices, up to
+#: ~1 MB per event at n=900) an engine retains before evicting the oldest.
+MAX_CACHED_MATRICES = 8
+
+
+@dataclass(frozen=True)
+class RankedPair:
+    """One event pair's result inside a :class:`PairRanking`.
+
+    Attributes
+    ----------
+    rank:
+        1-based position in the ranking order.
+    event_a / event_b:
+        The tested pair.
+    score / z_score / p_value / verdict:
+        Same semantics as on :class:`~repro.core.tesc.TescResult`.
+    num_reference_nodes:
+        Size of the pair's restricted reference population within the shared
+        sample.
+    degenerate:
+        True when a density vector was constant (z-score pinned to 0).
+    insufficient:
+        True when fewer than two shared reference nodes fell inside the
+        pair's population, so no estimate was possible (score/z reported as
+        0 and verdict independent).
+    """
+
+    rank: int
+    event_a: str
+    event_b: str
+    score: float
+    z_score: float
+    p_value: float
+    verdict: CorrelationVerdict
+    num_reference_nodes: int
+    degenerate: bool = False
+    insufficient: bool = False
+
+    @property
+    def significant(self) -> bool:
+        """Whether the pair was declared correlated."""
+        return self.verdict is not CorrelationVerdict.INDEPENDENT
+
+    @property
+    def events(self) -> Tuple[str, str]:
+        """The pair as a tuple."""
+        return (self.event_a, self.event_b)
+
+    def __str__(self) -> str:
+        return (
+            f"#{self.rank} ({self.event_a!r}, {self.event_b!r}): "
+            f"score={self.score:+.4f}, z={self.z_score:+.2f}, "
+            f"verdict={self.verdict.value}"
+        )
+
+
+@dataclass
+class BatchStats:
+    """Cost accounting for batch ranking.
+
+    Each :class:`PairRanking` carries the stats of the call that produced it;
+    :attr:`BatchTescEngine.stats` accumulates the same counters over the
+    engine's lifetime.  The point of the batch engine is that
+    ``samples_drawn`` and ``density_bfs_calls`` stay independent of the
+    number of pairs; these counters make that claim checkable (and are
+    asserted on in the tests).
+    """
+
+    num_events: int = 0
+    num_pairs: int = 0
+    samples_drawn: int = 0
+    sample_cache_hits: int = 0
+    density_passes: int = 0
+    density_bfs_calls: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PairRanking:
+    """Ranked results for a batch of event pairs.
+
+    Iterable and indexable like a sequence of :class:`RankedPair` (best pair
+    first, according to the requested sort key).
+    """
+
+    pairs: Tuple[RankedPair, ...]
+    vicinity_level: int
+    sort_by: str
+    alpha: float
+    sample: ReferenceSample
+    stats: BatchStats
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __getitem__(self, index):
+        return self.pairs[index]
+
+    def top(self, k: int) -> Tuple[RankedPair, ...]:
+        """The ``k`` best-ranked pairs."""
+        return self.pairs[: max(int(k), 0)]
+
+    def significant_pairs(self) -> Tuple[RankedPair, ...]:
+        """Only the pairs declared correlated (positive or negative)."""
+        return tuple(pair for pair in self.pairs if pair.significant)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """``{verdict value: count}`` over the ranking."""
+        counts = {verdict.value: 0 for verdict in CorrelationVerdict}
+        for pair in self.pairs:
+            counts[pair.verdict.value] += 1
+        return counts
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """Plain dict-per-pair representation (for JSON/tabular export)."""
+        return [
+            {
+                "rank": pair.rank,
+                "event_a": pair.event_a,
+                "event_b": pair.event_b,
+                "score": pair.score,
+                "z_score": pair.z_score,
+                "p_value": pair.p_value,
+                "verdict": pair.verdict.value,
+                "num_reference_nodes": pair.num_reference_nodes,
+            }
+            for pair in self.pairs
+        ]
+
+    def render(self, markdown: bool = False) -> str:
+        """Human-readable ranking table."""
+        table = TextTable(
+            ["rank", "event a", "event b", "score", "z", "p-value", "verdict", "n"]
+        )
+        for pair in self.pairs:
+            table.add_row(
+                [
+                    pair.rank,
+                    pair.event_a,
+                    pair.event_b,
+                    f"{pair.score:+.4f}",
+                    f"{pair.z_score:+.2f}",
+                    f"{pair.p_value:.2e}",
+                    pair.verdict.value,
+                    pair.num_reference_nodes,
+                ]
+            )
+        return table.render(markdown=markdown)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+PairSpec = Union[str, Sequence[Tuple[str, str]]]
+
+
+class BatchTescEngine:
+    """Amortised TESC testing and ranking over many event pairs.
+
+    Parameters
+    ----------
+    attributed:
+        The attributed graph to test on.
+    config:
+        Default :class:`~repro.core.config.TescConfig`; individual
+        :meth:`rank_pairs` calls may override it.  Only *uniform* samplers
+        ("batch_bfs", "exhaustive", "whole_graph", "reject") are supported:
+        importance weights are defined relative to the population they were
+        drawn from and do not survive the per-pair restriction.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import community_ring_graph
+    >>> from repro.events import AttributedGraph
+    >>> graph = community_ring_graph(8, 40, 5.0, 10, random_state=3)
+    >>> attributed = AttributedGraph(
+    ...     graph, {"a": range(0, 30), "b": range(10, 40), "c": range(160, 200)}
+    ... )
+    >>> engine = BatchTescEngine(attributed, TescConfig(sample_size=120, random_state=3))
+    >>> ranking = engine.rank_pairs("all")
+    >>> len(ranking)
+    3
+    >>> ranking[0].rank
+    1
+    """
+
+    def __init__(self, attributed: AttributedGraph,
+                 config: Optional[TescConfig] = None) -> None:
+        self.attributed = attributed
+        self.config = config if config is not None else TescConfig()
+        self._density_computer = DensityComputer(attributed.csr)
+        self._samplers: Dict[tuple, CachingSampler] = {}
+        self._matrices: Dict[tuple, DensityMatrix] = {}
+        self._batchers: Dict[tuple, PairEstimateBatcher] = {}
+        self.stats = BatchStats()
+
+    # -- pair/universe resolution ---------------------------------------------
+
+    def _resolve_pairs(self, pairs: PairSpec) -> List[Tuple[str, str]]:
+        if isinstance(pairs, str):
+            if pairs != "all":
+                raise ConfigurationError(
+                    f'pairs must be "all" or a sequence of (event, event) tuples, '
+                    f"got {pairs!r}"
+                )
+            names = self.attributed.event_names()
+            if len(names) < 2:
+                raise ConfigurationError(
+                    f'pairs="all" needs at least two events on the graph, found '
+                    f"{len(names)}"
+                )
+            return list(itertools.combinations(names, 2))
+        resolved: List[Tuple[str, str]] = []
+        for pair in pairs:
+            pair = tuple(pair)
+            if len(pair) != 2:
+                raise ConfigurationError(
+                    f"each pair must name exactly two events, got {pair!r}"
+                )
+            event_a, event_b = str(pair[0]), str(pair[1])
+            if event_a == event_b:
+                raise ConfigurationError(
+                    f"cannot test an event against itself: {event_a!r}"
+                )
+            resolved.append((event_a, event_b))
+        if not resolved:
+            raise ConfigurationError("at least one event pair is required")
+        return resolved
+
+    def _universe(self, events: Sequence[str]) -> np.ndarray:
+        arrays = [self.attributed.event_nodes(event) for event in events]
+        return np.unique(np.concatenate(arrays)) if arrays else np.empty(0, np.int64)
+
+    # -- shared-resource caches -----------------------------------------------
+
+    def _sampler_key(self, cfg: TescConfig) -> tuple:
+        seed = cfg.random_state
+        seed_token = seed if seed is None or isinstance(seed, int) else id(seed)
+        return (cfg.sampler, cfg.batch_per_vicinity, seed_token)
+
+    def _sampler(self, cfg: TescConfig) -> CachingSampler:
+        key = self._sampler_key(cfg)
+        cached = self._samplers.get(key)
+        if cached is None:
+            needs_index = cfg.sampler in ("importance", "batch_importance", "reject")
+            vicinity_index = (
+                self.attributed.vicinity_index(levels=(cfg.vicinity_level,))
+                if needs_index
+                else None
+            )
+            inner = create_sampler(
+                cfg.sampler,
+                self.attributed.csr,
+                vicinity_index=vicinity_index,
+                random_state=cfg.random_state,
+                batch_per_vicinity=cfg.batch_per_vicinity,
+            )
+            cached = CachingSampler(inner)
+            self._samplers[key] = cached
+        return cached
+
+    def _shared_sample(self, cfg: TescConfig, universe: np.ndarray,
+                       timer: Timer, call_stats: BatchStats
+                       ) -> Tuple[ReferenceSample, tuple]:
+        if cfg.sampler in WEIGHTED_SAMPLERS:
+            raise ConfigurationError(
+                f"sampler {cfg.sampler!r} produces importance-weighted samples, "
+                "which the batch engine cannot restrict to per-pair populations; "
+                "use a uniform sampler (batch_bfs, exhaustive, whole_graph, reject) "
+                "or per-pair TescTester"
+            )
+        sampler = self._sampler(cfg)
+        misses_before = sampler.misses
+        with timer.lap("sampling"):
+            sample = sampler.sample(universe, cfg.vicinity_level, cfg.sample_size)
+        if sampler.misses > misses_before:
+            call_stats.samples_drawn += 1
+        else:
+            call_stats.sample_cache_hits += 1
+        if sample.weighted:
+            # Custom-registered samplers can still hand back weighted draws.
+            raise ConfigurationError(
+                f"sampler {cfg.sampler!r} produced an importance-weighted sample, "
+                "which the batch engine cannot restrict to per-pair populations"
+            )
+        if sample.num_distinct < 2:
+            raise InsufficientSampleError(
+                f"sampler {cfg.sampler!r} produced {sample.num_distinct} reference "
+                "nodes; at least two are required"
+            )
+        matrix_key = self._sampler_key(cfg) + (
+            event_nodes_fingerprint(universe), cfg.vicinity_level, cfg.sample_size,
+        )
+        return sample, matrix_key
+
+    def _density_matrix(self, cfg: TescConfig, events: Sequence[str],
+                        sample: ReferenceSample, matrix_key: tuple,
+                        timer: Timer, call_stats: BatchStats) -> DensityMatrix:
+        key = matrix_key + (tuple(events),)
+        cached = self._matrices.get(key)
+        if cached is None:
+            engine = self._density_computer.engine
+            bfs_before = engine.bfs_calls
+            with timer.lap("densities"):
+                indicators = self.attributed.indicator_matrix(events)
+                cached = self._density_computer.density_matrix(
+                    sample.nodes, indicators, cfg.vicinity_level
+                )
+            while len(self._matrices) >= MAX_CACHED_MATRICES:
+                oldest = next(iter(self._matrices))
+                del self._matrices[oldest]
+                self._batchers.pop(oldest, None)
+            self._matrices[key] = cached
+            call_stats.density_passes += 1
+            call_stats.density_bfs_calls += engine.bfs_calls - bfs_before
+        return cached
+
+    def _batcher(self, matrix: DensityMatrix, key: tuple) -> PairEstimateBatcher:
+        cached = self._batchers.get(key)
+        if cached is None:
+            cached = PairEstimateBatcher(matrix.densities)
+            self._batchers[key] = cached
+        return cached
+
+    # -- the public API --------------------------------------------------------
+
+    def rank_pairs(
+        self,
+        pairs: PairSpec = "all",
+        top_k: Optional[int] = None,
+        sort_by: str = "score",
+        config: Optional[TescConfig] = None,
+        on_insufficient: str = "keep",
+    ) -> PairRanking:
+        """Test every pair in ``pairs`` and return them ranked.
+
+        Parameters
+        ----------
+        pairs:
+            ``"all"`` for every unordered pair of the graph's events, or an
+            explicit sequence of ``(event_a, event_b)`` tuples.
+        top_k:
+            Keep only the ``k`` best-ranked pairs (all pairs when ``None``).
+        sort_by:
+            ``"score"`` (default; most attracting first), ``"z_score"``,
+            ``"abs_z"`` (most significant in either direction first) or
+            ``"p_value"`` (smallest first).
+        config:
+            Per-call :class:`~repro.core.config.TescConfig` override.
+        on_insufficient:
+            ``"keep"`` (default) records pairs whose restricted population
+            has fewer than two reference nodes as independent with
+            ``insufficient=True``; ``"raise"`` raises
+            :class:`~repro.exceptions.InsufficientSampleError` instead.
+        """
+        if sort_by not in SORT_KEYS:
+            raise ConfigurationError(
+                f"sort_by must be one of {SORT_KEYS}, got {sort_by!r}"
+            )
+        if on_insufficient not in ("keep", "raise"):
+            raise ConfigurationError(
+                f'on_insufficient must be "keep" or "raise", got {on_insufficient!r}'
+            )
+        cfg = config if config is not None else self.config
+        timer = Timer()
+        call_stats = BatchStats()
+
+        pair_list = self._resolve_pairs(pairs)
+        # Sorted row layout so pair sets naming the same events (in any
+        # order) share one cached density matrix and sign-matrix set.
+        events = sorted({event for pair in pair_list for event in pair})
+        row_of = {event: row for row, event in enumerate(events)}
+        # Touching every indicator up front surfaces unknown events before
+        # any sampling work happens.
+        self.attributed.indicator_matrix(events)
+
+        universe = self._universe(events)
+        sample, matrix_key = self._shared_sample(cfg, universe, timer, call_stats)
+        matrix = self._density_matrix(
+            cfg, events, sample, matrix_key, timer, call_stats
+        )
+        batcher = self._batcher(matrix, matrix_key + (tuple(events),))
+
+        results: List[RankedPair] = []
+        with timer.lap("estimates"):
+            for event_a, event_b in pair_list:
+                row_a, row_b = row_of[event_a], row_of[event_b]
+                columns = matrix.pair_rows(row_a, row_b)
+                if columns.size < 2:
+                    if on_insufficient == "raise":
+                        raise InsufficientSampleError(
+                            f"pair ({event_a!r}, {event_b!r}) has only "
+                            f"{columns.size} reference nodes in the shared sample"
+                        )
+                    results.append(
+                        RankedPair(
+                            rank=0, event_a=event_a, event_b=event_b,
+                            score=0.0, z_score=0.0, p_value=1.0,
+                            verdict=CorrelationVerdict.INDEPENDENT,
+                            num_reference_nodes=int(columns.size),
+                            degenerate=True, insufficient=True,
+                        )
+                    )
+                    continue
+                components: EstimateComponents = batcher.estimate_pair(
+                    row_a, row_b, columns
+                )
+                significance = decide(components.z_score, cfg.alpha, cfg.alternative)
+                results.append(
+                    RankedPair(
+                        rank=0, event_a=event_a, event_b=event_b,
+                        score=components.estimate,
+                        z_score=components.z_score,
+                        p_value=significance.p_value,
+                        verdict=significance.verdict,
+                        num_reference_nodes=components.num_reference_nodes,
+                        degenerate=components.degenerate,
+                    )
+                )
+
+        results.sort(key=lambda pair: self._sort_value(pair, sort_by))
+        if top_k is not None:
+            results = results[: max(int(top_k), 0)]
+        ranked = tuple(
+            RankedPair(
+                rank=position + 1, event_a=pair.event_a, event_b=pair.event_b,
+                score=pair.score, z_score=pair.z_score, p_value=pair.p_value,
+                verdict=pair.verdict,
+                num_reference_nodes=pair.num_reference_nodes,
+                degenerate=pair.degenerate, insufficient=pair.insufficient,
+            )
+            for position, pair in enumerate(results)
+        )
+
+        call_stats.num_events = len(events)
+        call_stats.num_pairs = len(pair_list)
+        for name in ("sampling", "densities", "estimates"):
+            call_stats.timings[name] = timer.total(name)
+        self._accumulate(call_stats)
+        return PairRanking(
+            pairs=ranked,
+            vicinity_level=cfg.vicinity_level,
+            sort_by=sort_by,
+            alpha=cfg.alpha,
+            sample=sample,
+            stats=call_stats,
+        )
+
+    def _accumulate(self, call_stats: BatchStats) -> None:
+        """Fold one call's counters into the engine-lifetime :attr:`stats`."""
+        self.stats.num_events = call_stats.num_events
+        self.stats.num_pairs += call_stats.num_pairs
+        self.stats.samples_drawn += call_stats.samples_drawn
+        self.stats.sample_cache_hits += call_stats.sample_cache_hits
+        self.stats.density_passes += call_stats.density_passes
+        self.stats.density_bfs_calls += call_stats.density_bfs_calls
+        for name, seconds in call_stats.timings.items():
+            self.stats.timings[name] = self.stats.timings.get(name, 0.0) + seconds
+
+    @staticmethod
+    def _sort_value(pair: RankedPair, sort_by: str) -> tuple:
+        if sort_by == "score":
+            primary = -pair.score
+        elif sort_by == "z_score":
+            primary = -pair.z_score
+        elif sort_by == "abs_z":
+            primary = -abs(pair.z_score)
+        else:  # p_value — most significant first, direction-agnostic
+            primary = pair.p_value
+        # Deterministic tie-break so equal statistics rank stably.
+        return (primary, pair.event_a, pair.event_b)
+
+
+def rank_pairs(
+    attributed: AttributedGraph,
+    pairs: PairSpec = "all",
+    top_k: Optional[int] = None,
+    sort_by: str = "score",
+    vicinity_level: int = 1,
+    **config_kwargs,
+) -> PairRanking:
+    """One-call convenience wrapper around :class:`BatchTescEngine`.
+
+    ``config_kwargs`` accepts any :class:`~repro.core.config.TescConfig`
+    field, e.g. ``sample_size=900``, ``sampler="exhaustive"`` or
+    ``random_state=42``.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import erdos_renyi_graph
+    >>> from repro.events import AttributedGraph
+    >>> graph = erdos_renyi_graph(300, 0.02, random_state=7)
+    >>> attributed = AttributedGraph(
+    ...     graph, {"a": range(0, 40), "b": range(20, 60), "c": range(200, 240)}
+    ... )
+    >>> ranking = rank_pairs(attributed, "all", sample_size=100, random_state=7)
+    >>> [pair.rank for pair in ranking]
+    [1, 2, 3]
+    """
+    config = TescConfig(vicinity_level=vicinity_level, **config_kwargs)
+    return BatchTescEngine(attributed, config).rank_pairs(
+        pairs, top_k=top_k, sort_by=sort_by
+    )

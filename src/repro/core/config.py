@@ -32,8 +32,22 @@ class TescConfig:
         Ignored by exhaustive (non-sampling) computation.
     sampler:
         Name of the reference-node sampler registered in
-        :mod:`repro.sampling.registry` ("batch_bfs", "importance",
-        "batch_importance", "whole_graph", "reject", "exhaustive").
+        :mod:`repro.sampling.registry`:
+
+        * ``"batch_bfs"`` (default) — Algorithm 1: enumerate the reference
+          population with one multi-source BFS, then sample uniformly.  Most
+          accurate; recommended for small/medium event sets.
+        * ``"exhaustive"`` — use the whole population (no sampling); the
+          ground truth for tests and calibration.
+        * ``"reject"`` — rejection sampling; uniform, avoids enumerating the
+          population but needs the vicinity-size index.
+        * ``"importance"`` / ``"batch_importance"`` — Algorithm 2 (and its
+          Section 5.2.2 batched variant): non-uniform draws corrected by
+          importance weights (Eq. 8); cost scales with ``n`` rather than the
+          population size.  Per-pair testing only — the weighted samples
+          cannot be shared by :class:`~repro.core.batch.BatchTescEngine`.
+        * ``"whole_graph"`` — Algorithm 3: uniform draws over all of ``V``
+          with an in-sight test; for very large event sets at high ``h``.
     alpha:
         Significance level of the test.
     alternative:

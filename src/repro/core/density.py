@@ -8,6 +8,7 @@ role that "area" plays in spatial point-pattern statistics.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
@@ -16,6 +17,54 @@ from repro.events.attributed_graph import AttributedGraph
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import BFSEngine
 from repro.utils.validation import check_vicinity_level
+
+
+@dataclass(frozen=True)
+class DensityMatrix:
+    """Event densities of many events over one shared reference sample.
+
+    Attributes
+    ----------
+    reference_nodes:
+        The distinct reference node ids the columns correspond to.
+    densities:
+        ``(num_events, num_reference_nodes)`` float matrix — entry
+        ``(e, r)`` is ``s^h_e(r)`` of Eq. 2.
+    counts:
+        Integer numerators ``|V_e ∩ V^h_r|`` of the same shape.  Because hop
+        distance is symmetric, ``counts[e, r] > 0`` iff ``r`` lies in the
+        reference population ``V^h_{V_e}`` of event ``e`` — the batch engine
+        uses this to recover each pair's exact population from shared work.
+    vicinity_sizes:
+        ``|V^h_r|`` per reference node (the shared denominators).
+    level:
+        The vicinity level ``h`` the matrix was computed at.
+    """
+
+    reference_nodes: np.ndarray
+    densities: np.ndarray
+    counts: np.ndarray
+    vicinity_sizes: np.ndarray
+    level: int
+
+    @property
+    def num_events(self) -> int:
+        """Number of event rows."""
+        return int(self.densities.shape[0])
+
+    @property
+    def num_reference_nodes(self) -> int:
+        """Number of reference-node columns."""
+        return int(self.densities.shape[1])
+
+    def pair_rows(self, row_a: int, row_b: int) -> np.ndarray:
+        """Columns belonging to the pair's reference population.
+
+        A reference node is in ``V^h_{a∪b}`` exactly when its vicinity
+        contains at least one occurrence of either event (symmetry of hop
+        distance), i.e. when either count is positive.
+        """
+        return np.flatnonzero((self.counts[row_a] > 0) | (self.counts[row_b] > 0))
 
 
 class DensityComputer:
@@ -69,6 +118,59 @@ class DensityComputer:
                 node, indicator_a, indicator_b, level
             )
         return densities_a, densities_b
+
+    def density_matrix(
+        self,
+        reference_nodes: Iterable[int],
+        indicator_matrix: np.ndarray,
+        level: int,
+    ) -> "DensityMatrix":
+        """Densities of *many* events around many reference nodes.
+
+        One h-hop BFS per reference node yields its vicinity once, and the
+        occurrence counts of every event are gathered from the vicinity in a
+        single vectorised reduction — the multi-event generalisation of
+        :meth:`density_pair` that :class:`~repro.core.batch.BatchTescEngine`
+        shares across all pairs it ranks.
+
+        Parameters
+        ----------
+        reference_nodes:
+            The reference sample (distinct node ids).
+        indicator_matrix:
+            ``(num_events, num_nodes)`` boolean matrix; row ``e`` marks the
+            occurrences of event ``e`` (see
+            :meth:`~repro.events.attributed_graph.AttributedGraph.indicator_matrix`).
+        level:
+            The vicinity level ``h``.
+        """
+        check_vicinity_level(level)
+        indicators = np.asarray(indicator_matrix)
+        if indicators.ndim != 2 or indicators.shape[1] != self.graph.num_nodes:
+            raise ValueError(
+                "indicator_matrix must have shape (num_events, num_nodes), got "
+                f"{indicators.shape}"
+            )
+        nodes = np.asarray(
+            list(int(node) for node in reference_nodes), dtype=np.int64
+        )
+        num_events = indicators.shape[0]
+        counts = np.zeros((num_events, nodes.size), dtype=np.int64)
+        sizes = np.zeros(nodes.size, dtype=np.int64)
+        for column, node in enumerate(nodes):
+            vicinity = self.engine.vicinity(int(node), level)
+            sizes[column] = vicinity.size
+            if vicinity.size:
+                counts[:, column] = indicators[:, vicinity].sum(axis=1)
+        safe_sizes = np.where(sizes > 0, sizes, 1)
+        densities = counts / safe_sizes[np.newaxis, :].astype(float)
+        return DensityMatrix(
+            reference_nodes=nodes,
+            densities=densities,
+            counts=counts,
+            vicinity_sizes=sizes,
+            level=int(level),
+        )
 
 
 def density_vectors(

@@ -60,6 +60,8 @@ class AttributedGraph:
             raise ValueError("labels length must equal the number of nodes")
         self.labels = list(labels) if labels is not None else None
         self._vicinity_index: Optional[VicinityIndex] = None
+        self._indicator_cache: Dict[str, np.ndarray] = {}
+        self._indicator_cache_version = self.events.version
 
     # -- basic delegation -----------------------------------------------------
 
@@ -90,8 +92,35 @@ class AttributedGraph:
         return np.union1d(self.events.nodes_of(event_a), self.events.nodes_of(event_b))
 
     def event_indicator(self, event: str) -> np.ndarray:
-        """Boolean occurrence vector for ``event``."""
-        return self.events.indicator(event)
+        """Boolean occurrence vector for ``event`` (memoised).
+
+        Indicators are cached per event and invalidated whenever the event
+        layer mutates, so batch workloads that revisit the same events
+        (:class:`~repro.core.batch.BatchTescEngine`, Tables 1–5 loops) build
+        each vector once.  The returned array is shared — treat it as
+        read-only.
+        """
+        if self._indicator_cache_version != self.events.version:
+            self._indicator_cache.clear()
+            self._indicator_cache_version = self.events.version
+        cached = self._indicator_cache.get(event)
+        if cached is None:
+            cached = self.events.indicator(event)
+            cached.setflags(write=False)
+            self._indicator_cache[event] = cached
+        return cached
+
+    def indicator_matrix(self, events: Sequence[str]) -> np.ndarray:
+        """Stacked boolean indicators, one row per event in ``events``.
+
+        The ``(len(events), num_nodes)`` matrix feeds
+        :meth:`~repro.core.density.DensityComputer.density_matrix`, which
+        reads the densities of *all* events off each reference vicinity in
+        one vectorised pass.  Rows come from the per-event indicator cache.
+        """
+        if not events:
+            return np.zeros((0, self.num_nodes), dtype=bool)
+        return np.stack([self.event_indicator(event) for event in events])
 
     def event_names(self) -> List[str]:
         """All event names."""

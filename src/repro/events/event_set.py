@@ -42,6 +42,17 @@ class EventLayer:
         self.num_nodes = num_nodes
         self._event_to_nodes: Dict[str, Set[int]] = {}
         self._node_to_events: Dict[int, Set[str]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation.
+
+        Callers that memoise derived data (e.g. the indicator cache on
+        :class:`~repro.events.attributed_graph.AttributedGraph`) compare this
+        counter to detect staleness instead of hashing the occurrence sets.
+        """
+        return self._version
 
     # -- construction -------------------------------------------------------
 
@@ -56,6 +67,7 @@ class EventLayer:
             )
         self._event_to_nodes.setdefault(event, set()).add(node)
         self._node_to_events.setdefault(node, set()).add(event)
+        self._version += 1
 
     def add_occurrences(self, event: str, nodes: Iterable[int]) -> None:
         """Record that ``event`` occurred on every node in ``nodes``."""
@@ -76,6 +88,7 @@ class EventLayer:
         nodes = self._event_to_nodes.pop(event, None)
         if nodes is None:
             raise UnknownEventError(event)
+        self._version += 1
         for node in nodes:
             events = self._node_to_events.get(node)
             if events is not None:

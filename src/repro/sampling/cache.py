@@ -1,0 +1,82 @@
+"""Sample-once/reuse plumbing for batch workloads.
+
+Testing many event pairs on one graph re-draws a reference sample per pair
+even when consecutive pairs share the same reference population (the same
+``V^h_{a∪b}``, or the whole-universe population the batch engine uses).
+:class:`CachingSampler` wraps any :class:`~repro.sampling.base.ReferenceSampler`
+and memoises its samples keyed by ``(event-node fingerprint, level,
+sample_size)``, so shared populations pay the sampling cost once.
+
+The cache is *content-addressed*: two different callers asking for the same
+node set at the same level get the same :class:`ReferenceSample` object back
+(treat it as read-only).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.sampling.base import ReferenceSample, ReferenceSampler
+
+
+def event_nodes_fingerprint(event_nodes: np.ndarray) -> str:
+    """Stable content hash of a node set (order-insensitive).
+
+    Used as the cache key component identifying a reference population
+    ``V^h_S`` by its source set ``S``.
+    """
+    canonical = np.unique(np.asarray(event_nodes, dtype=np.int64))
+    return hashlib.sha1(canonical.tobytes()).hexdigest()
+
+
+class CachingSampler(ReferenceSampler):
+    """Memoising wrapper around another reference sampler.
+
+    Parameters
+    ----------
+    inner:
+        The sampler that actually draws samples on a cache miss.
+
+    Notes
+    -----
+    Reuse changes the statistics only in the sense that repeated queries see
+    the *same* draw instead of independent draws — exactly the amortisation
+    the batch engine wants (and what a fixed ``random_state`` already gives
+    per call).  Call :meth:`clear` to force fresh draws.
+    """
+
+    name = "caching"
+
+    def __init__(self, inner: ReferenceSampler) -> None:
+        super().__init__(inner.graph, random_state=inner.rng)
+        self.inner = inner
+        self._cache: Dict[Tuple[str, int, int], ReferenceSample] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def sample(self, event_nodes: np.ndarray, level: int,
+               sample_size: int) -> ReferenceSample:
+        key = (event_nodes_fingerprint(event_nodes), int(level), int(sample_size))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        sample = self.inner.sample(event_nodes, level, sample_size)
+        self._cache[key] = sample
+        return sample
+
+    def clear(self) -> None:
+        """Drop all memoised samples (e.g. after a graph mutation)."""
+        self._cache.clear()
+
+    @property
+    def num_cached(self) -> int:
+        """Number of distinct samples currently memoised."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"CachingSampler({self.inner!r}, cached={self.num_cached})"

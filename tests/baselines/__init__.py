@@ -1,0 +1,1 @@
+"""Test package (keeps same-named test modules importable)."""

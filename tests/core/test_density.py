@@ -72,3 +72,46 @@ class TestDensityVectorsWrapper:
         # node 4: vicinity {3,4,5}; a -> 0, b -> 2/3
         assert densities_a[2] == 0.0
         assert densities_b[2] == pytest.approx(2 / 3)
+
+
+class TestDensityMatrix:
+    def test_matches_density_vectors(self, attributed_random):
+        computer = DensityComputer(attributed_random.csr)
+        reference_nodes = [3, 17, 40, 99]
+        matrix = computer.density_matrix(
+            reference_nodes, attributed_random.indicator_matrix(["a", "b"]), 1
+        )
+        densities_a, densities_b = computer.density_vectors(
+            reference_nodes,
+            attributed_random.event_indicator("a"),
+            attributed_random.event_indicator("b"),
+            1,
+        )
+        assert np.array_equal(matrix.densities[0], densities_a)
+        assert np.array_equal(matrix.densities[1], densities_b)
+        assert matrix.num_events == 2
+        assert matrix.num_reference_nodes == 4
+        assert matrix.level == 1
+
+    def test_counts_and_sizes_consistent(self, attributed_random):
+        computer = DensityComputer(attributed_random.csr)
+        matrix = computer.density_matrix(
+            [0, 5, 10], attributed_random.indicator_matrix(["a", "b", "c"]), 2
+        )
+        recomputed = matrix.counts / matrix.vicinity_sizes[np.newaxis, :]
+        assert np.allclose(matrix.densities, recomputed)
+
+    def test_pair_rows_recovers_pair_population(self, attributed_path):
+        # On the 6-path with a={0,1}, b={4,5}: node 2 sees a, node 3 sees b,
+        # and every node is within one hop of some event node.
+        computer = DensityComputer(attributed_path.csr)
+        matrix = computer.density_matrix(
+            range(6), attributed_path.indicator_matrix(["a", "b"]), 1
+        )
+        rows = matrix.pair_rows(0, 1)
+        assert list(matrix.reference_nodes[rows]) == [0, 1, 2, 3, 4, 5]
+
+    def test_rejects_bad_indicator_shape(self, attributed_path):
+        computer = DensityComputer(attributed_path.csr)
+        with pytest.raises(ValueError):
+            computer.density_matrix([0], np.zeros((2, 3), dtype=bool), 1)

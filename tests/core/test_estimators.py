@@ -120,3 +120,42 @@ class TestExactTauAndBound:
             variance_upper_bound(2.0, 10)
         with pytest.raises(EstimationError):
             variance_upper_bound(0.5, 0)
+
+
+class TestPairEstimateBatcher:
+    def test_matches_plain_estimate(self):
+        from repro.core.estimators import PairEstimateBatcher
+
+        rng = np.random.default_rng(3)
+        matrix = np.round(rng.random((4, 60)), 2)  # rounding induces ties
+        batcher = PairEstimateBatcher(matrix)
+        for row_a, row_b in [(0, 1), (0, 2), (2, 3), (1, 3)]:
+            batched = batcher.estimate_pair(row_a, row_b)
+            direct = plain_estimate(matrix[row_a], matrix[row_b])
+            assert batched.estimate == direct.estimate
+            assert batched.z_score == direct.z_score
+            assert batched.null_sigma == direct.null_sigma
+            assert batched.ties_a == direct.ties_a
+
+    def test_matches_plain_estimate_on_column_subset(self):
+        from repro.core.estimators import PairEstimateBatcher
+
+        rng = np.random.default_rng(4)
+        matrix = np.round(rng.random((3, 50)), 1)
+        columns = np.sort(rng.choice(50, size=20, replace=False))
+        batcher = PairEstimateBatcher(matrix)
+        batched = batcher.estimate_pair(0, 2, columns)
+        direct = plain_estimate(matrix[0, columns], matrix[2, columns])
+        assert batched.estimate == direct.estimate
+        assert batched.z_score == direct.z_score
+        assert batched.num_reference_nodes == 20
+
+    def test_rejects_bad_inputs(self):
+        from repro.core.estimators import PairEstimateBatcher
+        from repro.exceptions import EstimationError, InsufficientSampleError
+
+        with pytest.raises(EstimationError):
+            PairEstimateBatcher(np.zeros(5))
+        batcher = PairEstimateBatcher(np.zeros((2, 5)))
+        with pytest.raises(InsufficientSampleError):
+            batcher.estimate_pair(0, 1, np.array([2]))

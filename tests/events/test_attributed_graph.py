@@ -74,3 +74,26 @@ class TestVicinityIndexSharing:
         first = attributed_random.vicinity_index(levels=(1,))
         extended = attributed_random.vicinity_index(levels=(2,))
         assert 1 in extended.levels and 2 in extended.levels
+
+
+class TestIndicatorCaching:
+    def test_indicator_memoised_and_read_only(self, attributed_random):
+        first = attributed_random.event_indicator("a")
+        second = attributed_random.event_indicator("a")
+        assert first is second
+        assert not first.flags.writeable
+
+    def test_cache_invalidated_on_event_mutation(self, path_graph):
+        attributed = AttributedGraph(path_graph, {"a": [0, 1]})
+        before = attributed.event_indicator("a")
+        attributed.events.add_occurrence("a", 5)
+        after = attributed.event_indicator("a")
+        assert before is not after
+        assert after[5]
+
+    def test_indicator_matrix_stacks_rows(self, attributed_random):
+        matrix = attributed_random.indicator_matrix(["a", "b"])
+        assert matrix.shape == (2, attributed_random.num_nodes)
+        assert np.array_equal(matrix[0], attributed_random.event_indicator("a"))
+        empty = attributed_random.indicator_matrix([])
+        assert empty.shape == (0, attributed_random.num_nodes)

@@ -170,3 +170,29 @@ class TestWholeGraphSampler:
         sampler = WholeGraphSampler(graph, random_state=2, max_draw_factor=5)
         with pytest.raises(SamplingError):
             sampler.sample(np.array([7]), 1, 50)
+
+
+class TestCachingSampler:
+    def test_same_population_sampled_once(self, sampling_graph, event_nodes):
+        from repro.sampling.cache import CachingSampler
+
+        sampler = CachingSampler(BatchBFSSampler(sampling_graph, random_state=4))
+        first = sampler.sample(event_nodes, 1, 50)
+        second = sampler.sample(event_nodes, 1, 50)
+        assert first is second
+        assert (sampler.hits, sampler.misses) == (1, 1)
+        # Order of the requested node set must not matter.
+        third = sampler.sample(event_nodes[::-1].copy(), 1, 50)
+        assert third is first
+
+    def test_distinct_requests_miss(self, sampling_graph, event_nodes):
+        from repro.sampling.cache import CachingSampler
+
+        sampler = CachingSampler(BatchBFSSampler(sampling_graph, random_state=4))
+        sampler.sample(event_nodes, 1, 50)
+        sampler.sample(event_nodes, 2, 50)
+        sampler.sample(event_nodes[:10], 1, 50)
+        assert sampler.misses == 3
+        assert sampler.num_cached == 3
+        sampler.clear()
+        assert sampler.num_cached == 0

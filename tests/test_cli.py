@@ -49,6 +49,64 @@ class TestTestCommand:
         assert "verdict" in output
 
 
+class TestRankCommand:
+    @pytest.fixture
+    def files(self, tmp_path):
+        graph = community_ring_graph(6, 30, 5.0, 8, random_state=2)
+        edges_path = tmp_path / "graph.txt"
+        events_path = tmp_path / "events.txt"
+        write_edge_list(graph, str(edges_path))
+        write_event_file(
+            {
+                "a": list(range(0, 30)),
+                "b": list(range(10, 40)),
+                "c": list(range(90, 120)),
+            },
+            str(events_path),
+        )
+        return str(edges_path), str(events_path)
+
+    def test_all_pairs_ranked(self, files, capsys):
+        edges_path, events_path = files
+        exit_code = main(
+            [
+                "rank",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--level", "1",
+                "--sample-size", "80",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rank" in output and "verdict" in output
+        assert "sampling passes" in output
+        # 3 events -> 3 unordered pairs in the table.
+        assert output.count("positive") + output.count("negative") + output.count(
+            "independent"
+        ) >= 3
+
+    def test_explicit_pairs_and_top_k(self, files, capsys):
+        edges_path, events_path = files
+        exit_code = main(
+            [
+                "rank",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--pair", "a", "b",
+                "--pair", "a", "c",
+                "--top-k", "1",
+                "--sort-by", "abs_z",
+                "--sample-size", "80",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "pairs tested" in output
+
+
 class TestDatasetCommand:
     def test_dblp_summary(self, capsys):
         exit_code = main(["dataset", "dblp", "--scale", "0.2", "--seed", "1"])
