@@ -14,6 +14,7 @@ import pytest
 from repro.core.batch import BatchTescEngine
 from repro.core.config import TescConfig
 from repro.core.estimators import plain_estimate
+from repro.core.parallel import ParallelBatchTescEngine
 from repro.core.tesc import TescTester
 from repro.datasets.synthetic_dblp import make_dblp_like
 from repro.datasets.synthetic_twitter import make_twitter_like
@@ -60,6 +61,79 @@ def test_batch_bfs_over_event_nodes(benchmark):
     """Algorithm 1 on a 5k-node event set (the Figure 9 x-axis midpoint)."""
     engine = BFSEngine(GRAPH)
     benchmark(lambda: engine.multi_source_vicinity(EVENT_NODES, 1))
+
+
+# 600 reference-node sources for the per-node vs grouped BFS comparison (the
+# shape of one density pass / vicinity-index fill at paper sample sizes).
+BFS_SOURCES = np.random.default_rng(6).choice(GRAPH.num_nodes, size=600, replace=False)
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_vicinity_sizes_per_node_loop(benchmark, level):
+    """Baseline: one Python-level BFS per source (the pre-grouped hot path)."""
+
+    def run():
+        engine = BFSEngine(GRAPH)
+        return np.array(
+            [engine.vicinity(int(source), level).size for source in BFS_SOURCES]
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_vicinity_sizes_grouped(benchmark, level):
+    """The same sizes through the grouped (vectorised multi-source) BFS."""
+    engine = BFSEngine(GRAPH)
+    benchmark.pedantic(
+        lambda: engine.vicinity_sizes(BFS_SOURCES, level), rounds=3, iterations=1
+    )
+
+
+def test_density_counts_grouped(benchmark):
+    """The density-pass primitive: marked counts of 8 events over 600
+    reference vicinities in one grouped traversal."""
+    engine = BFSEngine(GRAPH)
+    indicators = np.random.default_rng(7).random((8, GRAPH.num_nodes)) < 0.05
+    benchmark.pedantic(
+        lambda: engine.grouped_marked_counts(BFS_SOURCES, 1, indicators),
+        rounds=3, iterations=1,
+    )
+
+
+def test_grouped_bfs_beats_per_node_loop():
+    """The vectorised multi-source BFS must beat the per-node Python loop on
+    the vicinity-size workload (the gap is several-fold; best-of-two timings
+    damp scheduler noise on loaded CI runners)."""
+    graph = RANK_DATASET.attributed.csr
+    sources = np.arange(graph.num_nodes, dtype=np.int64)
+
+    def loop():
+        engine = BFSEngine(graph)
+        return np.array(
+            [engine.vicinity(int(source), 2).size for source in sources]
+        )
+
+    def grouped():
+        return BFSEngine(graph).vicinity_sizes(sources, 2)
+
+    def best_of_two(func):
+        timings = []
+        for _ in range(2):
+            started = time.perf_counter()
+            result = func()
+            timings.append(time.perf_counter() - started)
+        return result, min(timings)
+
+    loop_sizes, loop_seconds = best_of_two(loop)
+    grouped_sizes, grouped_seconds = best_of_two(grouped)
+    speedup = loop_seconds / grouped_seconds if grouped_seconds > 0 else float("inf")
+    print(
+        f"\nper-node loop: {loop_seconds:.3f}s, grouped BFS: {grouped_seconds:.3f}s, "
+        f"speedup: {speedup:.1f}x over {sources.size} sources at h=2"
+    )
+    np.testing.assert_array_equal(loop_sizes, grouped_sizes)
+    assert grouped_seconds < loop_seconds
 
 
 @pytest.mark.parametrize("sample_size", [300, 900])
@@ -129,3 +203,73 @@ def test_batch_engine_beats_per_pair_loop():
     )
     assert len(ranking) == len(loop_results)
     assert batch_seconds < loop_seconds
+
+
+# A heavier DBLP-like workload for the serial-vs-parallel comparison: 50
+# keyword pairs at the paper's n=900 sample size, the shape of the 50-pair
+# acceptance run.  Pool start-up and shard transport are part of the measured
+# parallel times (a fresh engine per round), so the comparison is honest
+# about overheads; the parallel win scales with the number of physical cores
+# the runner provides.
+PARALLEL_DATASET = make_dblp_like(
+    num_communities=28, community_size=60, num_positive_pairs=13,
+    num_negative_pairs=12, num_background_keywords=50, random_state=11,
+)
+PARALLEL_PAIRS = (
+    list(PARALLEL_DATASET.positive_pairs)
+    + list(PARALLEL_DATASET.negative_pairs)
+    + [
+        (PARALLEL_DATASET.background_events[i], PARALLEL_DATASET.background_events[i + 1])
+        for i in range(0, len(PARALLEL_DATASET.background_events), 2)
+    ]
+)
+PARALLEL_CONFIG = TescConfig(vicinity_level=1, sample_size=900, random_state=17)
+
+
+def test_rank_pairs_serial_fifty(benchmark):
+    """Serial baseline: the 50-pair workload through one BatchTescEngine."""
+
+    def run():
+        engine = BatchTescEngine(PARALLEL_DATASET.attributed, PARALLEL_CONFIG)
+        return engine.rank_pairs(PARALLEL_PAIRS)
+
+    ranking = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(ranking) == len(PARALLEL_PAIRS)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_rank_pairs_parallel_fifty(benchmark, workers):
+    """The same 50 pairs sharded across a process pool."""
+
+    def run():
+        with ParallelBatchTescEngine(
+            PARALLEL_DATASET.attributed, PARALLEL_CONFIG, workers=workers
+        ) as engine:
+            return engine.rank_pairs(PARALLEL_PAIRS)
+
+    ranking = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(ranking) == len(PARALLEL_PAIRS)
+
+
+def test_parallel_engine_matches_serial_on_bench_workload():
+    """Sanity alongside the timing cases: the parallel path returns exactly
+    the serial ranking on the benchmark workload (and reports its speedup —
+    wall-clock parity is expected on single-core runners, a multiple on
+    multi-core ones, so no timing assertion is made here)."""
+    serial_engine = BatchTescEngine(PARALLEL_DATASET.attributed, PARALLEL_CONFIG)
+    started = time.perf_counter()
+    serial = serial_engine.rank_pairs(PARALLEL_PAIRS)
+    serial_seconds = time.perf_counter() - started
+    with ParallelBatchTescEngine(
+        PARALLEL_DATASET.attributed, PARALLEL_CONFIG, workers=4
+    ) as engine:
+        started = time.perf_counter()
+        parallel = engine.rank_pairs(PARALLEL_PAIRS)
+        parallel_seconds = time.perf_counter() - started
+    print(
+        f"\nserial: {serial_seconds:.3f}s, parallel (4 workers): "
+        f"{parallel_seconds:.3f}s over {len(PARALLEL_PAIRS)} pairs"
+    )
+    assert [pair.events for pair in parallel] == [pair.events for pair in serial]
+    assert [pair.score for pair in parallel] == [pair.score for pair in serial]
+    assert [pair.verdict for pair in parallel] == [pair.verdict for pair in serial]

@@ -20,6 +20,7 @@ True
 """
 
 from repro.core.batch import BatchTescEngine, PairRanking, RankedPair, rank_pairs
+from repro.core.parallel import ParallelBatchTescEngine, rank_pairs_parallel
 from repro.core.config import TescConfig
 from repro.core.tesc import TescResult, TescTester, measure_tesc
 from repro.events.attributed_graph import AttributedGraph
@@ -44,5 +45,7 @@ __all__ = [
     "CorrelationVerdict",
     "measure_tesc",
     "rank_pairs",
+    "rank_pairs_parallel",
+    "ParallelBatchTescEngine",
     "__version__",
 ]

@@ -24,12 +24,13 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
-from repro.core.batch import SORT_KEYS, BatchTescEngine
+from repro.core.batch import SORT_KEYS
 from repro.core.config import TescConfig
+from repro.core.parallel import ParallelBatchTescEngine, resolve_workers
 from repro.core.tesc import TescTester
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.events.attributed_graph import AttributedGraph
-from repro.experiments.runner import available_experiments, run_experiment
+from repro.experiments.runner import available_experiments, run_all
 from repro.graph.io import read_edge_list, read_event_file
 from repro.graph.metrics import summarize_graph
 from repro.sampling.registry import available_samplers
@@ -85,13 +86,27 @@ def build_parser() -> argparse.ArgumentParser:
     rank_parser.add_argument("--markdown", action="store_true",
                              help="render the ranking as markdown")
     rank_parser.add_argument("--seed", type=int, default=None)
+    rank_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the pair workload across N worker processes "
+             "(0 = one per core); results are identical to a serial run",
+    )
 
     experiment_parser = subparsers.add_parser(
-        "experiment", help="reproduce one of the paper's tables/figures"
+        "experiment", help="reproduce one or more of the paper's tables/figures"
     )
-    experiment_parser.add_argument("experiment_id", choices=available_experiments())
+    experiment_parser.add_argument(
+        "experiment_ids", nargs="+", choices=available_experiments(),
+        metavar="experiment_id",
+        help="one or more of: " + ", ".join(available_experiments()),
+    )
     experiment_parser.add_argument("--markdown", action="store_true",
                                    help="render tables as markdown")
+    experiment_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan multiple experiments out across N worker processes "
+             "(0 = one per core)",
+    )
 
     dataset_parser = subparsers.add_parser("dataset", help="generate a synthetic dataset")
     dataset_parser.add_argument("name", choices=available_datasets())
@@ -155,18 +170,23 @@ def _command_rank(args: argparse.Namespace) -> int:
         random_state=args.seed,
     )
     pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"
-    engine = BatchTescEngine(attributed, config)
-    ranking = engine.rank_pairs(pairs, top_k=args.top_k, sort_by=args.sort_by)
+    workers = resolve_workers(args.workers)
+    # The parallel engine degrades to the serial BatchTescEngine in-process
+    # when workers <= 1, so one code path serves both modes.
+    with ParallelBatchTescEngine(attributed, config, workers=workers) as engine:
+        ranking = engine.rank_pairs(pairs, top_k=args.top_k, sort_by=args.sort_by)
+        stats = engine.stats
     print(ranking.render(markdown=args.markdown))
     print()
     print(
         render_mapping(
             {
-                "pairs tested": engine.stats.num_pairs,
-                "events involved": engine.stats.num_events,
+                "pairs tested": stats.num_pairs,
+                "events involved": stats.num_events,
                 "shared reference nodes": ranking.sample.num_distinct,
-                "sampling passes": engine.stats.samples_drawn,
-                "density BFS calls": engine.stats.density_bfs_calls,
+                "sampling passes": stats.samples_drawn,
+                "density BFS calls": stats.density_bfs_calls,
+                "workers": workers,
                 "sampler": args.sampler,
                 "level": args.level,
             },
@@ -177,8 +197,11 @@ def _command_rank(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment_id)
-    print(result.render(markdown=args.markdown))
+    results = run_all(args.experiment_ids, workers=args.workers)
+    for index, result in enumerate(results):
+        if index:
+            print()
+        print(result.render(markdown=args.markdown))
     return 0
 
 

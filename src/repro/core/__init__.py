@@ -4,10 +4,18 @@ The public entry points are :class:`TescTester` (per-pair object API),
 :func:`measure_tesc` (one-call convenience function), and — for many-pair
 workloads — :class:`BatchTescEngine` / :func:`rank_pairs`, which amortise
 sampling, vicinity indexing and density computation across a whole pair set
-and return a ranked :class:`PairRanking`.
+and return a ranked :class:`PairRanking`.  For multi-core machines,
+:class:`ParallelBatchTescEngine` / ``rank_pairs(..., workers=N)`` shard the
+pair workload across a process pool with results identical to the serial
+engine.
 """
 
 from repro.core.batch import BatchTescEngine, PairRanking, RankedPair, rank_pairs
+from repro.core.parallel import (
+    ParallelBatchTescEngine,
+    rank_pairs_parallel,
+    resolve_workers,
+)
 from repro.core.config import TescConfig
 from repro.core.density import DensityComputer, DensityMatrix, density_vectors
 from repro.core.concordance import concordance, concordance_counts
@@ -22,6 +30,9 @@ from repro.core.weighted import distance_weighted_densities, weighted_tesc_score
 
 __all__ = [
     "BatchTescEngine",
+    "ParallelBatchTescEngine",
+    "rank_pairs_parallel",
+    "resolve_workers",
     "TescConfig",
     "DensityComputer",
     "DensityMatrix",

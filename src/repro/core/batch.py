@@ -135,6 +135,8 @@ class BatchStats:
     sample_cache_hits: int = 0
     density_passes: int = 0
     density_bfs_calls: int = 0
+    workers: int = 1
+    shards: int = 1
     timings: Dict[str, float] = field(default_factory=dict)
 
 
@@ -447,56 +449,12 @@ class BatchTescEngine:
         )
         batcher = self._batcher(matrix, matrix_key + (tuple(events),))
 
-        results: List[RankedPair] = []
         with timer.lap("estimates"):
-            for event_a, event_b in pair_list:
-                row_a, row_b = row_of[event_a], row_of[event_b]
-                columns = matrix.pair_rows(row_a, row_b)
-                if columns.size < 2:
-                    if on_insufficient == "raise":
-                        raise InsufficientSampleError(
-                            f"pair ({event_a!r}, {event_b!r}) has only "
-                            f"{columns.size} reference nodes in the shared sample"
-                        )
-                    results.append(
-                        RankedPair(
-                            rank=0, event_a=event_a, event_b=event_b,
-                            score=0.0, z_score=0.0, p_value=1.0,
-                            verdict=CorrelationVerdict.INDEPENDENT,
-                            num_reference_nodes=int(columns.size),
-                            degenerate=True, insufficient=True,
-                        )
-                    )
-                    continue
-                components: EstimateComponents = batcher.estimate_pair(
-                    row_a, row_b, columns
-                )
-                significance = decide(components.z_score, cfg.alpha, cfg.alternative)
-                results.append(
-                    RankedPair(
-                        rank=0, event_a=event_a, event_b=event_b,
-                        score=components.estimate,
-                        z_score=components.z_score,
-                        p_value=significance.p_value,
-                        verdict=significance.verdict,
-                        num_reference_nodes=components.num_reference_nodes,
-                        degenerate=components.degenerate,
-                    )
-                )
-
-        results.sort(key=lambda pair: self._sort_value(pair, sort_by))
-        if top_k is not None:
-            results = results[: max(int(top_k), 0)]
-        ranked = tuple(
-            RankedPair(
-                rank=position + 1, event_a=pair.event_a, event_b=pair.event_b,
-                score=pair.score, z_score=pair.z_score, p_value=pair.p_value,
-                verdict=pair.verdict,
-                num_reference_nodes=pair.num_reference_nodes,
-                degenerate=pair.degenerate, insufficient=pair.insufficient,
+            results = self._estimate_pair_list(
+                pair_list, row_of, matrix, batcher, cfg, on_insufficient
             )
-            for position, pair in enumerate(results)
-        )
+
+        ranked = finalise_ranking(results, sort_by, top_k)
 
         call_stats.num_events = len(events)
         call_stats.num_pairs = len(pair_list)
@@ -512,6 +470,112 @@ class BatchTescEngine:
             stats=call_stats,
         )
 
+    def _estimate_pair_list(
+        self,
+        pair_list: Sequence[Tuple[str, str]],
+        row_of: Dict[str, int],
+        matrix: DensityMatrix,
+        batcher: PairEstimateBatcher,
+        cfg: TescConfig,
+        on_insufficient: str,
+    ) -> List[RankedPair]:
+        """Per-pair estimates over a shared density matrix (unranked).
+
+        This is the per-pair half of :meth:`rank_pairs`, factored out so the
+        parallel engine's worker shards run exactly the same arithmetic on
+        their slice of the pair workload.
+        """
+        results: List[RankedPair] = []
+        for event_a, event_b in pair_list:
+            row_a, row_b = row_of[event_a], row_of[event_b]
+            columns = matrix.pair_rows(row_a, row_b)
+            if columns.size < 2:
+                if on_insufficient == "raise":
+                    raise InsufficientSampleError(
+                        f"pair ({event_a!r}, {event_b!r}) has only "
+                        f"{columns.size} reference nodes in the shared sample"
+                    )
+                results.append(
+                    RankedPair(
+                        rank=0, event_a=event_a, event_b=event_b,
+                        score=0.0, z_score=0.0, p_value=1.0,
+                        verdict=CorrelationVerdict.INDEPENDENT,
+                        num_reference_nodes=int(columns.size),
+                        degenerate=True, insufficient=True,
+                    )
+                )
+                continue
+            components: EstimateComponents = batcher.estimate_pair(
+                row_a, row_b, columns
+            )
+            significance = decide(components.z_score, cfg.alpha, cfg.alternative)
+            results.append(
+                RankedPair(
+                    rank=0, event_a=event_a, event_b=event_b,
+                    score=components.estimate,
+                    z_score=components.z_score,
+                    p_value=significance.p_value,
+                    verdict=significance.verdict,
+                    num_reference_nodes=components.num_reference_nodes,
+                    degenerate=components.degenerate,
+                )
+            )
+        return results
+
+    def estimate_pairs_on_nodes(
+        self,
+        pairs: PairSpec,
+        reference_nodes: np.ndarray,
+        config: Optional[TescConfig] = None,
+        on_insufficient: str = "keep",
+    ) -> List[RankedPair]:
+        """Estimate pairs against an externally supplied reference-node set.
+
+        No sampling happens: the caller provides the (already drawn) shared
+        reference nodes and this method runs only the density pass and the
+        per-pair estimates.  This is the shard entry point of
+        :class:`~repro.core.parallel.ParallelBatchTescEngine` — the parent
+        process draws one sample and every worker evaluates its pair shard on
+        those same nodes, which keeps parallel results bit-identical to the
+        serial engine.  Returned pairs are unranked (``rank=0``) and in input
+        order.
+        """
+        cfg = config if config is not None else self.config
+        timer = Timer()
+        call_stats = BatchStats()
+
+        pair_list = self._resolve_pairs(pairs)
+        events = sorted({event for pair in pair_list for event in pair})
+        row_of = {event: row for row, event in enumerate(events)}
+        self.attributed.indicator_matrix(events)
+
+        nodes = np.unique(np.asarray(reference_nodes, dtype=np.int64))
+        sample = ReferenceSample(
+            nodes=nodes,
+            frequencies=np.ones(nodes.size, dtype=np.int64),
+            probabilities=None,
+            weighted=False,
+            population_size=None,
+        )
+        matrix_key = self._sampler_key(cfg) + (
+            event_nodes_fingerprint(nodes), cfg.vicinity_level, int(nodes.size),
+        )
+        matrix = self._density_matrix(
+            cfg, events, sample, matrix_key, timer, call_stats
+        )
+        batcher = self._batcher(matrix, matrix_key + (tuple(events),))
+        with timer.lap("estimates"):
+            results = self._estimate_pair_list(
+                pair_list, row_of, matrix, batcher, cfg, on_insufficient
+            )
+
+        call_stats.num_events = len(events)
+        call_stats.num_pairs = len(pair_list)
+        for name in ("sampling", "densities", "estimates"):
+            call_stats.timings[name] = timer.total(name)
+        self._accumulate(call_stats)
+        return results
+
     def _accumulate(self, call_stats: BatchStats) -> None:
         """Fold one call's counters into the engine-lifetime :attr:`stats`."""
         self.stats.num_events = call_stats.num_events
@@ -523,18 +587,44 @@ class BatchTescEngine:
         for name, seconds in call_stats.timings.items():
             self.stats.timings[name] = self.stats.timings.get(name, 0.0) + seconds
 
-    @staticmethod
-    def _sort_value(pair: RankedPair, sort_by: str) -> tuple:
-        if sort_by == "score":
-            primary = -pair.score
-        elif sort_by == "z_score":
-            primary = -pair.z_score
-        elif sort_by == "abs_z":
-            primary = -abs(pair.z_score)
-        else:  # p_value — most significant first, direction-agnostic
-            primary = pair.p_value
-        # Deterministic tie-break so equal statistics rank stably.
-        return (primary, pair.event_a, pair.event_b)
+def _sort_value(pair: RankedPair, sort_by: str) -> tuple:
+    if sort_by == "score":
+        primary = -pair.score
+    elif sort_by == "z_score":
+        primary = -pair.z_score
+    elif sort_by == "abs_z":
+        primary = -abs(pair.z_score)
+    else:  # p_value — most significant first, direction-agnostic
+        primary = pair.p_value
+    # Deterministic tie-break so equal statistics rank stably.
+    return (primary, pair.event_a, pair.event_b)
+
+
+def finalise_ranking(
+    results: Iterable[RankedPair],
+    sort_by: str,
+    top_k: Optional[int] = None,
+) -> Tuple[RankedPair, ...]:
+    """Sort unranked pair results and assign 1-based ranks.
+
+    Shared by the serial engine and the parallel engine's merge step: because
+    the sort key is a deterministic total order (statistic plus event-name
+    tie-break), the final ranking is independent of how the results were
+    sharded across workers.
+    """
+    ordered = sorted(results, key=lambda pair: _sort_value(pair, sort_by))
+    if top_k is not None:
+        ordered = ordered[: max(int(top_k), 0)]
+    return tuple(
+        RankedPair(
+            rank=position + 1, event_a=pair.event_a, event_b=pair.event_b,
+            score=pair.score, z_score=pair.z_score, p_value=pair.p_value,
+            verdict=pair.verdict,
+            num_reference_nodes=pair.num_reference_nodes,
+            degenerate=pair.degenerate, insufficient=pair.insufficient,
+        )
+        for position, pair in enumerate(ordered)
+    )
 
 
 def rank_pairs(
@@ -543,13 +633,16 @@ def rank_pairs(
     top_k: Optional[int] = None,
     sort_by: str = "score",
     vicinity_level: int = 1,
+    workers: Optional[int] = None,
     **config_kwargs,
 ) -> PairRanking:
     """One-call convenience wrapper around :class:`BatchTescEngine`.
 
     ``config_kwargs`` accepts any :class:`~repro.core.config.TescConfig`
     field, e.g. ``sample_size=900``, ``sampler="exhaustive"`` or
-    ``random_state=42``.
+    ``random_state=42``.  ``workers`` > 1 shards the pair workload across a
+    process pool via :class:`~repro.core.parallel.ParallelBatchTescEngine`;
+    the results are identical to the serial engine's.
 
     Examples
     --------
@@ -564,6 +657,12 @@ def rank_pairs(
     [1, 2, 3]
     """
     config = TescConfig(vicinity_level=vicinity_level, **config_kwargs)
+    if workers is not None:
+        from repro.core.parallel import ParallelBatchTescEngine, resolve_workers
+
+        if resolve_workers(workers) > 1:
+            with ParallelBatchTescEngine(attributed, config, workers=workers) as engine:
+                return engine.rank_pairs(pairs, top_k=top_k, sort_by=sort_by)
     return BatchTescEngine(attributed, config).rank_pairs(
         pairs, top_k=top_k, sort_by=sort_by
     )

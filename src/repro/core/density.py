@@ -154,14 +154,11 @@ class DensityComputer:
         nodes = np.asarray(
             list(int(node) for node in reference_nodes), dtype=np.int64
         )
-        num_events = indicators.shape[0]
-        counts = np.zeros((num_events, nodes.size), dtype=np.int64)
-        sizes = np.zeros(nodes.size, dtype=np.int64)
-        for column, node in enumerate(nodes):
-            vicinity = self.engine.vicinity(int(node), level)
-            sizes[column] = vicinity.size
-            if vicinity.size:
-                counts[:, column] = indicators[:, vicinity].sum(axis=1)
+        # One grouped multi-source BFS instead of one Python-level BFS per
+        # reference node: every block of reference vicinities is expanded by
+        # vectorised frontier passes and all events' occurrence counts fall
+        # out of a single matrix product per block.
+        counts, sizes = self.engine.grouped_marked_counts(nodes, level, indicators)
         safe_sizes = np.where(sizes > 0, sizes, 1)
         densities = counts / safe_sizes[np.newaxis, :].astype(float)
         return DensityMatrix(

@@ -1,0 +1,420 @@
+"""Parallel sharded pair ranking over a process pool.
+
+:class:`ParallelBatchTescEngine` is the multi-core sibling of
+:class:`~repro.core.batch.BatchTescEngine`.  The serial engine already
+amortises sampling, density and estimator work across a pair set; this engine
+additionally fans the *per-pair* work out across worker processes:
+
+1. **One sample, drawn once, in the parent.**  The parent process draws the
+   shared reference sample over the union universe of all events exactly as
+   the serial engine would (same sampler, same RNG stream), then broadcasts
+   the reference-node ids to every shard.  Because each worker evaluates its
+   pairs on those very nodes, every per-pair density, estimate, z-score and
+   verdict is **bit-identical to the serial engine** — in exhaustive mode and
+   in sampled mode alike.
+2. **Pair shards, round-robin.**  The pair list is dealt round-robin across
+   ``workers`` shards.  Each shard computes the density matrix and sign
+   matrices only for the events its pairs touch and shares them among those
+   pairs through the worker-resident :class:`BatchTescEngine` caches.
+3. **Per-shard deterministic seeding.**  Each shard receives a seed derived
+   from the root ``random_state`` through :class:`numpy.random.SeedSequence`
+   spawning (shard ``i`` always receives the same seed for the same root),
+   so any future stochastic work inside a shard is reproducible and
+   independent of the number of workers.  The seed travels alongside — not
+   inside — the shard's config, keeping worker caches shard-agnostic.
+   Today's shards consume no randomness — the sample is drawn by the parent
+   — which is what makes the bit-identity guarantee unconditional.
+4. **Deterministic merge.**  Shard results are merged in the parent and
+   ranked with the same total order (statistic plus event-name tie-break) the
+   serial engine uses, so the final ranking does not depend on sharding or
+   completion order.
+
+Workers are plain forked/spawned processes holding a copy of the CSR arrays
+and the event layer; the pool is created lazily on the first parallel call
+and reused until :meth:`ParallelBatchTescEngine.close` (the engine is also a
+context manager).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch import (
+    SORT_KEYS,
+    BatchStats,
+    BatchTescEngine,
+    PairRanking,
+    PairSpec,
+    RankedPair,
+    finalise_ranking,
+)
+from repro.core.config import TescConfig
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import ConfigurationError
+from repro.utils.timing import Timer
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` request into a concrete positive count.
+
+    ``None`` and ``1`` mean serial; ``0`` and negative values mean "one per
+    available core"; any other positive integer is used as given.
+    """
+    if workers is None:
+        return 1
+    count = int(workers)
+    if count <= 0:
+        return os.cpu_count() or 1
+    return count
+
+
+def shard_pairs(
+    pair_list: Sequence[Tuple[str, str]], num_shards: int
+) -> List[List[Tuple[str, str]]]:
+    """Deal pairs round-robin into at most ``num_shards`` non-empty shards.
+
+    Round-robin keeps shard sizes within one pair of each other, so the
+    slowest worker finishes at most one pair's work behind the rest.
+    """
+    num_shards = max(1, min(int(num_shards), len(pair_list)))
+    shards: List[List[Tuple[str, str]]] = [[] for _ in range(num_shards)]
+    for position, pair in enumerate(pair_list):
+        shards[position % num_shards].append(pair)
+    return shards
+
+
+def shard_seeds(
+    random_state, count: int
+) -> List[Optional[int]]:
+    """Derive one deterministic integer seed per shard from the root state.
+
+    Integer (or :class:`numpy.random.SeedSequence`) roots are spawned into
+    independent child sequences — shard ``i`` gets the same seed for the same
+    root no matter how the pair list is sharded.  ``None`` stays ``None``
+    (fresh entropy), and generator roots also map to ``None`` rather than
+    consuming draws from the caller's stream.
+    """
+    if count <= 0:
+        return []
+    if isinstance(random_state, np.random.SeedSequence):
+        # Spawn from a snapshot: SeedSequence.spawn mutates its counter, so
+        # spawning the caller's object would yield different seeds on every
+        # call (and would perturb the caller's own stream).
+        sequence = np.random.SeedSequence(
+            entropy=random_state.entropy, spawn_key=random_state.spawn_key
+        )
+    elif isinstance(random_state, (int, np.integer)):
+        sequence = np.random.SeedSequence(int(random_state))
+    else:
+        return [None] * count
+    return [
+        int(child.generate_state(1, dtype=np.uint64)[0] >> 1)
+        for child in sequence.spawn(count)
+    ]
+
+
+# -- worker-process plumbing --------------------------------------------------
+
+#: Per-process state built once by :func:`_init_worker` and reused by every
+#: shard the worker handles (graph, event layer, engine with warm caches).
+_WORKER_STATE: Dict[str, object] = {}
+
+#: How many config-distinct engines (each holding density/sign-matrix
+#: caches) a worker process retains before evicting the oldest.
+MAX_WORKER_ENGINES = 4
+
+
+def _init_worker(payload: Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]) -> None:
+    """Rebuild the attributed graph inside a worker process (runs once)."""
+    from repro.graph.csr import CSRGraph
+
+    indptr, indices, event_mapping = payload
+    attributed = AttributedGraph(CSRGraph(indptr, indices), event_mapping)
+    _WORKER_STATE["attributed"] = attributed
+    _WORKER_STATE["engines"] = {}
+
+
+def _config_key(config_kwargs: Dict[str, object]) -> tuple:
+    return tuple(sorted((key, repr(value)) for key, value in config_kwargs.items()))
+
+
+def _rank_shard(
+    config_kwargs: Dict[str, object],
+    shard: List[Tuple[str, str]],
+    reference_nodes: np.ndarray,
+    on_insufficient: str,
+    shard_seed: Optional[int],
+) -> Tuple[List[RankedPair], BatchStats]:
+    """Worker entry point: estimate one pair shard on the shared sample.
+
+    ``shard_seed`` is the shard's deterministic seed (see
+    :func:`shard_seeds`).  It is deliberately *not* folded into the engine's
+    config: today's shards consume no randomness (the sample was drawn by
+    the parent), and keeping the config seed-free lets a pooled worker's
+    density-matrix and sign-matrix caches serve any shard of any call.
+    Future stochastic estimators should seed their generators from it.
+    """
+    attributed: AttributedGraph = _WORKER_STATE["attributed"]  # type: ignore[assignment]
+    engines: Dict[tuple, BatchTescEngine] = _WORKER_STATE["engines"]  # type: ignore[assignment]
+    config = TescConfig(**config_kwargs)
+    key = _config_key(config_kwargs)
+    engine = engines.get(key)
+    if engine is None:
+        while len(engines) >= MAX_WORKER_ENGINES:
+            del engines[next(iter(engines))]
+        engine = BatchTescEngine(attributed, config)
+        engines[key] = engine
+    passes_before = engine.stats.density_passes
+    bfs_before = engine.stats.density_bfs_calls
+    timings_before = dict(engine.stats.timings)
+    results = engine.estimate_pairs_on_nodes(
+        shard, reference_nodes, config, on_insufficient
+    )
+    shard_stats = BatchStats(
+        num_events=engine.stats.num_events,
+        num_pairs=len(shard),
+        density_passes=engine.stats.density_passes - passes_before,
+        density_bfs_calls=engine.stats.density_bfs_calls - bfs_before,
+        timings={
+            name: seconds - timings_before.get(name, 0.0)
+            for name, seconds in engine.stats.timings.items()
+        },
+    )
+    return results, shard_stats
+
+
+class ParallelBatchTescEngine:
+    """Sharded multi-process TESC pair ranking.
+
+    Parameters
+    ----------
+    attributed:
+        The attributed graph to test on.
+    config:
+        Default :class:`~repro.core.config.TescConfig` (same restrictions as
+        the serial engine: uniform samplers only).
+    workers:
+        Worker-process count; see :func:`resolve_workers`.  ``1`` (the
+        default) degrades to the serial engine in-process — no pool is
+        created — so the engine is safe to use unconditionally.
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name (``"fork"``,
+        ``"spawn"``, ``"forkserver"``).  Defaults to ``"fork"`` where
+        available (cheap worker start-up on Linux), else the platform
+        default.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import community_ring_graph
+    >>> from repro.events import AttributedGraph
+    >>> graph = community_ring_graph(8, 40, 5.0, 10, random_state=3)
+    >>> attributed = AttributedGraph(
+    ...     graph, {"a": range(0, 30), "b": range(10, 40), "c": range(160, 200)}
+    ... )
+    >>> config = TescConfig(sample_size=120, random_state=3)
+    >>> with ParallelBatchTescEngine(attributed, config, workers=2) as engine:
+    ...     ranking = engine.rank_pairs("all")
+    >>> len(ranking)
+    3
+    """
+
+    def __init__(
+        self,
+        attributed: AttributedGraph,
+        config: Optional[TescConfig] = None,
+        workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.attributed = attributed
+        self.config = config if config is not None else TescConfig()
+        self.workers = resolve_workers(workers)
+        self._mp_context = mp_context
+        self._serial = BatchTescEngine(attributed, self.config)
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_workers = 0
+        self.stats = BatchStats(workers=self.workers)
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _payload(self) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+        csr = self.attributed.csr
+        mapping = {
+            event: self.attributed.event_nodes(event)
+            for event in self.attributed.event_names()
+        }
+        return csr.indptr, csr.indices, mapping
+
+    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
+        # Grow-only: a larger pool serves smaller calls (idle workers cost
+        # nothing), so re-forking — which would discard every worker's warm
+        # caches — happens only when more workers are genuinely needed.
+        if self._executor is not None and self._executor_workers < workers:
+            self.close()
+        if self._executor is None:
+            method = self._mp_context
+            if method is None:
+                available = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in available else None
+            context = multiprocessing.get_context(method)
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(self._payload(),),
+            )
+            self._executor_workers = workers
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = 0
+
+    def __enter__(self) -> "ParallelBatchTescEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the public API ------------------------------------------------------
+
+    def rank_pairs(
+        self,
+        pairs: PairSpec = "all",
+        top_k: Optional[int] = None,
+        sort_by: str = "score",
+        config: Optional[TescConfig] = None,
+        on_insufficient: str = "keep",
+        workers: Optional[int] = None,
+    ) -> PairRanking:
+        """Test every pair in ``pairs`` across the worker pool, ranked.
+
+        Same contract as :meth:`BatchTescEngine.rank_pairs`, with results
+        guaranteed identical to the serial engine's; ``workers`` optionally
+        overrides the engine-level count for this call.
+        """
+        if sort_by not in SORT_KEYS:
+            raise ConfigurationError(
+                f"sort_by must be one of {SORT_KEYS}, got {sort_by!r}"
+            )
+        if on_insufficient not in ("keep", "raise"):
+            raise ConfigurationError(
+                f'on_insufficient must be "keep" or "raise", got {on_insufficient!r}'
+            )
+        cfg = config if config is not None else self.config
+        worker_count = (
+            resolve_workers(workers) if workers is not None else self.workers
+        )
+        pair_list = self._serial._resolve_pairs(pairs)
+        if worker_count <= 1 or len(pair_list) < 2:
+            # Hand the serial engine the resolved list — resolving drained
+            # ``pairs`` if the caller passed a one-shot iterable.
+            ranking = self._serial.rank_pairs(
+                pair_list, top_k=top_k, sort_by=sort_by, config=cfg,
+                on_insufficient=on_insufficient,
+            )
+            self._accumulate(ranking.stats)
+            return ranking
+
+        timer = Timer()
+        call_stats = BatchStats(workers=worker_count)
+
+        events = sorted({event for pair in pair_list for event in pair})
+        # Touching every indicator up front surfaces unknown events in the
+        # parent before any processes are involved.
+        self.attributed.indicator_matrix(events)
+        universe = self._serial._universe(events)
+        sample, _matrix_key = self._serial._shared_sample(
+            cfg, universe, timer, call_stats
+        )
+
+        shards = shard_pairs(pair_list, worker_count)
+        seeds = shard_seeds(cfg.random_state, len(shards))
+        # Shard configs are seed-free (the seed travels separately) so a
+        # worker's caches can serve any shard of any call; see _rank_shard.
+        base_kwargs = asdict(cfg)
+        base_kwargs["random_state"] = None
+        # Never fork more processes than there are shards to hand out.
+        executor = self._ensure_executor(min(worker_count, len(shards)))
+        futures = []
+        for shard, seed in zip(shards, seeds):
+            futures.append(
+                executor.submit(
+                    _rank_shard, base_kwargs, shard, sample.nodes,
+                    on_insufficient, seed,
+                )
+            )
+        results: List[RankedPair] = []
+        worker_density_seconds = 0.0
+        with timer.lap("estimates"):
+            for future in futures:
+                shard_results, shard_stats = future.result()
+                results.extend(shard_results)
+                call_stats.density_passes += shard_stats.density_passes
+                call_stats.density_bfs_calls += shard_stats.density_bfs_calls
+                worker_density_seconds += shard_stats.timings.get("densities", 0.0)
+
+        ranked = finalise_ranking(results, sort_by, top_k)
+
+        call_stats.num_events = len(events)
+        call_stats.num_pairs = len(pair_list)
+        call_stats.shards = len(shards)
+        for name in ("sampling", "estimates"):
+            call_stats.timings[name] = timer.total(name)
+        # Aggregate worker-side density seconds (summed across shards, so
+        # this is CPU time; "estimates" above is the parent's wall time
+        # spent waiting on the pool).
+        call_stats.timings["densities"] = worker_density_seconds
+        self._accumulate(call_stats)
+        return PairRanking(
+            pairs=ranked,
+            vicinity_level=cfg.vicinity_level,
+            sort_by=sort_by,
+            alpha=cfg.alpha,
+            sample=sample,
+            stats=call_stats,
+        )
+
+    def _accumulate(self, call_stats: BatchStats) -> None:
+        self.stats.num_events = call_stats.num_events
+        self.stats.num_pairs += call_stats.num_pairs
+        self.stats.samples_drawn += call_stats.samples_drawn
+        self.stats.sample_cache_hits += call_stats.sample_cache_hits
+        self.stats.density_passes += call_stats.density_passes
+        self.stats.density_bfs_calls += call_stats.density_bfs_calls
+        self.stats.shards = call_stats.shards
+        for name, seconds in call_stats.timings.items():
+            self.stats.timings[name] = self.stats.timings.get(name, 0.0) + seconds
+
+
+def rank_pairs_parallel(
+    attributed: AttributedGraph,
+    pairs: PairSpec = "all",
+    workers: Optional[int] = 0,
+    top_k: Optional[int] = None,
+    sort_by: str = "score",
+    vicinity_level: int = 1,
+    **config_kwargs,
+) -> PairRanking:
+    """One-call convenience wrapper around :class:`ParallelBatchTescEngine`.
+
+    ``workers`` defaults to one per available core (``0``); the pool is torn
+    down before returning.
+    """
+    config = TescConfig(vicinity_level=vicinity_level, **config_kwargs)
+    with ParallelBatchTescEngine(attributed, config, workers=workers) as engine:
+        return engine.rank_pairs(pairs, top_k=top_k, sort_by=sort_by)

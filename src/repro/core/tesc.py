@@ -10,8 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from repro.core.config import TescConfig
 from repro.core.density import DensityComputer
 from repro.core.estimators import (

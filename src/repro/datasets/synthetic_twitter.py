@@ -9,8 +9,6 @@ a Barabási–Albert-style generator at a configurable scale.
 
 from __future__ import annotations
 
-from repro.graph.adjacency import Graph
-from repro.graph.csr import CSRGraph
 from repro.graph.generators import barabasi_albert_graph
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_positive_int

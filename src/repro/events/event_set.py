@@ -9,7 +9,7 @@ event or it does not; per-node intensities are modelled separately in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Mapping, Set
 
 import numpy as np
 

@@ -12,8 +12,6 @@ import time
 from dataclasses import dataclass
 from typing import Tuple
 
-import numpy as np
-
 from repro.core.estimators import plain_estimate
 from repro.datasets.synthetic_twitter import make_twitter_like
 from repro.experiments.base import ExperimentResult, experiment_timer

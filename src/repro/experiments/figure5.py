@@ -12,7 +12,7 @@ harder to break) is the reproduction target.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 from repro.core.config import TescConfig
 from repro.datasets.synthetic_dblp import make_dblp_like

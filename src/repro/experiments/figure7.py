@@ -11,7 +11,7 @@ positive h=3 noise 0.1, negative h=2 noise 0.5, negative h=3 noise 0.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.config import TescConfig

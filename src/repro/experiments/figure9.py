@@ -11,9 +11,7 @@ competitive for large event sets and high h.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
-
-import numpy as np
+from typing import Tuple
 
 from repro.experiments.base import ExperimentResult, experiment_timer
 from repro.datasets.synthetic_twitter import make_twitter_like

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import ExperimentError
@@ -60,9 +61,32 @@ def run_experiment(experiment_id: str, config=None, **config_overrides) -> Exper
 
 
 def run_all(experiment_ids: Optional[List[str]] = None,
-            progress: Optional[Callable[[str], None]] = None) -> List[ExperimentResult]:
-    """Run several (default: all) experiments with their default configs."""
-    ids = experiment_ids if experiment_ids is not None else available_experiments()
+            progress: Optional[Callable[[str], None]] = None,
+            workers: Optional[int] = None) -> List[ExperimentResult]:
+    """Run several (default: all) experiments with their default configs.
+
+    ``workers`` > 1 fans the experiments out across a process pool, one
+    worker task per experiment (each experiment seeds its own RNG from its
+    config, so results are identical to a serial run).  Results are returned
+    in the requested order either way.  ``workers=0`` or negative means one
+    worker per available core.
+    """
+    from repro.core.parallel import resolve_workers
+
+    ids = list(experiment_ids) if experiment_ids is not None else available_experiments()
+    for experiment_id in ids:
+        if experiment_id not in _REGISTRY:
+            raise ExperimentError(
+                f"unknown experiment {experiment_id!r}; available: "
+                f"{', '.join(available_experiments())}"
+            )
+    worker_count = resolve_workers(workers)
+    if worker_count > 1 and len(ids) > 1:
+        if progress is not None:
+            for experiment_id in ids:
+                progress(experiment_id)
+        with ProcessPoolExecutor(max_workers=min(worker_count, len(ids))) as pool:
+            return list(pool.map(run_experiment, ids))
     results: List[ExperimentResult] = []
     for experiment_id in ids:
         if progress is not None:

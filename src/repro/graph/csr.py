@@ -47,10 +47,11 @@ class CSRGraph:
 
     @classmethod
     def from_adjacency(cls, adjacency: Sequence[Iterable[int]]) -> "CSRGraph":
-        """Build from a sequence of per-node neighbour collections."""
-        degrees = np.fromiter((len(list(neigh)) for neigh in adjacency), dtype=np.int64,
-                              count=len(adjacency)) if adjacency else np.zeros(0, np.int64)
-        # Re-materialise neighbour lists because generators were consumed above.
+        """Build from a sequence of per-node neighbour collections.
+
+        Each neighbour collection is materialised exactly once, so one-shot
+        iterables (generators) are safe to pass.
+        """
         neighbour_lists: List[List[int]] = [sorted(neigh) for neigh in adjacency]
         degrees = np.array([len(neigh) for neigh in neighbour_lists], dtype=np.int64)
         indptr = np.zeros(len(neighbour_lists) + 1, dtype=np.int64)

@@ -55,14 +55,24 @@ class VicinityIndex:
             self.precompute()
 
     def precompute(self, level: Optional[int] = None) -> None:
-        """Compute sizes for every node (the paper's offline pass)."""
+        """Compute sizes for every node (the paper's offline pass).
+
+        The pass runs through the grouped multi-source BFS
+        (:meth:`~repro.graph.traversal.BFSEngine.vicinity_sizes`), which
+        advances a whole block of per-node searches per vectorised frontier
+        expansion instead of looping one Python BFS per node.
+        """
         levels = [level] if level is not None else list(self.levels)
         for lvl in levels:
             self._require_level(lvl)
-            sizes = self._sizes[lvl]
-            for node in range(self.graph.num_nodes):
-                if sizes[node] < 0:
-                    sizes[node] = self._engine.vicinity(node, lvl).size
+            self._fill_missing(np.arange(self.graph.num_nodes, dtype=np.int64), lvl)
+
+    def _fill_missing(self, nodes: np.ndarray, level: int) -> None:
+        """Compute and memoise sizes for the uncached nodes among ``nodes``."""
+        sizes = self._sizes[level]
+        missing = nodes[sizes[nodes] < 0]
+        if missing.size:
+            sizes[missing] = self._engine.vicinity_sizes(missing, level)
 
     def size(self, node: int, level: int) -> int:
         """``|V^h_node|`` for ``h = level`` (computed lazily if needed)."""
@@ -75,8 +85,18 @@ class VicinityIndex:
         return size
 
     def sizes(self, nodes: Iterable[int], level: int) -> np.ndarray:
-        """Vector of ``|V^h_v|`` for the given nodes."""
-        return np.array([self.size(int(node), level) for node in nodes], dtype=np.int64)
+        """Vector of ``|V^h_v|`` for the given nodes.
+
+        Uncached nodes are expanded together through one grouped BFS rather
+        than one at a time, so a cold index pays a few vectorised passes
+        instead of ``len(nodes)`` Python-level searches.
+        """
+        self._require_level(level)
+        node_array = np.fromiter(
+            (int(node) for node in nodes), dtype=np.int64
+        )
+        self._fill_missing(np.unique(node_array), level)
+        return self._sizes[level][node_array].copy()
 
     def total_size(self, nodes: Iterable[int], level: int) -> int:
         """``N_sum = sum_v |V^h_v|`` over the given nodes (Section 4.2)."""

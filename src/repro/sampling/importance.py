@@ -117,13 +117,14 @@ class ImportanceSampler(ReferenceSampler):
         nodes = np.array(sorted(frequencies), dtype=np.int64)
         weights = np.array([frequencies[int(node)] for node in nodes], dtype=np.int64)
 
-        # p(r) = |V^h_r ∩ V_{a∪b}| / N_sum for each distinct reference node.
-        probabilities = np.empty(nodes.size, dtype=float)
-        for position, reference in enumerate(nodes):
-            overlap, _ = self._engine.count_marked_in_vicinity(
-                int(reference), level, event_marker
-            )
-            probabilities[position] = overlap / total_size
+        # p(r) = |V^h_r ∩ V_{a∪b}| / N_sum for each distinct reference node,
+        # computed with one grouped BFS over all sampled nodes rather than a
+        # per-node Python loop (no RNG is consumed here, so the sample itself
+        # is unchanged).
+        overlaps, _sizes = self._engine.grouped_marked_counts(
+            nodes, level, event_marker[np.newaxis, :]
+        )
+        probabilities = overlaps[0].astype(float) / total_size
         if np.any(probabilities <= 0):
             raise SamplingError("a sampled reference node has zero selection probability")
 

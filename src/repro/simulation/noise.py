@@ -9,7 +9,6 @@ probability p to be relocated and attached with one node in V_a."
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

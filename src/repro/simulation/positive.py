@@ -11,7 +11,7 @@ pick a node at that distance from v as the associated event b node."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

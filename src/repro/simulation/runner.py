@@ -8,7 +8,7 @@ noise levels — the machinery behind Figures 5–8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

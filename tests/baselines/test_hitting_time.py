@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines.hitting_time import hitting_time_affinity
 from repro.events.attributed_graph import AttributedGraph
-from repro.exceptions import EstimationError
 
 
 class TestHittingTimeAffinity:

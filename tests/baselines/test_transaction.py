@@ -1,6 +1,5 @@
 """Tests for repro.baselines.transaction."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.transaction import (

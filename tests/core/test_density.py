@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.density import DensityComputer, density_vectors
-from repro.events.attributed_graph import AttributedGraph
 
 
 class TestDensityComputer:

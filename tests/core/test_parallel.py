@@ -1,0 +1,260 @@
+"""Tests for repro.core.parallel — the sharded multi-process ranking engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchTescEngine, rank_pairs
+from repro.core.config import TescConfig
+from repro.core.parallel import (
+    ParallelBatchTescEngine,
+    rank_pairs_parallel,
+    resolve_workers,
+    shard_pairs,
+    shard_seeds,
+)
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import (
+    ConfigurationError,
+    InsufficientSampleError,
+    UnknownEventError,
+)
+from repro.graph.adjacency import Graph
+
+
+@pytest.fixture(scope="module")
+def dblp_workload():
+    """A DBLP-like dataset plus its pair list (planted + background pairs)."""
+    dataset = make_dblp_like(
+        num_communities=12,
+        community_size=40,
+        num_positive_pairs=4,
+        num_negative_pairs=4,
+        num_background_keywords=12,
+        random_state=11,
+    )
+    pairs = list(dataset.positive_pairs) + list(dataset.negative_pairs)
+    background = dataset.background_events
+    pairs += [
+        (background[i], background[i + 1]) for i in range(0, len(background), 2)
+    ]
+    return dataset.attributed, pairs
+
+
+def assert_rankings_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for expected, actual in zip(serial, parallel):
+        assert actual.rank == expected.rank
+        assert actual.events == expected.events
+        assert actual.score == expected.score
+        assert actual.z_score == expected.z_score
+        assert actual.p_value == expected.p_value
+        assert actual.verdict is expected.verdict
+        assert actual.num_reference_nodes == expected.num_reference_nodes
+        assert actual.insufficient == expected.insufficient
+
+
+class TestWorkerSweep:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_exhaustive_mode_identical_to_serial(self, dblp_workload, workers):
+        """Worker-count sweep: verdicts *and* scores agree bit-for-bit with the
+        serial engine when the shared sample is the whole population."""
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sample_size=5000, random_state=3)
+        serial = BatchTescEngine(attributed, config).rank_pairs(pairs)
+        with ParallelBatchTescEngine(attributed, config, workers=workers) as engine:
+            ranking = engine.rank_pairs(pairs)
+            assert engine.stats.num_pairs == len(pairs)
+        assert_rankings_identical(serial, ranking)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_sampled_mode_identical_to_serial(self, dblp_workload, workers):
+        """The shared sample is drawn once in the parent, so even sampled mode
+        reproduces the serial engine exactly."""
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sample_size=150, random_state=17)
+        serial = BatchTescEngine(attributed, config).rank_pairs(pairs)
+        with ParallelBatchTescEngine(attributed, config, workers=workers) as engine:
+            ranking = engine.rank_pairs(pairs)
+        assert_rankings_identical(serial, ranking)
+
+    def test_shard_stats_recorded(self, dblp_workload):
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sample_size=150, random_state=17)
+        with ParallelBatchTescEngine(attributed, config, workers=2) as engine:
+            ranking = engine.rank_pairs(pairs)
+        assert ranking.stats.workers == 2
+        assert ranking.stats.shards == 2
+        assert ranking.stats.samples_drawn == 1
+        # Each shard runs its own density pass over its events.
+        assert ranking.stats.density_passes == 2
+
+
+class TestParallelBehaviour:
+    def test_workers_one_degrades_to_serial_in_process(self, dblp_workload):
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sample_size=150, random_state=5)
+        engine = ParallelBatchTescEngine(attributed, config, workers=1)
+        ranking = engine.rank_pairs(pairs)
+        assert engine._executor is None  # no pool was ever created
+        serial = BatchTescEngine(attributed, config).rank_pairs(pairs)
+        assert_rankings_identical(serial, ranking)
+
+    def test_top_k_and_sort_by(self, dblp_workload):
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sample_size=150, random_state=5)
+        serial = BatchTescEngine(attributed, config).rank_pairs(
+            pairs, top_k=5, sort_by="abs_z"
+        )
+        with ParallelBatchTescEngine(attributed, config, workers=2) as engine:
+            ranking = engine.rank_pairs(pairs, top_k=5, sort_by="abs_z")
+        assert len(ranking) == 5
+        assert_rankings_identical(serial, ranking)
+
+    def test_one_shot_pair_iterable(self, dblp_workload):
+        """Regression: the serial fallback must reuse the resolved pair list
+        rather than re-resolving an already-drained iterator."""
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sample_size=150, random_state=5)
+        serial = BatchTescEngine(attributed, config).rank_pairs(pairs)
+        engine = ParallelBatchTescEngine(attributed, config, workers=1)
+        ranking = engine.rank_pairs(iter(pairs))
+        assert_rankings_identical(serial, ranking)
+        with ParallelBatchTescEngine(attributed, config, workers=2) as pooled:
+            assert_rankings_identical(serial, pooled.rank_pairs(iter(pairs)))
+
+    def test_pool_grows_but_never_shrinks(self, dblp_workload):
+        """Smaller calls reuse the existing (larger) pool instead of
+        re-forking and losing warm worker caches."""
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sample_size=150, random_state=5)
+        with ParallelBatchTescEngine(attributed, config, workers=3) as engine:
+            engine.rank_pairs(pairs)
+            pool = engine._executor
+            assert engine._executor_workers == 3
+            engine.rank_pairs(pairs[:2])  # 2 shards only
+            assert engine._executor is pool
+
+    def test_convenience_wrappers(self, dblp_workload):
+        attributed, pairs = dblp_workload
+        serial = rank_pairs(
+            attributed, pairs, vicinity_level=1, sample_size=150, random_state=5
+        )
+        via_workers_kwarg = rank_pairs(
+            attributed, pairs, workers=2, vicinity_level=1,
+            sample_size=150, random_state=5,
+        )
+        via_parallel = rank_pairs_parallel(
+            attributed, pairs, workers=2, vicinity_level=1,
+            sample_size=150, random_state=5,
+        )
+        assert_rankings_identical(serial, via_workers_kwarg)
+        assert_rankings_identical(serial, via_parallel)
+
+    def test_pool_reused_across_calls(self, dblp_workload):
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sample_size=150, random_state=5)
+        with ParallelBatchTescEngine(attributed, config, workers=2) as engine:
+            engine.rank_pairs(pairs)
+            first_pool = engine._executor
+            engine.rank_pairs(pairs, sort_by="p_value")
+            assert engine._executor is first_pool
+        assert engine._executor is None  # context exit closed the pool
+
+    def test_estimate_pairs_on_nodes_matches_serial_restriction(self):
+        graph = Graph(8)
+        graph.add_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 2)]
+        )
+        attributed = AttributedGraph(
+            graph, {"a": [0, 1, 2], "b": [1, 2, 3], "c": [5, 6, 7]}
+        )
+        config = TescConfig(vicinity_level=1, sampler="exhaustive", random_state=0)
+        engine = BatchTescEngine(attributed, config)
+        full = engine.rank_pairs([("a", "b")])
+        shard = BatchTescEngine(attributed, config).estimate_pairs_on_nodes(
+            [("a", "b")], full.sample.nodes, config
+        )
+        assert len(shard) == 1
+        assert shard[0].score == full[0].score
+        assert shard[0].z_score == full[0].z_score
+        assert shard[0].verdict is full[0].verdict
+
+
+class TestErrorPropagation:
+    def test_unknown_event_raises_in_parent(self, dblp_workload):
+        attributed, _pairs = dblp_workload
+        with ParallelBatchTescEngine(attributed, workers=2) as engine:
+            with pytest.raises(UnknownEventError):
+                engine.rank_pairs([("kw_pos_0_a", "missing")])
+
+    def test_bad_sort_key_raises(self, dblp_workload):
+        attributed, pairs = dblp_workload
+        with ParallelBatchTescEngine(attributed, workers=2) as engine:
+            with pytest.raises(ConfigurationError):
+                engine.rank_pairs(pairs, sort_by="magic")
+            with pytest.raises(ConfigurationError):
+                engine.rank_pairs(pairs, on_insufficient="ignore")
+
+    def test_weighted_sampler_rejected_in_parent(self, dblp_workload):
+        attributed, pairs = dblp_workload
+        config = TescConfig(vicinity_level=1, sampler="importance", random_state=1)
+        with ParallelBatchTescEngine(attributed, config, workers=2) as engine:
+            with pytest.raises(ConfigurationError):
+                engine.rank_pairs(pairs)
+
+    def test_insufficient_raise_propagates_from_worker(self):
+        graph = Graph(5)
+        graph.add_edges([(0, 1), (1, 2)])
+        attributed = AttributedGraph(
+            graph, {"i1": [4], "i2": [4], "a": [0, 1], "b": [1, 2]}
+        )
+        config = TescConfig(vicinity_level=1, sampler="exhaustive", random_state=0)
+        with ParallelBatchTescEngine(attributed, config, workers=2) as engine:
+            ranking = engine.rank_pairs([("i1", "i2"), ("a", "b")])
+            by_pair = {pair.events: pair for pair in ranking}
+            assert by_pair[("i1", "i2")].insufficient
+            with pytest.raises(InsufficientSampleError):
+                engine.rank_pairs(
+                    [("i1", "i2"), ("a", "b")], on_insufficient="raise"
+                )
+
+
+class TestShardingHelpers:
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(-1) >= 1
+
+    def test_shard_pairs_round_robin(self):
+        pairs = [(f"a{i}", f"b{i}") for i in range(7)]
+        shards = shard_pairs(pairs, 3)
+        assert [len(shard) for shard in shards] == [3, 2, 2]
+        flattened = [pair for shard in shards for pair in shard]
+        assert sorted(flattened) == sorted(pairs)
+        # Never more shards than pairs.
+        assert len(shard_pairs(pairs[:2], 8)) == 2
+
+    def test_shard_seeds_deterministic(self):
+        first = shard_seeds(42, 4)
+        second = shard_seeds(42, 4)
+        assert first == second
+        assert len(set(first)) == 4
+        assert shard_seeds(None, 3) == [None, None, None]
+        assert shard_seeds(np.random.default_rng(1), 2) == [None, None]
+        assert shard_seeds(42, 0) == []
+
+    def test_shard_seeds_do_not_mutate_seed_sequence_root(self):
+        """Repeated calls with the same SeedSequence root must return the
+        same seeds (spawn() is stateful; shard_seeds snapshots the root)."""
+        root = np.random.SeedSequence(7)
+        first = shard_seeds(root, 3)
+        second = shard_seeds(root, 3)
+        assert first == second == shard_seeds(7, 3)
+        assert root.n_children_spawned == 0
+
+    def test_shard_seed_prefix_stable(self):
+        """Shard i's seed does not depend on how many shards there are."""
+        assert shard_seeds(7, 2) == shard_seeds(7, 4)[:2]

@@ -1,6 +1,5 @@
 """Tests for the synthetic dataset generators and the registry."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.transaction import transaction_correlation

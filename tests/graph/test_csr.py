@@ -30,6 +30,17 @@ class TestConstruction:
         assert csr.num_edges == 2
         assert list(csr.neighbors(1)) == [0, 2]
 
+    def test_from_adjacency_accepts_generators(self):
+        """Regression: one-shot neighbour iterables used to be consumed by a
+        discarded degree pass, silently producing an edgeless graph."""
+        sets = [{1}, {0, 2}, {1}]
+        csr = CSRGraph.from_adjacency([iter(neigh) for neigh in sets])
+        assert csr.num_edges == 2
+        assert list(csr.neighbors(1)) == [0, 2]
+        generators = ((node for node in neigh) for neigh in sets)
+        csr = CSRGraph.from_adjacency(list(generators))
+        assert csr.num_edges == 2
+
     def test_invalid_indptr_rejected(self):
         with pytest.raises(GraphError):
             CSRGraph(np.array([1, 2]), np.array([0, 1]))

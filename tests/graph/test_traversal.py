@@ -130,3 +130,92 @@ class TestSubgraphAndDistances:
         distances = shortest_path_lengths_from(graph.to_csr(), 0)
         assert distances[0] == 0
         assert np.all(distances[1:] == -1)
+
+
+class TestGroupedBfs:
+    """The grouped (per-source, block-vectorised) multi-source BFS must be an
+    exact drop-in for running one Python-level BFS per source."""
+
+    @pytest.mark.parametrize("hops", [0, 1, 2, 3])
+    def test_blocks_match_per_node_bfs(self, random_graph, hops):
+        csr = random_graph.to_csr()
+        engine = BFSEngine(csr)
+        sources = np.arange(csr.num_nodes, dtype=np.int64)
+        seen = 0
+        # A small block size forces several blocks so the offset logic is hit.
+        for offset, offsets, members in engine.grouped_vicinity_blocks(
+            sources, hops, block_size=37
+        ):
+            block = offsets.size - 1
+            for row in range(block):
+                source = int(sources[offset + row])
+                expected = np.sort(BFSEngine(csr).vicinity(source, hops))
+                np.testing.assert_array_equal(
+                    members[offsets[row]:offsets[row + 1]], expected
+                )
+            seen += block
+        assert seen == csr.num_nodes
+
+    @pytest.mark.parametrize("hops", [0, 1, 2])
+    def test_vicinity_sizes_match_per_node_bfs(self, random_graph, hops):
+        csr = random_graph.to_csr()
+        engine = BFSEngine(csr)
+        rng = np.random.default_rng(11)
+        sources = rng.choice(csr.num_nodes, size=60, replace=False)
+        grouped = engine.vicinity_sizes(sources, hops)
+        looped = np.array(
+            [BFSEngine(csr).vicinity(int(s), hops).size for s in sources]
+        )
+        np.testing.assert_array_equal(grouped, looped)
+
+    def test_grouped_marked_counts_match_per_node_bfs(self, random_graph):
+        csr = random_graph.to_csr()
+        engine = BFSEngine(csr)
+        rng = np.random.default_rng(13)
+        sources = rng.choice(csr.num_nodes, size=40, replace=False)
+        indicators = rng.random((3, csr.num_nodes)) < 0.2
+        counts, sizes = engine.grouped_marked_counts(sources, 2, indicators)
+        assert counts.shape == (3, sources.size)
+        reference = BFSEngine(csr)
+        for column, source in enumerate(sources):
+            for row in range(3):
+                marked, size = reference.count_marked_in_vicinity(
+                    int(source), 2, indicators[row]
+                )
+                assert counts[row, column] == marked
+                assert sizes[column] == size
+
+    def test_duplicate_and_unsorted_sources(self, path_graph):
+        engine = BFSEngine(path_graph.to_csr())
+        sizes = engine.vicinity_sizes([3, 0, 3], 1)
+        assert list(sizes) == [3, 2, 3]
+
+    def test_counters_count_one_bfs_per_source(self, random_graph):
+        engine = BFSEngine(random_graph.to_csr())
+        engine.vicinity_sizes(np.arange(50), 1, block_size=8)
+        assert engine.bfs_calls == 50
+        assert engine.nodes_scanned > 0
+        assert engine.edges_scanned > 0
+
+    def test_bad_source_raises(self, path_graph):
+        engine = BFSEngine(path_graph.to_csr())
+        with pytest.raises(NodeNotFoundError):
+            engine.vicinity_sizes([0, 99], 1)
+        with pytest.raises(NodeNotFoundError):
+            engine.grouped_marked_counts(
+                [-1], 1, np.zeros((1, 6), dtype=bool)
+            )
+
+    def test_bad_indicator_shape_raises(self, path_graph):
+        engine = BFSEngine(path_graph.to_csr())
+        with pytest.raises(ValueError):
+            engine.grouped_marked_counts([0], 1, np.zeros(6, dtype=bool))
+
+    def test_empty_sources(self, path_graph):
+        engine = BFSEngine(path_graph.to_csr())
+        assert engine.vicinity_sizes([], 2).size == 0
+        counts, sizes = engine.grouped_marked_counts(
+            [], 1, np.zeros((2, 6), dtype=bool)
+        )
+        assert counts.shape == (2, 0)
+        assert sizes.size == 0

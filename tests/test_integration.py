@@ -5,7 +5,6 @@ would: generate a dataset, run TESC with several samplers, compare against
 the baselines, and round-trip through the file formats and CLI-facing APIs.
 """
 
-import numpy as np
 import pytest
 
 from repro import AttributedGraph, CorrelationVerdict, TescConfig, TescTester, measure_tesc
