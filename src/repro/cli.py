@@ -8,6 +8,10 @@ Subcommands
 ``tesc rank``
     Batch-test many event pairs on one graph with the shared-sample
     :class:`~repro.core.batch.BatchTescEngine` and print them ranked.
+``tesc stream``
+    Replay a JSONL delta file against a dynamic graph, incrementally
+    re-ranking monitored event pairs after every commit and printing the
+    ranking deltas.
 ``tesc experiment``
     Run one of the paper's experiments (figure5 ... table5) and print the
     regenerated tables.
@@ -90,6 +94,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="shard the pair workload across N worker processes "
              "(0 = one per core); results are identical to a serial run",
+    )
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="replay a delta file, incrementally re-ranking monitored pairs",
+    )
+    stream_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
+    stream_parser.add_argument("--events", required=True, help="event file (event<TAB>node)")
+    stream_parser.add_argument(
+        "--deltas", required=True,
+        help="JSONL delta file (edge_add/edge_remove/event_attach/event_detach "
+             'records with {"op": "commit"} batch separators)',
+    )
+    stream_parser.add_argument(
+        "--pair", nargs=2, action="append", metavar=("EVENT_A", "EVENT_B"),
+        help="one pair to monitor (repeatable); default: all pairs of events in the file",
+    )
+    stream_parser.add_argument("--level", type=int, default=1, help="vicinity level h")
+    stream_parser.add_argument("--sample-size", type=int, default=900)
+    stream_parser.add_argument(
+        "--sampler", default="batch_bfs",
+        choices=["batch_bfs", "exhaustive", "whole_graph", "reject"],
+        help="uniform samplers only (importance weights cannot be shared across pairs)",
+    )
+    stream_parser.add_argument("--alpha", type=float, default=0.05)
+    stream_parser.add_argument("--top-k", type=int, default=None,
+                               help="print only the k best-ranked pairs")
+    stream_parser.add_argument("--sort-by", default="score", choices=list(SORT_KEYS))
+    stream_parser.add_argument("--markdown", action="store_true",
+                               help="render tables as markdown")
+    stream_parser.add_argument("--seed", type=int, default=None)
+    stream_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard pair re-scoring across N worker processes (0 = one per "
+             "core); results are identical to a serial run",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -196,6 +235,50 @@ def _command_rank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    from repro.streaming import ContinuousRanker, DeltaLog, DynamicAttributedGraph
+
+    graph, labels = read_edge_list(args.edges)
+    label_to_id = {label: index for index, label in enumerate(labels)}
+    events = read_event_file(args.events, label_to_id=label_to_id)
+    dynamic = DynamicAttributedGraph(graph, events, labels=labels)
+    config = TescConfig(
+        vicinity_level=args.level,
+        sample_size=args.sample_size,
+        sampler=args.sampler,
+        alpha=args.alpha,
+        random_state=args.seed,
+    )
+    pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"
+    log = DeltaLog.load(args.deltas)
+    workers = resolve_workers(args.workers)
+    with ContinuousRanker(
+        dynamic, pairs, config, workers=workers,
+        sort_by=args.sort_by, top_k=args.top_k,
+    ) as ranker:
+        initial = ranker.commit()
+        print("initial ranking:")
+        print(initial.ranking.render(markdown=args.markdown))
+        for number, batch in enumerate(log.replay(), start=1):
+            delta = ranker.commit(batch)
+            stats = delta.stats
+            print()
+            print(
+                f"commit {number}: {len(batch)} deltas, "
+                f"{len(delta.changed)} pairs changed "
+                f"({len(delta.verdict_flips)} verdict flips), "
+                f"columns {stats.columns_recomputed} recomputed / "
+                f"{stats.columns_reused} reused / {stats.columns_patched} patched, "
+                f"pairs {stats.pairs_rescored} re-scored / "
+                f"{stats.pairs_reused} reused"
+            )
+            print(delta.render(markdown=args.markdown))
+    print()
+    print("final ranking:")
+    print(ranker.ranking.render(markdown=args.markdown))
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     results = run_all(args.experiment_ids, workers=args.workers)
     for index, result in enumerate(results):
@@ -275,6 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_test(args)
     if args.command == "rank":
         return _command_rank(args)
+    if args.command == "stream":
+        return _command_stream(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "dataset":

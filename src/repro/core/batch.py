@@ -42,7 +42,11 @@ import numpy as np
 
 from repro.core.config import TescConfig
 from repro.core.density import DensityComputer, DensityMatrix
-from repro.core.estimators import EstimateComponents, PairEstimateBatcher
+from repro.core.estimators import (
+    EstimateComponents,
+    PairEstimateBatcher,
+    plain_estimate,
+)
 from repro.events.attributed_graph import AttributedGraph
 from repro.exceptions import ConfigurationError, InsufficientSampleError
 from repro.sampling.base import ReferenceSample
@@ -59,6 +63,9 @@ SORT_KEYS = ("score", "z_score", "abs_z", "p_value")
 #: relative to the population they were drawn from and cannot be restricted
 #: to per-pair populations, so the batch engine rejects them up front.
 WEIGHTED_SAMPLERS = ("importance", "batch_importance")
+
+#: Samplers that need the ``|V^h_v|`` vicinity-size index to draw.
+INDEXED_SAMPLERS = ("importance", "batch_importance", "reject")
 
 #: How many density matrices (each with its per-event sign matrices, up to
 #: ~1 MB per event at n=900) an engine retains before evicting the oldest.
@@ -222,6 +229,144 @@ class PairRanking:
 PairSpec = Union[str, Sequence[Tuple[str, str]]]
 
 
+def make_config_sampler(attributed: AttributedGraph, cfg: TescConfig):
+    """A fresh sampler for ``cfg`` over ``attributed`` (freshly seeded RNG).
+
+    The single place that knows how a :class:`~repro.core.config.TescConfig`
+    maps to a sampler instance (registry lookup, vicinity-index wiring,
+    ``batch_per_vicinity``).  The batch engine wraps the result in a
+    :class:`~repro.sampling.cache.CachingSampler`; the streaming ranker's
+    :class:`~repro.sampling.cache.SampleMemo` calls this on every miss —
+    sharing the factory is what keeps an incremental redraw bit-identical
+    to a from-scratch engine's draw.
+    """
+    vicinity_index = (
+        attributed.vicinity_index(levels=(cfg.vicinity_level,))
+        if cfg.sampler in INDEXED_SAMPLERS
+        else None
+    )
+    return create_sampler(
+        cfg.sampler,
+        attributed.csr,
+        vicinity_index=vicinity_index,
+        random_state=cfg.random_state,
+        batch_per_vicinity=cfg.batch_per_vicinity,
+    )
+
+
+def event_universe(attributed: AttributedGraph, events: Sequence[str]) -> np.ndarray:
+    """The union node set ``V_U`` of the given events, sorted and distinct.
+
+    Shared by the batch engine and the streaming ranker so both derive the
+    sampling universe with identical ordering.
+    """
+    arrays = [attributed.event_nodes(event) for event in events]
+    return np.unique(np.concatenate(arrays)) if arrays else np.empty(0, np.int64)
+
+
+def resolve_pair_spec(event_names: Sequence[str], pairs: PairSpec) -> List[Tuple[str, str]]:
+    """Normalise a :data:`PairSpec` into an explicit ``(a, b)`` pair list.
+
+    ``"all"`` expands to every unordered pair of ``event_names``; explicit
+    sequences are validated (two distinct events per pair, at least one
+    pair).  Shared by :class:`BatchTescEngine`, the parallel engine and the
+    streaming :class:`~repro.streaming.ranker.ContinuousRanker`.
+    """
+    if isinstance(pairs, str):
+        if pairs != "all":
+            raise ConfigurationError(
+                f'pairs must be "all" or a sequence of (event, event) tuples, '
+                f"got {pairs!r}"
+            )
+        names = list(event_names)
+        if len(names) < 2:
+            raise ConfigurationError(
+                f'pairs="all" needs at least two events on the graph, found '
+                f"{len(names)}"
+            )
+        return list(itertools.combinations(names, 2))
+    resolved: List[Tuple[str, str]] = []
+    for pair in pairs:
+        pair = tuple(pair)
+        if len(pair) != 2:
+            raise ConfigurationError(
+                f"each pair must name exactly two events, got {pair!r}"
+            )
+        event_a, event_b = str(pair[0]), str(pair[1])
+        if event_a == event_b:
+            raise ConfigurationError(
+                f"cannot test an event against itself: {event_a!r}"
+            )
+        resolved.append((event_a, event_b))
+    if not resolved:
+        raise ConfigurationError("at least one event pair is required")
+    return resolved
+
+
+def estimate_pair_list(
+    pair_list: Sequence[Tuple[str, str]],
+    row_of: Dict[str, int],
+    matrix: DensityMatrix,
+    batcher: Optional[PairEstimateBatcher],
+    cfg: TescConfig,
+    on_insufficient: str,
+) -> List[RankedPair]:
+    """Per-pair estimates over a shared density matrix (unranked).
+
+    This is the per-pair half of :meth:`BatchTescEngine.rank_pairs`, exposed
+    at module level so the parallel engine's worker shards and the streaming
+    ranker run exactly the same arithmetic on their slice of the pair
+    workload.
+
+    ``batcher=None`` computes each pair directly with
+    :func:`~repro.core.estimators.plain_estimate` on the restricted density
+    vectors instead of slicing shared ``O(n²)`` sign matrices.  The two
+    paths are numerically identical (asserted in the estimator tests); the
+    batcher amortises across many pairs sharing events, the plain path wins
+    when only a few pairs are being (re-)scored — the streaming ranker's
+    common case.
+    """
+    results: List[RankedPair] = []
+    for event_a, event_b in pair_list:
+        row_a, row_b = row_of[event_a], row_of[event_b]
+        columns = matrix.pair_rows(row_a, row_b)
+        if columns.size < 2:
+            if on_insufficient == "raise":
+                raise InsufficientSampleError(
+                    f"pair ({event_a!r}, {event_b!r}) has only "
+                    f"{columns.size} reference nodes in the shared sample"
+                )
+            results.append(
+                RankedPair(
+                    rank=0, event_a=event_a, event_b=event_b,
+                    score=0.0, z_score=0.0, p_value=1.0,
+                    verdict=CorrelationVerdict.INDEPENDENT,
+                    num_reference_nodes=int(columns.size),
+                    degenerate=True, insufficient=True,
+                )
+            )
+            continue
+        if batcher is None:
+            components: EstimateComponents = plain_estimate(
+                matrix.densities[row_a, columns], matrix.densities[row_b, columns]
+            )
+        else:
+            components = batcher.estimate_pair(row_a, row_b, columns)
+        significance = decide(components.z_score, cfg.alpha, cfg.alternative)
+        results.append(
+            RankedPair(
+                rank=0, event_a=event_a, event_b=event_b,
+                score=components.estimate,
+                z_score=components.z_score,
+                p_value=significance.p_value,
+                verdict=significance.verdict,
+                num_reference_nodes=components.num_reference_nodes,
+                degenerate=components.degenerate,
+            )
+        )
+    return results
+
+
 class BatchTescEngine:
     """Amortised TESC testing and ranking over many event pairs.
 
@@ -265,39 +410,10 @@ class BatchTescEngine:
     # -- pair/universe resolution ---------------------------------------------
 
     def _resolve_pairs(self, pairs: PairSpec) -> List[Tuple[str, str]]:
-        if isinstance(pairs, str):
-            if pairs != "all":
-                raise ConfigurationError(
-                    f'pairs must be "all" or a sequence of (event, event) tuples, '
-                    f"got {pairs!r}"
-                )
-            names = self.attributed.event_names()
-            if len(names) < 2:
-                raise ConfigurationError(
-                    f'pairs="all" needs at least two events on the graph, found '
-                    f"{len(names)}"
-                )
-            return list(itertools.combinations(names, 2))
-        resolved: List[Tuple[str, str]] = []
-        for pair in pairs:
-            pair = tuple(pair)
-            if len(pair) != 2:
-                raise ConfigurationError(
-                    f"each pair must name exactly two events, got {pair!r}"
-                )
-            event_a, event_b = str(pair[0]), str(pair[1])
-            if event_a == event_b:
-                raise ConfigurationError(
-                    f"cannot test an event against itself: {event_a!r}"
-                )
-            resolved.append((event_a, event_b))
-        if not resolved:
-            raise ConfigurationError("at least one event pair is required")
-        return resolved
+        return resolve_pair_spec(self.attributed.event_names(), pairs)
 
     def _universe(self, events: Sequence[str]) -> np.ndarray:
-        arrays = [self.attributed.event_nodes(event) for event in events]
-        return np.unique(np.concatenate(arrays)) if arrays else np.empty(0, np.int64)
+        return event_universe(self.attributed, events)
 
     # -- shared-resource caches -----------------------------------------------
 
@@ -310,20 +426,7 @@ class BatchTescEngine:
         key = self._sampler_key(cfg)
         cached = self._samplers.get(key)
         if cached is None:
-            needs_index = cfg.sampler in ("importance", "batch_importance", "reject")
-            vicinity_index = (
-                self.attributed.vicinity_index(levels=(cfg.vicinity_level,))
-                if needs_index
-                else None
-            )
-            inner = create_sampler(
-                cfg.sampler,
-                self.attributed.csr,
-                vicinity_index=vicinity_index,
-                random_state=cfg.random_state,
-                batch_per_vicinity=cfg.batch_per_vicinity,
-            )
-            cached = CachingSampler(inner)
+            cached = CachingSampler(make_config_sampler(self.attributed, cfg))
             self._samplers[key] = cached
         return cached
 
@@ -481,46 +584,13 @@ class BatchTescEngine:
     ) -> List[RankedPair]:
         """Per-pair estimates over a shared density matrix (unranked).
 
-        This is the per-pair half of :meth:`rank_pairs`, factored out so the
-        parallel engine's worker shards run exactly the same arithmetic on
-        their slice of the pair workload.
+        Delegates to the module-level :func:`estimate_pair_list`, which the
+        parallel engine's worker shards and the streaming ranker also call so
+        every execution mode runs exactly the same arithmetic.
         """
-        results: List[RankedPair] = []
-        for event_a, event_b in pair_list:
-            row_a, row_b = row_of[event_a], row_of[event_b]
-            columns = matrix.pair_rows(row_a, row_b)
-            if columns.size < 2:
-                if on_insufficient == "raise":
-                    raise InsufficientSampleError(
-                        f"pair ({event_a!r}, {event_b!r}) has only "
-                        f"{columns.size} reference nodes in the shared sample"
-                    )
-                results.append(
-                    RankedPair(
-                        rank=0, event_a=event_a, event_b=event_b,
-                        score=0.0, z_score=0.0, p_value=1.0,
-                        verdict=CorrelationVerdict.INDEPENDENT,
-                        num_reference_nodes=int(columns.size),
-                        degenerate=True, insufficient=True,
-                    )
-                )
-                continue
-            components: EstimateComponents = batcher.estimate_pair(
-                row_a, row_b, columns
-            )
-            significance = decide(components.z_score, cfg.alpha, cfg.alternative)
-            results.append(
-                RankedPair(
-                    rank=0, event_a=event_a, event_b=event_b,
-                    score=components.estimate,
-                    z_score=components.z_score,
-                    p_value=significance.p_value,
-                    verdict=significance.verdict,
-                    num_reference_nodes=components.num_reference_nodes,
-                    degenerate=components.degenerate,
-                )
-            )
-        return results
+        return estimate_pair_list(
+            pair_list, row_of, matrix, batcher, cfg, on_insufficient
+        )
 
     def estimate_pairs_on_nodes(
         self,

@@ -67,6 +67,22 @@ class DensityMatrix:
         return np.flatnonzero((self.counts[row_a] > 0) | (self.counts[row_b] > 0))
 
 
+def densities_from_counts(counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Density matrix from integer numerators and vicinity sizes (Eq. 2).
+
+    ``counts`` is ``(num_events, n)`` int, ``sizes`` is ``(n,)`` int; empty
+    vicinities yield density 0.  Kept as a module-level function so every
+    producer of a :class:`DensityMatrix` — the batch engine's full pass and
+    the streaming ranker's incremental column assembly — performs the exact
+    same float arithmetic, which is what makes incrementally maintained
+    densities bit-identical to freshly computed ones.
+    """
+    counts = np.asarray(counts)
+    sizes = np.asarray(sizes)
+    safe_sizes = np.where(sizes > 0, sizes, 1)
+    return counts / safe_sizes[np.newaxis, :].astype(float)
+
+
 class DensityComputer:
     """Computes per-reference-node event densities with a shared BFS engine.
 
@@ -159,8 +175,7 @@ class DensityComputer:
         # vectorised frontier passes and all events' occurrence counts fall
         # out of a single matrix product per block.
         counts, sizes = self.engine.grouped_marked_counts(nodes, level, indicators)
-        safe_sizes = np.where(sizes > 0, sizes, 1)
-        densities = counts / safe_sizes[np.newaxis, :].astype(float)
+        densities = densities_from_counts(counts, sizes)
         return DensityMatrix(
             reference_nodes=nodes,
             densities=densities,

@@ -52,9 +52,11 @@ from repro.core.batch import (
     PairRanking,
     PairSpec,
     RankedPair,
+    estimate_pair_list,
     finalise_ranking,
 )
 from repro.core.config import TescConfig
+from repro.core.density import DensityMatrix
 from repro.events.attributed_graph import AttributedGraph
 from repro.exceptions import ConfigurationError
 from repro.utils.timing import Timer
@@ -187,6 +189,28 @@ def _rank_shard(
         },
     )
     return results, shard_stats
+
+
+def estimate_matrix_shard(
+    matrix: DensityMatrix,
+    row_of: Dict[str, int],
+    shard: List[Tuple[str, str]],
+    config_kwargs: Dict[str, object],
+    on_insufficient: str,
+) -> List[RankedPair]:
+    """Estimate one pair shard against an already-built density matrix.
+
+    This is the worker entry point of the streaming
+    :class:`~repro.streaming.ranker.ContinuousRanker`'s parallel path: the
+    parent maintains the density matrix incrementally (the expensive BFS
+    work) and ships only the small ``(num_events, n)`` matrix to each worker,
+    which runs the same per-pair arithmetic as the serial engine on its
+    shard (the plain restricted-vector path — each worker scores few pairs,
+    so shared sign matrices would not amortise).  No worker-resident graph
+    state is needed, so the pool stays valid across graph mutations.
+    """
+    cfg = TescConfig(**config_kwargs)
+    return estimate_pair_list(shard, row_of, matrix, None, cfg, on_insufficient)
 
 
 class ParallelBatchTescEngine:

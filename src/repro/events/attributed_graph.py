@@ -145,6 +145,20 @@ class AttributedGraph:
             self._vicinity_index = VicinityIndex(self.csr, levels=merged, lazy=True)
         return self._vicinity_index
 
+    def invalidate_vicinity(self, nodes: Optional[Iterable[int]] = None) -> None:
+        """Drop memoised vicinity sizes after a graph mutation.
+
+        ``nodes=None`` clears the whole index; otherwise only the given nodes
+        are invalidated (pass every node whose vicinity may have changed —
+        nodes within ``h - 1`` hops of a touched edge endpoint).  This is the
+        public partial-invalidation seam for code that mutates graphs by
+        means other than the streaming delta path (which rebases its index
+        via :meth:`~repro.graph.vicinity.VicinityIndex.rebase` instead); it
+        is a no-op while no vicinity index has been built yet.
+        """
+        if self._vicinity_index is not None:
+            self._vicinity_index.invalidate(nodes)
+
     # -- summaries ---------------------------------------------------------------
 
     def event_summary(self) -> Dict[str, int]:

@@ -56,8 +56,14 @@ class EventLayer:
 
     # -- construction -------------------------------------------------------
 
-    def add_occurrence(self, event: str, node: int) -> None:
-        """Record that ``event`` occurred on ``node``."""
+    def add_occurrence(self, event: str, node: int) -> bool:
+        """Record that ``event`` occurred on ``node``.
+
+        Returns ``True`` when the occurrence is new, ``False`` for a repeat
+        (occurrences are sets).  The :attr:`version` counter is bumped only
+        on an actual change, so memoised indicators survive no-op replays of
+        a delta stream.
+        """
         if not isinstance(event, str) or not event:
             raise EventError(f"event name must be a non-empty string, got {event!r}")
         node = int(node)
@@ -65,9 +71,35 @@ class EventLayer:
             raise EventError(
                 f"node {node} is outside the graph (num_nodes={self.num_nodes})"
             )
-        self._event_to_nodes.setdefault(event, set()).add(node)
+        nodes = self._event_to_nodes.setdefault(event, set())
+        if node in nodes:
+            return False
+        nodes.add(node)
         self._node_to_events.setdefault(node, set()).add(event)
         self._version += 1
+        return True
+
+    def remove_occurrence(self, event: str, node: int) -> bool:
+        """Erase one occurrence of ``event`` on ``node``.
+
+        Returns ``True`` when the occurrence existed and was removed,
+        ``False`` when it was absent (including unknown events) — streaming
+        detach deltas replay idempotently.  An event whose last occurrence is
+        removed stays registered with an empty node set, so monitored events
+        keep resolving (with zero occurrences) rather than raising.
+        """
+        node = int(node)
+        nodes = self._event_to_nodes.get(event)
+        if nodes is None or node not in nodes:
+            return False
+        nodes.discard(node)
+        events = self._node_to_events.get(node)
+        if events is not None:
+            events.discard(event)
+            if not events:
+                del self._node_to_events[node]
+        self._version += 1
+        return True
 
     def add_occurrences(self, event: str, nodes: Iterable[int]) -> None:
         """Record that ``event`` occurred on every node in ``nodes``."""
@@ -148,10 +180,18 @@ class EventLayer:
         return {event: sorted(nodes) for event, nodes in self._event_to_nodes.items()}
 
     def copy(self) -> "EventLayer":
-        """Deep copy of the layer."""
+        """Deep copy of the layer.
+
+        Events whose occurrence set has been emptied (e.g. by streaming
+        detach deltas) stay registered in the copy.
+        """
         clone = EventLayer(self.num_nodes)
-        for event, nodes in self._event_to_nodes.items():
-            clone.add_occurrences(event, nodes)
+        clone._event_to_nodes = {
+            event: set(nodes) for event, nodes in self._event_to_nodes.items()
+        }
+        clone._node_to_events = {
+            node: set(events) for node, events in self._node_to_events.items()
+        }
         return clone
 
     def __repr__(self) -> str:

@@ -4,55 +4,78 @@ Section 5.2.3 (Figure 8) studies the impact of graph density on the
 correlation results by "randomly adding/removing edges" in the DBLP graph.
 These helpers perform exactly that perturbation on the mutable
 :class:`~repro.graph.adjacency.Graph`.
+
+Each helper optionally reports the concrete edge deltas it applied
+(``with_deltas=True``), in application order, as ``(op, u, v)`` tuples with
+``op`` in ``{"add", "remove"}`` — the shape the streaming subsystem's
+:class:`~repro.streaming.DeltaLog` replays.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.graph.adjacency import Graph
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_non_negative_int
 
+#: One applied mutation: ``("add" | "remove", u, v)``.
+EdgeDelta = Tuple[str, int, int]
+
+MutationResult = Union[Graph, Tuple[Graph, List[EdgeDelta]]]
+
 
 def remove_random_edges(graph: Graph, count: int,
                         random_state: RandomState = None,
-                        in_place: bool = False) -> Graph:
+                        in_place: bool = False,
+                        with_deltas: bool = False) -> MutationResult:
     """Remove ``count`` uniformly chosen edges.
 
     Removing edges tends to *increase* distances among nodes, which is why
     the paper observes recall of positive pairs declining under edge removal.
     If ``count`` exceeds the number of edges, every edge is removed.
+
+    With ``with_deltas=True`` the return value is ``(graph, deltas)`` where
+    ``deltas`` lists every removed edge as ``("remove", u, v)``; the default
+    keeps the historical Graph-only return.
     """
     count = check_non_negative_int(count, "count")
     target = graph if in_place else graph.copy()
+    deltas: List[EdgeDelta] = []
     edges: List[Tuple[int, int]] = list(target.edges())
-    if not edges:
-        return target
-    rng = ensure_rng(random_state)
-    count = min(count, len(edges))
-    chosen = rng.choice(len(edges), size=count, replace=False)
-    for index in chosen:
-        u, v = edges[int(index)]
-        target.remove_edge(u, v)
+    if edges:
+        rng = ensure_rng(random_state)
+        count = min(count, len(edges))
+        chosen = rng.choice(len(edges), size=count, replace=False)
+        for index in chosen:
+            u, v = edges[int(index)]
+            target.remove_edge(u, v)
+            deltas.append(("remove", u, v))
+    if with_deltas:
+        return target, deltas
     return target
 
 
 def add_random_edges(graph: Graph, count: int,
                      random_state: RandomState = None,
-                     in_place: bool = False) -> Graph:
+                     in_place: bool = False,
+                     with_deltas: bool = False) -> MutationResult:
     """Add ``count`` uniformly chosen new edges.
 
     Adding edges makes nodes nearer one another, which is why the paper
     observes recall of negative pairs declining under edge addition.  The
     helper rejects duplicates and self-loops; it gives up (returning fewer
     additions) only if the graph becomes complete.
+
+    With ``with_deltas=True`` the return value is ``(graph, deltas)`` where
+    ``deltas`` lists every added edge as ``("add", u, v)``.
     """
     count = check_non_negative_int(count, "count")
     target = graph if in_place else graph.copy()
     num_nodes = target.num_nodes
     max_edges = num_nodes * (num_nodes - 1) // 2
     rng = ensure_rng(random_state)
+    deltas: List[EdgeDelta] = []
     added = 0
     guard = 0
     guard_limit = 100 * count + 1000
@@ -64,21 +87,35 @@ def add_random_edges(graph: Graph, count: int,
             continue
         if target.add_edge(u, v):
             added += 1
+            deltas.append(("add", u, v))
+    if with_deltas:
+        return target, deltas
     return target
 
 
 def rewire_random_edges(graph: Graph, count: int,
                         random_state: RandomState = None,
-                        in_place: bool = False) -> Graph:
+                        in_place: bool = False,
+                        with_deltas: bool = False) -> MutationResult:
     """Rewire ``count`` edges: remove a random edge, add a random new one.
 
     Keeps the edge count constant while perturbing structure; used by
-    robustness tests and the ablation benchmarks.
+    robustness tests and the ablation benchmarks.  With ``with_deltas=True``
+    the interleaved remove/add deltas are returned alongside the graph.
     """
     count = check_non_negative_int(count, "count")
     rng = ensure_rng(random_state)
     target = graph if in_place else graph.copy()
+    deltas: List[EdgeDelta] = []
     for _ in range(count):
-        remove_random_edges(target, 1, random_state=rng, in_place=True)
-        add_random_edges(target, 1, random_state=rng, in_place=True)
+        _, removed = remove_random_edges(
+            target, 1, random_state=rng, in_place=True, with_deltas=True
+        )
+        _, added = add_random_edges(
+            target, 1, random_state=rng, in_place=True, with_deltas=True
+        )
+        deltas.extend(removed)
+        deltas.extend(added)
+    if with_deltas:
+        return target, deltas
     return target

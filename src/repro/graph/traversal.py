@@ -411,6 +411,34 @@ def batch_bfs_vicinity(graph: CSRGraph, sources: Iterable[int], hops: int) -> np
     return BFSEngine(graph).multi_source_vicinity(sources, hops)
 
 
+def dirty_vicinity(
+    old_graph: CSRGraph,
+    new_graph: CSRGraph,
+    endpoints: Iterable[int],
+    radius: int,
+) -> np.ndarray:
+    """Nodes whose h-vicinity an edge patch may have changed.
+
+    An edge delta ``(u, v)`` changes ``V^h_r`` only when ``r`` lies within
+    ``h - 1`` hops of ``u`` or ``v`` — along a gained path the prefix up to
+    the first added edge exists in the *new* graph, along a lost path the
+    prefix up to the first removed edge exists in the *old* graph.  The union
+    of a ``radius``-hop Batch BFS from the endpoints on both graphs therefore
+    covers every node whose vicinity membership could differ; callers pass
+    ``radius = h - 1``.  Returns a sorted node array (empty for no
+    endpoints).
+    """
+    endpoint_array = np.asarray(
+        list(endpoints) if not isinstance(endpoints, np.ndarray) else endpoints,
+        dtype=np.int64,
+    )
+    if endpoint_array.size == 0:
+        return np.empty(0, dtype=np.int64)
+    before = BFSEngine(old_graph).multi_source_vicinity(endpoint_array, radius)
+    after = BFSEngine(new_graph).multi_source_vicinity(endpoint_array, radius)
+    return np.union1d(before, after)
+
+
 def bfs_vicinity_subgraph(
     graph: CSRGraph, source: int, hops: int
 ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:

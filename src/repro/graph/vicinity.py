@@ -13,7 +13,7 @@ is involved.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Mapping, Optional
 
 import numpy as np
 
@@ -116,6 +116,37 @@ class VicinityIndex:
         node_array = np.fromiter((int(n) for n in nodes), dtype=np.int64)
         for level in self.levels:
             self._sizes[level][node_array] = -1
+
+    def rebase(
+        self,
+        graph: CSRGraph,
+        dirty: Optional[Mapping[int, Iterable[int]]] = None,
+    ) -> "VicinityIndex":
+        """A new index over a structurally patched graph, keeping clean sizes.
+
+        ``dirty`` maps each level to the nodes whose ``|V^h_v|`` may have
+        changed under the patch (nodes within ``h - 1`` hops of a touched
+        edge endpoint); those entries are dropped, every other memoised size
+        is carried over.  ``dirty=None`` carries nothing over (a full
+        invalidation).  This is the "efficiently updated as the graph
+        changes" property the paper claims for the offline index.
+        """
+        rebased = VicinityIndex(graph, levels=self.levels, lazy=True)
+        if dirty is None or graph.num_nodes != self.graph.num_nodes:
+            return rebased
+        for level in self.levels:
+            rebased._sizes[level][:] = self._sizes[level]
+            nodes = dirty.get(level)
+            if nodes is None:
+                rebased._sizes[level].fill(-1)
+                continue
+            node_array = np.asarray(
+                nodes if isinstance(nodes, np.ndarray) else list(nodes),
+                dtype=np.int64,
+            )
+            if node_array.size:
+                rebased._sizes[level][node_array] = -1
+        return rebased
 
     def is_cached(self, node: int, level: int) -> bool:
         """Whether the size for ``(node, level)`` is already memoised."""

@@ -15,7 +15,7 @@ node set at the same level get the same :class:`ReferenceSample` object back
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 
@@ -80,3 +80,70 @@ class CachingSampler(ReferenceSampler):
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"CachingSampler({self.inner!r}, cached={self.num_cached})"
+
+
+class SampleMemo:
+    """Epoch-aware sample memo drawing through *fresh* samplers.
+
+    The streaming subsystem must reproduce, after every committed delta
+    batch, exactly the sample a freshly constructed engine would draw: a new
+    sampler seeded from the configured ``random_state``, applied to the
+    current graph.  Unlike :class:`CachingSampler` — which wraps one
+    long-lived sampler whose RNG stream advances across draws — this memo
+    calls ``factory()`` on every miss, so each drawn sample is bit-identical
+    to a from-scratch engine's.
+
+    Keys combine the population identity (universe fingerprint, level,
+    sample size) with the caller-supplied ``epoch``: bump the epoch whenever
+    the graph structure changes and stale draws can never be returned, while
+    commits that leave both the structure and the monitored universe
+    untouched reuse the previous draw for free.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning a ready-to-use
+        :class:`~repro.sampling.base.ReferenceSampler` over the *current*
+        graph with a freshly seeded RNG.
+    max_entries:
+        Older entries are evicted beyond this count (the streaming ranker
+        normally needs exactly one live entry per monitored universe).
+    """
+
+    def __init__(self, factory: Callable[[], ReferenceSampler],
+                 max_entries: int = 8) -> None:
+        self.factory = factory
+        self.max_entries = max(1, int(max_entries))
+        self._cache: Dict[Tuple[str, int, int, int], ReferenceSample] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def sample(self, event_nodes: np.ndarray, level: int, sample_size: int,
+               epoch: int = 0) -> ReferenceSample:
+        """The memoised sample for ``(population, epoch)``, drawing on miss."""
+        key = (
+            event_nodes_fingerprint(event_nodes), int(level), int(sample_size),
+            int(epoch),
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        sample = self.factory().sample(event_nodes, level, sample_size)
+        while len(self._cache) >= self.max_entries:
+            del self._cache[next(iter(self._cache))]
+        self._cache[key] = sample
+        return sample
+
+    def clear(self) -> None:
+        """Drop every memoised draw."""
+        self._cache.clear()
+
+    @property
+    def num_cached(self) -> int:
+        """Number of distinct samples currently memoised."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"SampleMemo(cached={self.num_cached})"

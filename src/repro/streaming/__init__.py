@@ -1,0 +1,52 @@
+"""Streaming updates: dynamic graphs with incremental correlation re-ranking.
+
+The subsystem has four layers:
+
+* :mod:`repro.streaming.delta` — the :class:`Delta` / :class:`DeltaBatch` /
+  :class:`DeltaLog` update model (edge insert/delete, event attach/detach)
+  and its JSONL wire format;
+* :mod:`repro.streaming.dynamic_graph` —
+  :class:`DynamicAttributedGraph`, which applies batches by patching CSR
+  adjacency rows and bumping the event-layer version instead of rebuilding
+  the world;
+* :mod:`repro.streaming.dirty` — :class:`DirtyTracker`, mapping each applied
+  batch to the invalidated reference rows (structural recomputes within
+  ``h - 1`` hops of a touched endpoint, in-place ``± 1`` count patches for
+  event toggles);
+* :mod:`repro.streaming.ranker` — :class:`ContinuousRanker`, the standing
+  monitored-pair ranking whose :meth:`~ContinuousRanker.commit` re-scores
+  only the dirtied pairs and returns a :class:`RankingDelta`, while staying
+  bit-identical to a fresh static :class:`~repro.core.batch.BatchTescEngine`
+  run with the same seed.
+"""
+
+from repro.streaming.delta import (
+    Delta,
+    DeltaBatch,
+    DeltaError,
+    DeltaLog,
+)
+from repro.streaming.dirty import DirtyRegion, DirtyTracker, EventPatch
+from repro.streaming.dynamic_graph import AppliedBatch, DynamicAttributedGraph
+from repro.streaming.ranker import (
+    CommitStats,
+    ContinuousRanker,
+    PairChange,
+    RankingDelta,
+)
+
+__all__ = [
+    "AppliedBatch",
+    "CommitStats",
+    "ContinuousRanker",
+    "Delta",
+    "DeltaBatch",
+    "DeltaError",
+    "DeltaLog",
+    "DirtyRegion",
+    "DirtyTracker",
+    "DynamicAttributedGraph",
+    "EventPatch",
+    "PairChange",
+    "RankingDelta",
+]

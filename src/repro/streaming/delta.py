@@ -1,0 +1,289 @@
+"""Delta model for dynamic attributed graphs.
+
+A :class:`Delta` is one atomic mutation — an edge insert/delete or an event
+attach/detach.  Deltas are grouped into :class:`DeltaBatch` units (one
+commit's worth of changes) and accumulated in a :class:`DeltaLog`, which also
+reads and writes the JSONL wire format replayed by ``tesc stream``:
+
+.. code-block:: text
+
+    {"op": "edge_add", "u": 3, "v": 17}
+    {"op": "event_detach", "event": "wireless", "node": 9}
+    {"op": "commit"}
+
+Every ``commit`` line closes one batch; a trailing run of deltas without a
+``commit`` forms a final implicit batch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError
+
+
+class DeltaError(ReproError):
+    """A delta record was malformed or could not be parsed."""
+
+
+#: Delta operation names.
+EDGE_ADD = "edge_add"
+EDGE_REMOVE = "edge_remove"
+EVENT_ATTACH = "event_attach"
+EVENT_DETACH = "event_detach"
+
+EDGE_OPS = (EDGE_ADD, EDGE_REMOVE)
+EVENT_OPS = (EVENT_ATTACH, EVENT_DETACH)
+
+#: The batch-boundary marker in the JSONL wire format.
+COMMIT_OP = "commit"
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One atomic graph or event-layer mutation.
+
+    Edge deltas carry ``u``/``v`` (normalised so ``u < v``); event deltas
+    carry ``event``/``node``.  Use the :meth:`edge_add` ... :meth:`event_detach`
+    constructors rather than the raw initialiser.
+    """
+
+    op: str
+    u: int = -1
+    v: int = -1
+    event: str = ""
+    node: int = -1
+
+    @classmethod
+    def edge_add(cls, u: int, v: int) -> "Delta":
+        """Insert the undirected edge ``(u, v)``."""
+        u, v = int(u), int(v)
+        return cls(op=EDGE_ADD, u=min(u, v), v=max(u, v))
+
+    @classmethod
+    def edge_remove(cls, u: int, v: int) -> "Delta":
+        """Delete the undirected edge ``(u, v)``."""
+        u, v = int(u), int(v)
+        return cls(op=EDGE_REMOVE, u=min(u, v), v=max(u, v))
+
+    @classmethod
+    def event_attach(cls, event: str, node: int) -> "Delta":
+        """Record an occurrence of ``event`` on ``node``."""
+        return cls(op=EVENT_ATTACH, event=str(event), node=int(node))
+
+    @classmethod
+    def event_detach(cls, event: str, node: int) -> "Delta":
+        """Erase the occurrence of ``event`` on ``node``."""
+        return cls(op=EVENT_DETACH, event=str(event), node=int(node))
+
+    @property
+    def is_edge(self) -> bool:
+        """Whether this delta mutates graph structure."""
+        return self.op in EDGE_OPS
+
+    @property
+    def is_event(self) -> bool:
+        """Whether this delta mutates the event layer."""
+        return self.op in EVENT_OPS
+
+    def to_record(self) -> dict:
+        """The JSONL record for this delta."""
+        if self.is_edge:
+            return {"op": self.op, "u": self.u, "v": self.v}
+        return {"op": self.op, "event": self.event, "node": self.node}
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Delta":
+        """Parse one JSONL record (raises :class:`DeltaError` when malformed)."""
+        op = record.get("op")
+        try:
+            if op == EDGE_ADD:
+                # Through the constructors so hand-written records get the
+                # same u < v normalisation — batch netting and the
+                # AppliedBatch invariant key on the ordered tuple.
+                return cls.edge_add(int(record["u"]), int(record["v"]))
+            if op == EDGE_REMOVE:
+                return cls.edge_remove(int(record["u"]), int(record["v"]))
+            if op in EVENT_OPS:
+                return cls(op=op, event=str(record["event"]), node=int(record["node"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise DeltaError(f"malformed delta record {record!r}") from error
+        raise DeltaError(f"unknown delta op {op!r} in record {record!r}")
+
+    def __str__(self) -> str:
+        if self.is_edge:
+            sign = "+" if self.op == EDGE_ADD else "-"
+            return f"{sign}({self.u}, {self.v})"
+        sign = "+" if self.op == EVENT_ATTACH else "-"
+        return f"{sign}{self.event}@{self.node}"
+
+
+#: Inputs accepted wherever a batch is expected.
+BatchLike = Union["DeltaBatch", Iterable[Delta]]
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """One commit's worth of deltas, applied atomically."""
+
+    deltas: Tuple[Delta, ...]
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    def __iter__(self) -> Iterator[Delta]:
+        return iter(self.deltas)
+
+    def edge_deltas(self) -> Tuple[Delta, ...]:
+        """The structural deltas, in order."""
+        return tuple(delta for delta in self.deltas if delta.is_edge)
+
+    def event_deltas(self) -> Tuple[Delta, ...]:
+        """The event-layer deltas, in order."""
+        return tuple(delta for delta in self.deltas if delta.is_event)
+
+    @classmethod
+    def coerce(cls, batch: BatchLike) -> "DeltaBatch":
+        """Accept a batch, a bare delta iterable, or mutation-helper tuples.
+
+        ``("add" | "remove", u, v)`` triples — the ``with_deltas=True``
+        output of :mod:`repro.graph.mutation` — are converted on the fly.
+        """
+        if isinstance(batch, DeltaBatch):
+            return batch
+        deltas: List[Delta] = []
+        for item in batch:
+            if isinstance(item, Delta):
+                deltas.append(item)
+            elif isinstance(item, (tuple, list)) and len(item) == 3:
+                op, u, v = item
+                if op == "add":
+                    deltas.append(Delta.edge_add(u, v))
+                elif op == "remove":
+                    deltas.append(Delta.edge_remove(u, v))
+                else:
+                    raise DeltaError(f"unknown mutation op {op!r}")
+            else:
+                raise DeltaError(f"cannot interpret {item!r} as a delta")
+        return cls(deltas=tuple(deltas))
+
+    def __str__(self) -> str:
+        return f"DeltaBatch({', '.join(str(delta) for delta in self.deltas)})"
+
+
+class DeltaLog:
+    """An append-only log of deltas with batch (commit) boundaries.
+
+    Deltas are staged with :meth:`add` / the typed helpers and grouped into a
+    batch by :meth:`seal`; sealed batches are retained for replay.  The log
+    round-trips through the JSONL wire format (:meth:`save` / :meth:`load`)
+    consumed by ``tesc stream``.
+    """
+
+    def __init__(self) -> None:
+        self.batches: List[DeltaBatch] = []
+        self.pending: List[Delta] = []
+
+    # -- staging ------------------------------------------------------------
+
+    def add(self, delta: Delta) -> None:
+        """Stage one delta into the pending batch."""
+        if not isinstance(delta, Delta):
+            raise DeltaError(f"expected a Delta, got {type(delta).__name__}")
+        self.pending.append(delta)
+
+    def extend(self, deltas: Iterable[Delta]) -> None:
+        """Stage many deltas in order."""
+        for delta in deltas:
+            self.add(delta)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Stage an edge insertion."""
+        self.add(Delta.edge_add(u, v))
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Stage an edge deletion."""
+        self.add(Delta.edge_remove(u, v))
+
+    def attach_event(self, event: str, node: int) -> None:
+        """Stage an event attach."""
+        self.add(Delta.event_attach(event, node))
+
+    def detach_event(self, event: str, node: int) -> None:
+        """Stage an event detach."""
+        self.add(Delta.event_detach(event, node))
+
+    def record_mutations(self, mutations: Sequence[Tuple[str, int, int]]) -> None:
+        """Stage ``("add" | "remove", u, v)`` triples from the mutation helpers."""
+        self.extend(DeltaBatch.coerce(mutations).deltas)
+
+    def seal(self) -> DeltaBatch:
+        """Close the pending deltas into a batch (which may be empty)."""
+        batch = DeltaBatch(deltas=tuple(self.pending))
+        self.pending.clear()
+        self.batches.append(batch)
+        return batch
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def num_pending(self) -> int:
+        """Deltas staged but not yet sealed into a batch."""
+        return len(self.pending)
+
+    def __len__(self) -> int:
+        """Number of sealed batches."""
+        return len(self.batches)
+
+    def replay(self) -> Iterator[DeltaBatch]:
+        """Iterate the sealed batches in commit order, then any pending tail."""
+        yield from self.batches
+        if self.pending:
+            yield DeltaBatch(deltas=tuple(self.pending))
+
+    # -- wire format ---------------------------------------------------------
+
+    def dump(self, handle: IO[str]) -> None:
+        """Write the log as JSONL (one record per line, ``commit`` separators)."""
+        for batch in self.batches:
+            for delta in batch:
+                handle.write(json.dumps(delta.to_record()) + "\n")
+            handle.write(json.dumps({"op": COMMIT_OP}) + "\n")
+        for delta in self.pending:
+            handle.write(json.dumps(delta.to_record()) + "\n")
+
+    def save(self, path: str) -> None:
+        """Write the log to ``path`` in the JSONL wire format."""
+        with open(path, "w", encoding="utf-8") as handle:
+            self.dump(handle)
+
+    @classmethod
+    def parse(cls, lines: Iterable[str]) -> "DeltaLog":
+        """Parse JSONL lines into a log (blank lines and ``#`` comments skipped)."""
+        log = cls()
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DeltaError(f"line {number}: invalid JSON: {line!r}") from error
+            if not isinstance(record, dict):
+                raise DeltaError(f"line {number}: expected an object, got {record!r}")
+            if record.get("op") == COMMIT_OP:
+                log.seal()
+            else:
+                log.add(Delta.from_record(record))
+        return log
+
+    @classmethod
+    def load(cls, path: str) -> "DeltaLog":
+        """Read a JSONL delta file written by :meth:`save` (or by hand)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.parse(handle)
+
+    def __repr__(self) -> str:
+        return f"DeltaLog(batches={len(self.batches)}, pending={len(self.pending)})"

@@ -1,0 +1,117 @@
+"""Mapping applied deltas to the reference-node rows they invalidate.
+
+The density column of a reference node ``r`` — the numerators
+``|V_e ∩ V^h_r|`` for every monitored event ``e`` plus the denominator
+``|V^h_r|`` — changes under a delta batch in exactly two ways:
+
+* **structurally**, when an edge delta changes ``V^h_r`` itself.  That
+  requires ``r`` to lie within ``h - 1`` hops of a touched endpoint (on the
+  old graph for removals, the new graph for additions — see
+  :func:`~repro.graph.traversal.dirty_vicinity`); those columns must be
+  recomputed with a fresh BFS;
+* **by occupancy**, when an event attach/detach at node ``x`` toggles a
+  member of ``V^h_r``, i.e. when ``r ∈ V^h_x`` (hop distance is symmetric).
+  Structurally *clean* columns need no BFS for this: the affected count is
+  patched in place by ``± 1``.
+
+:class:`DirtyTracker` computes both regions with Batch BFS and hands them to
+the :class:`~repro.streaming.ranker.ContinuousRanker`, which drops the
+structurally dirty columns from its cache and patches the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.traversal import BFSEngine, dirty_vicinity
+from repro.streaming.dynamic_graph import AppliedBatch
+from repro.utils.validation import check_vicinity_level
+
+
+@dataclass(frozen=True)
+class EventPatch:
+    """One event occurrence toggle and the reference rows it reaches.
+
+    ``sign`` is ``+1`` for an attach and ``-1`` for a detach; ``region`` is
+    ``V^h_node`` on the post-batch graph — every reference node whose count
+    for ``event`` shifts by ``sign``.
+    """
+
+    event: str
+    node: int
+    sign: int
+    region: np.ndarray
+
+
+@dataclass(frozen=True)
+class DirtyRegion:
+    """Everything a delta batch invalidates at one vicinity level."""
+
+    level: int
+    #: Nodes whose ``V^h`` may have changed — their density columns (and
+    #: vicinity sizes) must be recomputed from scratch.
+    structure: np.ndarray
+    #: In-place count adjustments for structurally clean columns.
+    event_patches: Tuple[EventPatch, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the batch dirtied nothing at this level."""
+        return self.structure.size == 0 and not self.event_patches
+
+    @property
+    def num_structural(self) -> int:
+        """Number of structurally dirty nodes."""
+        return int(self.structure.size)
+
+
+class DirtyTracker:
+    """Computes :class:`DirtyRegion` for committed batches at a fixed level.
+
+    Parameters
+    ----------
+    level:
+        The vicinity level ``h`` the downstream ranker scores at.
+    """
+
+    def __init__(self, level: int) -> None:
+        self.level = check_vicinity_level(level)
+
+    def region(self, applied: AppliedBatch) -> DirtyRegion:
+        """The dirty region of one applied batch."""
+        if applied.structure_changed:
+            # The vicinity-index rebase may have run the same endpoint BFS
+            # already (same radius, same graphs) — reuse it rather than pay
+            # the traversal twice per commit.
+            cached = (applied.vicinity_dirty or {}).get(self.level)
+            structure = (
+                cached if cached is not None
+                else dirty_vicinity(
+                    applied.old_csr,
+                    applied.new_csr,
+                    applied.touched_endpoints(),
+                    self.level - 1,
+                )
+            )
+        else:
+            structure = np.empty(0, dtype=np.int64)
+
+        patches = []
+        if applied.events_changed:
+            engine = BFSEngine(applied.new_csr)
+            for sign, toggles in ((+1, applied.attached), (-1, applied.detached)):
+                for event, node in toggles:
+                    patches.append(
+                        EventPatch(
+                            event=event,
+                            node=node,
+                            sign=sign,
+                            region=engine.vicinity(node, self.level),
+                        )
+                    )
+        return DirtyRegion(
+            level=self.level, structure=structure, event_patches=tuple(patches)
+        )

@@ -1,0 +1,270 @@
+"""A mutable attributed graph that applies delta batches in place.
+
+:class:`DynamicAttributedGraph` extends
+:class:`~repro.events.attributed_graph.AttributedGraph` with
+:meth:`~DynamicAttributedGraph.apply`: a delta batch is netted out (cancelling
+add/remove pairs collapse, no-ops are dropped), the CSR is patched row-wise
+through :meth:`~repro.graph.csr.CSRGraph.apply_edge_deltas` instead of being
+rebuilt from scratch, the event layer is updated through its versioned
+occurrence API, and the lazily built vicinity index is *rebased* — clean
+``|V^h_v|`` entries survive, only nodes within ``h - 1`` hops of a touched
+endpoint are dropped.  The :class:`AppliedBatch` it returns keeps the
+pre-patch CSR alive so the dirty tracker can run old-graph traversals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import EdgeError, EventError, NodeNotFoundError
+from repro.graph.csr import CSRGraph
+from repro.graph.traversal import dirty_vicinity
+from repro.streaming.delta import EDGE_ADD, EVENT_ATTACH, BatchLike, DeltaBatch
+
+
+@dataclass(frozen=True)
+class AppliedBatch:
+    """The effective outcome of one committed delta batch.
+
+    Attributes
+    ----------
+    batch:
+        The batch as submitted (possibly containing no-ops).
+    added_edges / removed_edges:
+        The *net* structural changes actually applied, as ``(u, v)`` with
+        ``u < v``.  A delta adding an edge that already existed, removing an
+        absent edge, or cancelling an earlier delta of the batch does not
+        appear here.
+    attached / detached:
+        The effective event-layer changes as ``(event, node)`` pairs.
+    old_csr / new_csr:
+        The CSR before and after the patch (the same object when the batch
+        had no effective structural change).  Keeping the old CSR lets
+        :class:`~repro.streaming.dirty.DirtyTracker` bound the impact of
+        removals with old-graph traversals.
+    structure_version:
+        The graph's structure version *after* this batch.
+    vicinity_dirty:
+        When the vicinity index was rebased during this apply, the
+        per-level dirty-node arrays it computed (level ``h`` → nodes within
+        ``h - 1`` hops of a touched endpoint).  The dirty tracker reuses a
+        matching entry instead of re-running the same endpoint BFS.
+    """
+
+    batch: DeltaBatch
+    added_edges: Tuple[Tuple[int, int], ...]
+    removed_edges: Tuple[Tuple[int, int], ...]
+    attached: Tuple[Tuple[str, int], ...]
+    detached: Tuple[Tuple[str, int], ...]
+    old_csr: CSRGraph
+    new_csr: CSRGraph
+    structure_version: int
+    vicinity_dirty: Optional[Dict[int, np.ndarray]] = None
+
+    @property
+    def structure_changed(self) -> bool:
+        """Whether the batch changed any adjacency."""
+        return bool(self.added_edges or self.removed_edges)
+
+    @property
+    def events_changed(self) -> bool:
+        """Whether the batch changed any event occurrence."""
+        return bool(self.attached or self.detached)
+
+    @property
+    def changed(self) -> bool:
+        """Whether the batch had any effect at all."""
+        return self.structure_changed or self.events_changed
+
+    def touched_endpoints(self) -> np.ndarray:
+        """Distinct endpoints of every effectively added or removed edge."""
+        endpoints: Set[int] = set()
+        for u, v in self.added_edges:
+            endpoints.add(u)
+            endpoints.add(v)
+        for u, v in self.removed_edges:
+            endpoints.add(u)
+            endpoints.add(v)
+        return np.array(sorted(endpoints), dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class EmptyAppliedBatch(AppliedBatch):
+    """Marker subclass for the no-delta commit (first rank, forced re-rank)."""
+
+
+class DynamicAttributedGraph(AttributedGraph):
+    """An attributed graph whose structure and events evolve via delta batches.
+
+    Construction is identical to :class:`AttributedGraph`.  Two additions:
+
+    * :meth:`apply` commits a :class:`~repro.streaming.delta.DeltaBatch`
+      (or any iterable of deltas) in place, returning an
+      :class:`AppliedBatch` describing the net effect;
+    * :attr:`structure_version` counts effective structural commits, giving
+      downstream caches (sample memos, density-column caches, BFS engines) a
+      cheap staleness test — the streaming analogue of
+      :attr:`EventLayer.version <repro.events.event_set.EventLayer.version>`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.structure_version = 0
+
+    def empty_batch(self) -> AppliedBatch:
+        """An :class:`AppliedBatch` representing "nothing changed"."""
+        return EmptyAppliedBatch(
+            batch=DeltaBatch(deltas=()),
+            added_edges=(), removed_edges=(), attached=(), detached=(),
+            old_csr=self.csr, new_csr=self.csr,
+            structure_version=self.structure_version,
+        )
+
+    def apply(self, batch: BatchLike) -> AppliedBatch:
+        """Commit one delta batch in place and report its net effect.
+
+        Structural deltas are replayed in order against a per-node overlay to
+        net out cancelling operations, then applied as one row-wise CSR
+        patch.  Event deltas go through the versioned
+        :class:`~repro.events.event_set.EventLayer` API (idempotent — attach
+        of an existing occurrence or detach of an absent one is a recorded
+        no-op).  Out-of-range nodes raise
+        :class:`~repro.exceptions.NodeNotFoundError` and self-loops
+        :class:`~repro.exceptions.EdgeError`; nothing is applied until the
+        whole batch validates, so a failed apply leaves the graph untouched.
+        """
+        batch = DeltaBatch.coerce(batch)
+        old_csr = self.csr
+
+        overlay: Dict[int, Set[int]] = {}
+
+        def neighbours(node: int) -> Set[int]:
+            cached = overlay.get(node)
+            if cached is None:
+                cached = set(int(x) for x in old_csr.neighbors(node))
+                overlay[node] = cached
+            return cached
+
+        added: Set[Tuple[int, int]] = set()
+        removed: Set[Tuple[int, int]] = set()
+        for delta in batch.edge_deltas():
+            u, v = delta.u, delta.v
+            if not (0 <= u < old_csr.num_nodes):
+                raise NodeNotFoundError(u)
+            if not (0 <= v < old_csr.num_nodes):
+                raise NodeNotFoundError(v)
+            if u == v:
+                raise EdgeError(f"self-loop ({u}, {v}) is not allowed")
+            edge = (u, v)
+            if delta.op == EDGE_ADD:
+                if v in neighbours(u):
+                    continue
+                neighbours(u).add(v)
+                neighbours(v).add(u)
+                if edge in removed:
+                    removed.discard(edge)
+                else:
+                    added.add(edge)
+            else:
+                if v not in neighbours(u):
+                    continue
+                neighbours(u).discard(v)
+                neighbours(v).discard(u)
+                if edge in added:
+                    added.discard(edge)
+                else:
+                    removed.add(edge)
+
+        # Validate event deltas before mutating anything (the same checks
+        # EventLayer.add_occurrence would raise mid-apply — surfacing them
+        # here keeps the whole batch atomic).
+        for delta in batch.event_deltas():
+            if not isinstance(delta.event, str) or not delta.event:
+                raise EventError(
+                    f"event name must be a non-empty string, got {delta.event!r}"
+                )
+            if not (0 <= delta.node < old_csr.num_nodes):
+                raise NodeNotFoundError(delta.node)
+
+        new_csr = old_csr
+        vicinity_dirty: Optional[Dict[int, np.ndarray]] = None
+        if added or removed:
+            # The overlay already holds every touched node's final neighbour
+            # set, so the CSR patch is a pure row splice — no per-row set
+            # algebra on the CSR side.
+            touched: Set[int] = set()
+            for u, v in added:
+                touched.add(u)
+                touched.add(v)
+            for u, v in removed:
+                touched.add(u)
+                touched.add(v)
+            new_csr = old_csr.replace_rows(
+                {node: sorted(overlay[node]) for node in touched}
+            )
+            vicinity_dirty = self._rebase_vicinity(old_csr, new_csr, added, removed)
+            self.csr = new_csr
+            self.structure_version += 1
+
+        attached: List[Tuple[str, int]] = []
+        detached: List[Tuple[str, int]] = []
+        for delta in batch.event_deltas():
+            if delta.op == EVENT_ATTACH:
+                if self.events.add_occurrence(delta.event, delta.node):
+                    attached.append((delta.event, delta.node))
+            else:
+                if self.events.remove_occurrence(delta.event, delta.node):
+                    detached.append((delta.event, delta.node))
+
+        return AppliedBatch(
+            batch=batch,
+            added_edges=tuple(sorted(added)),
+            removed_edges=tuple(sorted(removed)),
+            attached=tuple(attached),
+            detached=tuple(detached),
+            old_csr=old_csr,
+            new_csr=new_csr,
+            structure_version=self.structure_version,
+            vicinity_dirty=vicinity_dirty,
+        )
+
+    def _rebase_vicinity(
+        self,
+        old_csr: CSRGraph,
+        new_csr: CSRGraph,
+        added: Set[Tuple[int, int]],
+        removed: Set[Tuple[int, int]],
+    ) -> Optional[Dict[int, np.ndarray]]:
+        """Carry clean vicinity sizes across a structural patch.
+
+        Returns the per-level dirty-node arrays when an index was live (so
+        the applied batch can hand them to the dirty tracker), ``None``
+        otherwise.
+        """
+        index = self._vicinity_index
+        if index is None:
+            return None
+        endpoints: Set[int] = set()
+        for u, v in added | removed:
+            endpoints.add(u)
+            endpoints.add(v)
+        dirty = {
+            level: dirty_vicinity(old_csr, new_csr, sorted(endpoints), level - 1)
+            for level in index.levels
+        }
+        self._vicinity_index = index.rebase(new_csr, dirty)
+        return dirty
+
+    def snapshot(self) -> AttributedGraph:
+        """A *static* deep-enough copy of the current state.
+
+        The returned :class:`AttributedGraph` shares the immutable CSR but
+        owns a copied event layer, so ranking it with a fresh
+        :class:`~repro.core.batch.BatchTescEngine` gives the from-scratch
+        baseline the streaming equivalence tests compare against.
+        """
+        return AttributedGraph(self.csr, self.events.copy(), labels=self.labels)

@@ -1,0 +1,653 @@
+"""Continuous re-ranking of monitored event pairs over a dynamic graph.
+
+:class:`ContinuousRanker` keeps a standing set of monitored pairs on a
+:class:`~repro.streaming.dynamic_graph.DynamicAttributedGraph` and, on every
+:meth:`~ContinuousRanker.commit`, refreshes their ranking by recomputing only
+what the committed deltas dirtied:
+
+* the **density-column cache** keeps, per reference node, the integer
+  numerators ``|V_e ∩ V^h_r|`` and denominator ``|V^h_r|``.  Structurally
+  dirty columns (within ``h - 1`` hops of a touched endpoint) are recomputed
+  with one grouped BFS; event attach/detach toggles are patched in place by
+  ``± 1`` on the columns they reach — no BFS at all;
+* the **sample memo** (:class:`~repro.sampling.cache.SampleMemo`) re-draws
+  the shared reference sample through a freshly seeded sampler whenever the
+  structure or the monitored universe changed, exactly as a from-scratch
+  engine would, and reuses the previous draw otherwise;
+* only pairs whose restricted density inputs actually changed are
+  **re-scored** (optionally sharded over a process pool with ``workers=N``
+  via :func:`~repro.core.parallel.estimate_matrix_shard`); untouched pairs
+  keep their previous statistics and are merely re-ranked.
+
+Because every cached quantity is integer-exact and the float assembly
+(:func:`~repro.core.density.densities_from_counts`) and per-pair arithmetic
+(:func:`~repro.core.batch.estimate_pair_list`) are shared with
+:class:`~repro.core.batch.BatchTescEngine`, the ranking after any sequence of
+commits is **bit-identical** to a fresh ``rank_pairs`` on the equivalent
+static graph with the same seed — the property the equivalence suite asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.batch import (
+    SORT_KEYS,
+    WEIGHTED_SAMPLERS,
+    BatchStats,
+    PairRanking,
+    PairSpec,
+    RankedPair,
+    estimate_pair_list,
+    event_universe,
+    finalise_ranking,
+    make_config_sampler,
+    resolve_pair_spec,
+)
+from repro.core.config import TescConfig
+from repro.core.density import DensityMatrix, densities_from_counts
+from repro.core.parallel import (
+    estimate_matrix_shard,
+    resolve_workers,
+    shard_pairs,
+)
+from repro.exceptions import ConfigurationError, InsufficientSampleError
+from repro.graph.traversal import BFSEngine
+from repro.sampling.cache import SampleMemo
+from repro.streaming.delta import BatchLike
+from repro.streaming.dirty import DirtyRegion, DirtyTracker
+from repro.streaming.dynamic_graph import AppliedBatch, DynamicAttributedGraph
+from repro.utils.tables import TextTable
+from repro.utils.timing import Timer
+
+#: Density-column cache entries kept before the oldest are evicted.
+MAX_CACHED_COLUMNS = 100_000
+
+
+@dataclass
+class _Column:
+    """Cached density inputs of one reference node (all integer-exact)."""
+
+    size: int
+    counts: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class PairChange:
+    """One monitored pair whose statistics changed under a commit."""
+
+    event_a: str
+    event_b: str
+    old: Optional[RankedPair]
+    new: RankedPair
+
+    @property
+    def events(self) -> Tuple[str, str]:
+        """The pair as a tuple."""
+        return (self.event_a, self.event_b)
+
+    @property
+    def is_new(self) -> bool:
+        """Whether the pair had no previous score (first commit / watch)."""
+        return self.old is None
+
+    @property
+    def verdict_changed(self) -> bool:
+        """Whether the significance verdict flipped."""
+        return self.old is None or self.old.verdict is not self.new.verdict
+
+    def __str__(self) -> str:
+        if self.old is None:
+            return (
+                f"({self.event_a!r}, {self.event_b!r}): new, "
+                f"score={self.new.score:+.4f}, verdict={self.new.verdict.value}"
+            )
+        return (
+            f"({self.event_a!r}, {self.event_b!r}): "
+            f"score {self.old.score:+.4f} -> {self.new.score:+.4f}, "
+            f"verdict {self.old.verdict.value} -> {self.new.verdict.value}"
+        )
+
+
+@dataclass
+class CommitStats:
+    """Cost accounting for one :meth:`ContinuousRanker.commit`.
+
+    The whole point of the streaming subsystem is that
+    ``columns_recomputed`` and ``pairs_rescored`` track the *delta*, not the
+    workload size; these counters make that claim checkable.
+    """
+
+    num_pairs: int = 0
+    num_events: int = 0
+    columns_total: int = 0
+    columns_recomputed: int = 0
+    columns_patched: int = 0
+    pairs_rescored: int = 0
+    pairs_reused: int = 0
+    structure_dirty_nodes: int = 0
+    event_patches: int = 0
+    sample_redrawn: bool = False
+    workers: int = 1
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def columns_reused(self) -> int:
+        """Columns served from the cache without a BFS."""
+        return self.columns_total - self.columns_recomputed
+
+
+@dataclass(frozen=True)
+class RankingDelta:
+    """The outcome of one commit: what changed, and the full new ranking."""
+
+    version: int
+    changed: Tuple[PairChange, ...]
+    ranking: PairRanking
+    stats: CommitStats
+
+    def __len__(self) -> int:
+        return len(self.changed)
+
+    def __iter__(self):
+        return iter(self.changed)
+
+    @property
+    def verdict_flips(self) -> Tuple[PairChange, ...]:
+        """Only the changes where the verdict itself flipped."""
+        return tuple(change for change in self.changed if change.verdict_changed)
+
+    def render(self, markdown: bool = False) -> str:
+        """Human-readable table of the changed pairs."""
+        if not self.changed:
+            # No commit number here: callers (the CLI) number the replayed
+            # batches themselves, and the ranker's internal version is offset
+            # by the initial commit.
+            return "no ranking changes"
+        table = TextTable(
+            ["event a", "event b", "old score", "new score",
+             "old verdict", "new verdict", "rank"]
+        )
+        for change in self.changed:
+            table.add_row(
+                [
+                    change.event_a,
+                    change.event_b,
+                    "-" if change.old is None else f"{change.old.score:+.4f}",
+                    f"{change.new.score:+.4f}",
+                    "-" if change.old is None else change.old.verdict.value,
+                    change.new.verdict.value,
+                    change.new.rank,
+                ]
+            )
+        return table.render(markdown=markdown)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class ContinuousRanker:
+    """Standing TESC ranking over a stream of delta batches.
+
+    Parameters
+    ----------
+    dynamic:
+        The :class:`~repro.streaming.dynamic_graph.DynamicAttributedGraph`
+        to monitor.  Commit deltas through :meth:`commit` (not through
+        ``dynamic.apply`` directly — out-of-band mutations are detected and
+        answered with a safe full invalidation).
+    pairs:
+        Monitored pairs: ``"all"`` or a sequence of ``(event_a, event_b)``;
+        extendable later via :meth:`watch` / :meth:`unwatch`.
+    config:
+        :class:`~repro.core.config.TescConfig`; same restrictions as the
+        batch engine (uniform samplers only).
+    workers:
+        Default worker count for re-scoring (``None``/1 = in-process; the
+        pair shards run through
+        :func:`~repro.core.parallel.estimate_matrix_shard`).  Results are
+        identical for every worker count.
+    sort_by / top_k / on_insufficient:
+        Same contract as :meth:`~repro.core.batch.BatchTescEngine.rank_pairs`.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import community_ring_graph
+    >>> from repro.streaming import DynamicAttributedGraph, Delta
+    >>> graph = community_ring_graph(8, 40, 5.0, 10, random_state=3)
+    >>> dynamic = DynamicAttributedGraph(
+    ...     graph, {"a": range(0, 30), "b": range(10, 40), "c": range(160, 200)}
+    ... )
+    >>> ranker = ContinuousRanker(
+    ...     dynamic, "all", TescConfig(sample_size=120, random_state=3)
+    ... )
+    >>> first = ranker.commit()
+    >>> len(first.changed)  # every pair is new on the first commit
+    3
+    >>> delta = ranker.commit([Delta.edge_add(0, 200)])
+    >>> len(delta.ranking)
+    3
+    """
+
+    def __init__(
+        self,
+        dynamic: DynamicAttributedGraph,
+        pairs: PairSpec = "all",
+        config: Optional[TescConfig] = None,
+        workers: Optional[int] = None,
+        sort_by: str = "score",
+        top_k: Optional[int] = None,
+        on_insufficient: str = "keep",
+        max_cached_columns: int = MAX_CACHED_COLUMNS,
+    ) -> None:
+        if not isinstance(dynamic, DynamicAttributedGraph):
+            raise ConfigurationError(
+                "ContinuousRanker needs a DynamicAttributedGraph; wrap your "
+                "graph in one (construction is identical to AttributedGraph)"
+            )
+        if sort_by not in SORT_KEYS:
+            raise ConfigurationError(
+                f"sort_by must be one of {SORT_KEYS}, got {sort_by!r}"
+            )
+        if on_insufficient not in ("keep", "raise"):
+            raise ConfigurationError(
+                f'on_insufficient must be "keep" or "raise", got {on_insufficient!r}'
+            )
+        self.dynamic = dynamic
+        self.config = config if config is not None else TescConfig()
+        if self.config.sampler in WEIGHTED_SAMPLERS:
+            raise ConfigurationError(
+                f"sampler {self.config.sampler!r} produces importance-weighted "
+                "samples, which cannot be restricted to per-pair populations; "
+                "use a uniform sampler (batch_bfs, exhaustive, whole_graph, reject)"
+            )
+        self.pairs: List[Tuple[str, str]] = resolve_pair_spec(
+            dynamic.event_names(), pairs
+        )
+        self.workers = resolve_workers(workers)
+        self.sort_by = sort_by
+        self.top_k = top_k
+        self.on_insufficient = on_insufficient
+        self.max_cached_columns = max(1, int(max_cached_columns))
+
+        self.version = 0
+        self.ranking: Optional[PairRanking] = None
+        self._tracker = DirtyTracker(self.config.vicinity_level)
+        self._memo = SampleMemo(self._fresh_sampler)
+        self._columns: Dict[int, _Column] = {}
+        self._bfs: Optional[BFSEngine] = None
+        self._bfs_version = -1
+        self._prev_nodes: Optional[np.ndarray] = None
+        self._prev_counts: Optional[np.ndarray] = None
+        self._prev_sizes: Optional[np.ndarray] = None
+        self._prev_events: Tuple[str, ...] = ()
+        self._prev_results: Dict[Tuple[str, str], RankedPair] = {}
+        self._graph_version = dynamic.structure_version
+        self._events_version = dynamic.events.version
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_workers = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the re-scoring worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._executor_workers = 0
+
+    def __enter__(self) -> "ContinuousRanker":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- monitored-pair management -------------------------------------------
+
+    def watch(self, pairs: PairSpec) -> None:
+        """Add pairs to the monitored set (scored on the next commit)."""
+        for pair in resolve_pair_spec(self.dynamic.event_names(), pairs):
+            if pair not in self.pairs:
+                self.pairs.append(pair)
+
+    def unwatch(self, pairs: PairSpec) -> None:
+        """Stop monitoring the given pairs."""
+        drop = set(resolve_pair_spec(self.dynamic.event_names(), pairs))
+        self.pairs = [pair for pair in self.pairs if pair not in drop]
+        for pair in drop:
+            self._prev_results.pop(pair, None)
+
+    # -- internals -----------------------------------------------------------
+
+    def _fresh_sampler(self):
+        """A brand-new sampler over the *current* graph with a fresh RNG.
+
+        Goes through the same :func:`~repro.core.batch.make_config_sampler`
+        factory as :class:`BatchTescEngine`, which is what makes a memo miss
+        reproduce a from-scratch engine's draw bit for bit.
+        """
+        return make_config_sampler(self.dynamic, self.config)
+
+    def _engine(self) -> BFSEngine:
+        """The BFS engine over the current structure (rebuilt after patches)."""
+        if self._bfs is None or self._bfs_version != self.dynamic.structure_version:
+            self._bfs = BFSEngine(self.dynamic.csr)
+            self._bfs_version = self.dynamic.structure_version
+        return self._bfs
+
+    def _reset_caches(self) -> None:
+        self._columns.clear()
+        self._memo.clear()
+        self._prev_nodes = None
+        self._prev_counts = None
+        self._prev_sizes = None
+        self._prev_results = {}
+
+    def _invalidate(self, region: DirtyRegion, stats: CommitStats) -> None:
+        """Apply one dirty region to the column cache."""
+        if region.structure.size and self._columns:
+            for node in region.structure.tolist():
+                self._columns.pop(node, None)
+        stats.structure_dirty_nodes = region.num_structural
+        stats.event_patches = len(region.event_patches)
+        for patch in region.event_patches:
+            if not self._columns:
+                break
+            sign, event = patch.sign, patch.event
+            if len(self._columns) <= patch.region.size:
+                members = set(patch.region.tolist())
+                targets = [n for n in self._columns if n in members]
+            else:
+                targets = [
+                    int(n) for n in patch.region.tolist() if n in self._columns
+                ]
+            for node in targets:
+                counts = self._columns[node].counts
+                if event in counts:
+                    counts[event] += sign
+                    stats.columns_patched += 1
+
+    def _assemble(
+        self,
+        nodes: np.ndarray,
+        events: Tuple[str, ...],
+        timer: Timer,
+        stats: CommitStats,
+    ) -> DensityMatrix:
+        """Density matrix over ``nodes``, recomputing only uncached columns."""
+        cfg = self.config
+        missing = [
+            int(node) for node in nodes.tolist()
+            if (entry := self._columns.get(int(node))) is None
+            or any(event not in entry.counts for event in events)
+        ]
+        if missing:
+            with timer.lap("densities"):
+                indicators = self.dynamic.indicator_matrix(list(events))
+                fresh_counts, fresh_sizes = self._engine().grouped_marked_counts(
+                    np.asarray(missing, dtype=np.int64),
+                    cfg.vicinity_level,
+                    indicators,
+                )
+            for position, node in enumerate(missing):
+                self._columns[node] = _Column(
+                    size=int(fresh_sizes[position]),
+                    counts={
+                        event: int(fresh_counts[row, position])
+                        for row, event in enumerate(events)
+                    },
+                )
+        stats.columns_total = int(nodes.size)
+        stats.columns_recomputed = len(missing)
+
+        counts = np.empty((len(events), nodes.size), dtype=np.int64)
+        sizes = np.empty(nodes.size, dtype=np.int64)
+        for position, node in enumerate(nodes.tolist()):
+            entry = self._columns[int(node)]
+            sizes[position] = entry.size
+            for row, event in enumerate(events):
+                counts[row, position] = entry.counts[event]
+        # Evict only after assembly so a small cap can never drop a column
+        # this very call still needs.
+        live = set(int(node) for node in nodes.tolist())
+        while len(self._columns) > self.max_cached_columns:
+            oldest = next(
+                (node for node in self._columns if node not in live), None
+            )
+            if oldest is None:
+                break
+            self._columns.pop(oldest)
+        return DensityMatrix(
+            reference_nodes=nodes,
+            densities=densities_from_counts(counts, sizes),
+            counts=counts,
+            vicinity_sizes=sizes,
+            level=int(cfg.vicinity_level),
+        )
+
+    def _dirty_pairs(
+        self, matrix: DensityMatrix, events: Tuple[str, ...]
+    ) -> Tuple[List[Tuple[str, str]], List[Tuple[str, str]]]:
+        """Split monitored pairs into (needs re-score, statistics unchanged).
+
+        A pair's statistics depend only on its two density rows restricted
+        to its reference population ``pair_rows``.  Against the previous
+        commit (same sample nodes, same event rows) a pair is provably
+        unchanged when its population columns are identical and no relevant
+        count or vicinity size moved — everything integer-exact, so reuse
+        preserves bit-identity.
+        """
+        if (
+            self._prev_counts is None
+            or self._prev_events != events
+            or self._prev_nodes is None
+            or self._prev_nodes.shape != matrix.reference_nodes.shape
+            or not np.array_equal(self._prev_nodes, matrix.reference_nodes)
+        ):
+            return list(self.pairs), []
+        row_of = {event: row for row, event in enumerate(events)}
+        row_diff = matrix.counts != self._prev_counts
+        col_diff = matrix.vicinity_sizes != self._prev_sizes
+        dirty: List[Tuple[str, str]] = []
+        clean: List[Tuple[str, str]] = []
+        for pair in self.pairs:
+            if pair not in self._prev_results:
+                dirty.append(pair)
+                continue
+            row_a, row_b = row_of[pair[0]], row_of[pair[1]]
+            relevant = (matrix.counts[row_a] > 0) | (matrix.counts[row_b] > 0)
+            was_relevant = (
+                (self._prev_counts[row_a] > 0) | (self._prev_counts[row_b] > 0)
+            )
+            if np.any(relevant != was_relevant) or np.any(
+                (row_diff[row_a] | row_diff[row_b] | col_diff) & relevant
+            ):
+                dirty.append(pair)
+            else:
+                clean.append(pair)
+        return dirty, clean
+
+    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
+        if self._executor is not None and self._executor_workers < workers:
+            self.close()
+        if self._executor is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else None
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context(method),
+            )
+            self._executor_workers = workers
+        return self._executor
+
+    def _estimate(
+        self,
+        pair_list: List[Tuple[str, str]],
+        matrix: DensityMatrix,
+        events: Tuple[str, ...],
+        workers: int,
+        timer: Timer,
+    ) -> List[RankedPair]:
+        if not pair_list:
+            return []
+        cfg = self.config
+        row_of = {event: row for row, event in enumerate(events)}
+        with timer.lap("estimates"):
+            if workers > 1 and len(pair_list) >= 2:
+                shards = shard_pairs(pair_list, workers)
+                config_kwargs = asdict(cfg)
+                config_kwargs["random_state"] = None
+                executor = self._ensure_executor(min(workers, len(shards)))
+                futures = [
+                    executor.submit(
+                        estimate_matrix_shard, matrix, row_of, shard,
+                        config_kwargs, self.on_insufficient,
+                    )
+                    for shard in shards
+                ]
+                results: List[RankedPair] = []
+                for future in futures:
+                    results.extend(future.result())
+                return results
+            # batcher=None: score each pair on its restricted density
+            # vectors directly.  Numerically identical to the engine's
+            # shared-sign-matrix path, but avoids building O(n²) matrices
+            # per event when only a few pairs need re-scoring.
+            return estimate_pair_list(
+                pair_list, row_of, matrix, None, cfg, self.on_insufficient
+            )
+
+    # -- the public API -------------------------------------------------------
+
+    def commit(
+        self,
+        batch: Optional[BatchLike] = None,
+        workers: Optional[int] = None,
+    ) -> RankingDelta:
+        """Apply ``batch`` (if any) and refresh the monitored ranking.
+
+        Returns a :class:`RankingDelta` listing every monitored pair whose
+        score, z-score, p-value or verdict changed (on the first commit,
+        every pair).  ``batch=None`` re-ranks without applying deltas —
+        useful for the initial ranking and after :meth:`watch`.
+        """
+        cfg = self.config
+        timer = Timer()
+        stats = CommitStats(workers=(
+            resolve_workers(workers) if workers is not None else self.workers
+        ))
+
+        if (
+            self.dynamic.structure_version != self._graph_version
+            or self.dynamic.events.version != self._events_version
+        ):
+            # The graph was mutated outside commit(); drop everything rather
+            # than risk stale columns.
+            self._reset_caches()
+
+        with timer.lap("apply"):
+            applied: AppliedBatch = (
+                self.dynamic.apply(batch) if batch is not None
+                else self.dynamic.empty_batch()
+            )
+        with timer.lap("dirty"):
+            region = self._tracker.region(applied)
+            self._invalidate(region, stats)
+        self._graph_version = self.dynamic.structure_version
+        self._events_version = self.dynamic.events.version
+
+        events = tuple(sorted({event for pair in self.pairs for event in pair}))
+        # Touching every indicator up front surfaces unknown events before
+        # any sampling work happens (mirrors the batch engine).
+        self.dynamic.indicator_matrix(list(events))
+        universe = event_universe(self.dynamic, events)
+
+        misses_before = self._memo.misses
+        with timer.lap("sampling"):
+            sample = self._memo.sample(
+                universe, cfg.vicinity_level, cfg.sample_size,
+                epoch=self.dynamic.structure_version,
+            )
+        stats.sample_redrawn = self._memo.misses > misses_before
+        if sample.weighted:
+            raise ConfigurationError(
+                f"sampler {cfg.sampler!r} produced an importance-weighted "
+                "sample, which the streaming ranker cannot restrict to "
+                "per-pair populations"
+            )
+        if sample.num_distinct < 2:
+            raise InsufficientSampleError(
+                f"sampler {cfg.sampler!r} produced {sample.num_distinct} "
+                "reference nodes; at least two are required"
+            )
+
+        matrix = self._assemble(sample.nodes, events, timer, stats)
+        dirty_pairs, clean_pairs = self._dirty_pairs(matrix, events)
+        rescored = self._estimate(dirty_pairs, matrix, events, stats.workers, timer)
+        reused = [self._prev_results[pair] for pair in clean_pairs]
+
+        full_ranking = finalise_ranking(rescored + reused, self.sort_by, None)
+        results_by_pair = {pair.events: pair for pair in full_ranking}
+        changed: List[PairChange] = []
+        for pair in full_ranking:
+            old = self._prev_results.get(pair.events)
+            if old is None or (
+                old.score, old.z_score, old.p_value, old.verdict,
+            ) != (pair.score, pair.z_score, pair.p_value, pair.verdict):
+                changed.append(
+                    PairChange(
+                        event_a=pair.event_a, event_b=pair.event_b,
+                        old=old, new=pair,
+                    )
+                )
+
+        stats.num_pairs = len(self.pairs)
+        stats.num_events = len(events)
+        stats.pairs_rescored = len(rescored)
+        stats.pairs_reused = len(reused)
+        for name in ("apply", "dirty", "sampling", "densities", "estimates"):
+            stats.timings[name] = timer.total(name)
+
+        # finalise_ranking already assigned ranks 1..P in sorted order, so a
+        # top-k prefix keeps exactly the ranks a top_k-limited static rank
+        # would assign.
+        public = (
+            full_ranking if self.top_k is None
+            else full_ranking[: max(int(self.top_k), 0)]
+        )
+        batch_stats = BatchStats(
+            num_events=len(events),
+            num_pairs=len(self.pairs),
+            samples_drawn=1 if stats.sample_redrawn else 0,
+            sample_cache_hits=0 if stats.sample_redrawn else 1,
+            density_passes=1 if stats.columns_recomputed else 0,
+            density_bfs_calls=stats.columns_recomputed,
+            workers=stats.workers,
+            timings=dict(stats.timings),
+        )
+        self.ranking = PairRanking(
+            pairs=tuple(public),
+            vicinity_level=cfg.vicinity_level,
+            sort_by=self.sort_by,
+            alpha=cfg.alpha,
+            sample=sample,
+            stats=batch_stats,
+        )
+
+        self._prev_nodes = matrix.reference_nodes
+        self._prev_counts = matrix.counts
+        self._prev_sizes = matrix.vicinity_sizes
+        self._prev_events = events
+        self._prev_results = results_by_pair
+        self.version += 1
+        return RankingDelta(
+            version=self.version,
+            changed=tuple(changed),
+            ranking=self.ranking,
+            stats=stats,
+        )

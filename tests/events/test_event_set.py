@@ -100,3 +100,46 @@ class TestMutation:
         clone.add_occurrence("a", 1)
         assert layer.occurrence_count("a") == 1
         assert clone.occurrence_count("a") == 2
+
+
+class TestOccurrenceDeltas:
+    def test_add_occurrence_reports_novelty(self):
+        layer = EventLayer(5)
+        assert layer.add_occurrence("a", 1) is True
+        assert layer.add_occurrence("a", 1) is False
+
+    def test_version_bumps_only_on_change(self):
+        layer = EventLayer.from_mapping(5, {"a": [0, 1]})
+        version = layer.version
+        layer.add_occurrence("a", 0)
+        assert layer.version == version
+        layer.add_occurrence("a", 3)
+        assert layer.version == version + 1
+
+    def test_remove_occurrence(self):
+        layer = EventLayer.from_mapping(5, {"a": [0, 1], "b": [1]})
+        assert layer.remove_occurrence("a", 1) is True
+        assert layer.events_of(1) == {"b"}
+        assert list(layer.nodes_of("a")) == [0]
+
+    def test_remove_absent_occurrence_is_noop(self):
+        layer = EventLayer.from_mapping(5, {"a": [0]})
+        version = layer.version
+        assert layer.remove_occurrence("a", 4) is False
+        assert layer.remove_occurrence("ghost", 0) is False
+        assert layer.version == version
+
+    def test_removing_last_occurrence_keeps_event_registered(self):
+        layer = EventLayer.from_mapping(5, {"a": [2]})
+        assert layer.remove_occurrence("a", 2) is True
+        assert "a" in layer
+        assert layer.nodes_of("a").size == 0
+        assert layer.occurrence_count("a") == 0
+
+    def test_copy_preserves_emptied_events(self):
+        layer = EventLayer.from_mapping(5, {"a": [2], "b": [3]})
+        layer.remove_occurrence("a", 2)
+        clone = layer.copy()
+        assert "a" in clone
+        assert clone.nodes_of("a").size == 0
+        assert clone.events_of(3) == {"b"}

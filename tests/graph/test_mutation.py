@@ -64,3 +64,51 @@ class TestRewireRandomEdges:
     def test_structure_changes(self, random_graph):
         mutated = rewire_random_edges(random_graph, 30, random_state=6)
         assert set(mutated.edges()) != set(random_graph.edges())
+
+
+class TestWithDeltas:
+    def test_remove_reports_applied_deltas(self, random_graph):
+        mutated, deltas = remove_random_edges(
+            random_graph, 10, random_state=1, with_deltas=True
+        )
+        assert len(deltas) == 10
+        assert all(op == "remove" for op, _, _ in deltas)
+        for _, u, v in deltas:
+            assert random_graph.has_edge(u, v)
+            assert not mutated.has_edge(u, v)
+
+    def test_add_reports_applied_deltas(self, random_graph):
+        mutated, deltas = add_random_edges(
+            random_graph, 12, random_state=2, with_deltas=True
+        )
+        assert len(deltas) == 12
+        assert all(op == "add" for op, _, _ in deltas)
+        for _, u, v in deltas:
+            assert not random_graph.has_edge(u, v)
+            assert mutated.has_edge(u, v)
+
+    def test_rewire_interleaves_remove_and_add(self, random_graph):
+        mutated, deltas = rewire_random_edges(
+            random_graph, 4, random_state=3, with_deltas=True
+        )
+        assert [op for op, _, _ in deltas] == ["remove", "add"] * 4
+        assert mutated.num_edges == random_graph.num_edges
+
+    def test_deltas_replay_to_same_graph(self, random_graph):
+        """The reported deltas reproduce the mutation when replayed."""
+        mutated, deltas = rewire_random_edges(
+            random_graph, 6, random_state=4, with_deltas=True
+        )
+        replayed = random_graph.copy()
+        for op, u, v in deltas:
+            if op == "add":
+                replayed.add_edge(u, v)
+            else:
+                replayed.remove_edge(u, v)
+        assert replayed == mutated
+
+    def test_default_return_shape_unchanged(self, random_graph):
+        from repro.graph.adjacency import Graph
+
+        assert isinstance(remove_random_edges(random_graph, 1, random_state=1), Graph)
+        assert isinstance(add_random_edges(random_graph, 1, random_state=1), Graph)

@@ -1,7 +1,9 @@
 """Tests for repro.graph.vicinity."""
 
+import numpy as np
 import pytest
 
+from repro.graph.adjacency import Graph
 from repro.graph.traversal import bfs_vicinity
 from repro.graph.vicinity import VicinityIndex
 
@@ -61,3 +63,39 @@ class TestVicinityIndex:
         index.size(0, 1)
         index.invalidate()
         assert not index.is_cached(0, 1)
+
+
+class TestRebase:
+    def test_rebase_keeps_clean_entries_and_drops_dirty(self):
+        graph = Graph(6)
+        graph.add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        csr = graph.to_csr()
+        index = VicinityIndex(csr, levels=(1, 2), lazy=True)
+        index.precompute()
+        graph.add_edge(0, 5)
+        patched = graph.to_csr()
+        rebased = index.rebase(patched, {1: [0, 5], 2: [0, 1, 4, 5]})
+        assert rebased.graph is patched
+        assert rebased.is_cached(2, 1)
+        assert not rebased.is_cached(0, 1)
+        assert not rebased.is_cached(1, 2)
+        fresh = VicinityIndex(patched, levels=(1, 2), lazy=False)
+        for level in (1, 2):
+            np.testing.assert_array_equal(
+                rebased.sizes(range(6), level), fresh.sizes(range(6), level)
+            )
+
+    def test_rebase_without_dirty_map_drops_everything(self):
+        graph = Graph(4)
+        graph.add_edges([(0, 1), (1, 2)])
+        index = VicinityIndex(graph.to_csr(), levels=(1,), lazy=False)
+        rebased = index.rebase(graph.to_csr())
+        assert not rebased.is_cached(0, 1)
+
+    def test_rebase_onto_resized_graph_drops_everything(self):
+        graph = Graph(4)
+        graph.add_edges([(0, 1), (1, 2)])
+        index = VicinityIndex(graph.to_csr(), levels=(1,), lazy=False)
+        graph.add_node()
+        rebased = index.rebase(graph.to_csr(), {1: []})
+        assert not rebased.is_cached(0, 1)

@@ -1,0 +1,89 @@
+"""Tests for the sampling caches: CachingSampler reuse and SampleMemo epochs."""
+
+import numpy as np
+
+from repro.core.config import TescConfig
+from repro.sampling.cache import CachingSampler, SampleMemo, event_nodes_fingerprint
+from repro.sampling.registry import create_sampler
+
+
+def _csr(random_graph):
+    return random_graph.to_csr()
+
+
+class TestFingerprint:
+    def test_order_insensitive(self):
+        assert event_nodes_fingerprint(np.array([3, 1, 2])) == event_nodes_fingerprint(
+            np.array([1, 2, 3])
+        )
+
+    def test_distinguishes_sets(self):
+        assert event_nodes_fingerprint(np.array([1, 2])) != event_nodes_fingerprint(
+            np.array([1, 3])
+        )
+
+
+class TestCachingSampler:
+    def test_hit_returns_same_object(self, random_graph):
+        csr = _csr(random_graph)
+        sampler = CachingSampler(create_sampler("batch_bfs", csr, random_state=3))
+        nodes = np.arange(20)
+        first = sampler.sample(nodes, 1, 30)
+        second = sampler.sample(nodes, 1, 30)
+        assert first is second
+        assert sampler.hits == 1
+        assert sampler.misses == 1
+
+
+class TestSampleMemo:
+    def test_memoises_per_population_and_epoch(self, random_graph):
+        csr = _csr(random_graph)
+        calls = {"n": 0}
+
+        def factory():
+            calls["n"] += 1
+            return create_sampler("batch_bfs", csr, random_state=3)
+
+        memo = SampleMemo(factory)
+        nodes = np.arange(25)
+        first = memo.sample(nodes, 1, 40, epoch=0)
+        assert memo.sample(nodes, 1, 40, epoch=0) is first
+        assert calls["n"] == 1
+        memo.sample(nodes, 1, 40, epoch=1)
+        assert calls["n"] == 2
+        assert memo.hits == 1
+        assert memo.misses == 2
+
+    def test_fresh_factory_draw_matches_from_scratch_sampler(self, random_graph):
+        """A memo miss must reproduce a brand-new seeded sampler's draw."""
+        csr = _csr(random_graph)
+        cfg = TescConfig(sample_size=40, random_state=9)
+        memo = SampleMemo(
+            lambda: create_sampler("batch_bfs", csr, random_state=cfg.random_state)
+        )
+        nodes = np.arange(30)
+        # Consume the memo twice with an epoch bump in between: both draws
+        # must equal a from-scratch sampler's (same seed, same population).
+        first = memo.sample(nodes, 1, cfg.sample_size, epoch=0)
+        second = memo.sample(nodes, 1, cfg.sample_size, epoch=1)
+        reference = create_sampler(
+            "batch_bfs", csr, random_state=cfg.random_state
+        ).sample(nodes, 1, cfg.sample_size)
+        np.testing.assert_array_equal(first.nodes, reference.nodes)
+        np.testing.assert_array_equal(second.nodes, reference.nodes)
+
+    def test_eviction_respects_max_entries(self, random_graph):
+        csr = _csr(random_graph)
+        memo = SampleMemo(
+            lambda: create_sampler("batch_bfs", csr, random_state=1), max_entries=2
+        )
+        for offset in range(4):
+            memo.sample(np.arange(10 + offset), 1, 15, epoch=0)
+        assert memo.num_cached == 2
+
+    def test_clear(self, random_graph):
+        csr = _csr(random_graph)
+        memo = SampleMemo(lambda: create_sampler("batch_bfs", csr, random_state=1))
+        memo.sample(np.arange(10), 1, 15)
+        memo.clear()
+        assert memo.num_cached == 0

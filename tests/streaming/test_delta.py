@@ -1,0 +1,136 @@
+"""Tests for the delta model and its JSONL wire format."""
+
+import pytest
+
+from repro.streaming.delta import (
+    COMMIT_OP,
+    Delta,
+    DeltaBatch,
+    DeltaError,
+    DeltaLog,
+)
+
+
+class TestDelta:
+    def test_edge_constructors_normalise_order(self):
+        assert Delta.edge_add(5, 2) == Delta.edge_add(2, 5)
+        assert Delta.edge_remove(9, 1).u == 1
+        assert Delta.edge_remove(9, 1).v == 9
+
+    def test_kind_flags(self):
+        assert Delta.edge_add(0, 1).is_edge
+        assert not Delta.edge_add(0, 1).is_event
+        assert Delta.event_attach("a", 3).is_event
+        assert Delta.event_detach("a", 3).is_event
+
+    def test_record_roundtrip(self):
+        for delta in (
+            Delta.edge_add(1, 2),
+            Delta.edge_remove(3, 4),
+            Delta.event_attach("wireless", 7),
+            Delta.event_detach("sensor", 9),
+        ):
+            assert Delta.from_record(delta.to_record()) == delta
+
+    def test_from_record_normalises_edge_order(self):
+        """Hand-written JSONL with u > v must normalise like the constructors,
+        so batch netting recognises cancelling records."""
+        parsed = Delta.from_record({"op": "edge_remove", "u": 17, "v": 3})
+        assert (parsed.u, parsed.v) == (3, 17)
+        assert parsed == Delta.edge_remove(3, 17)
+
+    def test_from_record_rejects_unknown_op(self):
+        with pytest.raises(DeltaError):
+            Delta.from_record({"op": "rename_node", "u": 1})
+
+    def test_from_record_rejects_missing_fields(self):
+        with pytest.raises(DeltaError):
+            Delta.from_record({"op": "edge_add", "u": 1})
+
+
+class TestDeltaBatch:
+    def test_partition(self):
+        batch = DeltaBatch(
+            deltas=(
+                Delta.edge_add(0, 1),
+                Delta.event_attach("a", 2),
+                Delta.edge_remove(3, 4),
+            )
+        )
+        assert len(batch.edge_deltas()) == 2
+        assert len(batch.event_deltas()) == 1
+        assert len(batch) == 3
+
+    def test_coerce_accepts_mutation_triples(self):
+        batch = DeltaBatch.coerce([("add", 4, 1), ("remove", 2, 7)])
+        assert batch.deltas == (Delta.edge_add(1, 4), Delta.edge_remove(2, 7))
+
+    def test_coerce_passes_batches_through(self):
+        batch = DeltaBatch(deltas=(Delta.edge_add(0, 1),))
+        assert DeltaBatch.coerce(batch) is batch
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(DeltaError):
+            DeltaBatch.coerce([("swap", 1, 2)])
+        with pytest.raises(DeltaError):
+            DeltaBatch.coerce([42])
+
+
+class TestDeltaLog:
+    def test_seal_groups_pending(self):
+        log = DeltaLog()
+        log.add_edge(0, 1)
+        log.attach_event("a", 5)
+        assert log.num_pending == 2
+        batch = log.seal()
+        assert len(batch) == 2
+        assert log.num_pending == 0
+        assert len(log) == 1
+
+    def test_replay_includes_pending_tail(self):
+        log = DeltaLog()
+        log.add_edge(0, 1)
+        log.seal()
+        log.remove_edge(2, 3)
+        batches = list(log.replay())
+        assert len(batches) == 2
+        assert batches[1].deltas == (Delta.edge_remove(2, 3),)
+
+    def test_record_mutations(self):
+        log = DeltaLog()
+        log.record_mutations([("add", 1, 2), ("remove", 3, 4)])
+        assert log.pending == [Delta.edge_add(1, 2), Delta.edge_remove(3, 4)]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        log = DeltaLog()
+        log.add_edge(0, 1)
+        log.detach_event("b", 9)
+        log.seal()
+        log.attach_event("a", 4)
+        path = str(tmp_path / "deltas.jsonl")
+        log.save(path)
+        loaded = DeltaLog.load(path)
+        assert [batch.deltas for batch in loaded.batches] == [
+            batch.deltas for batch in log.batches
+        ]
+        assert loaded.pending == log.pending
+
+    def test_parse_skips_blank_and_comment_lines(self):
+        log = DeltaLog.parse(
+            [
+                "# a comment",
+                "",
+                '{"op": "edge_add", "u": 1, "v": 2}',
+                f'{{"op": "{COMMIT_OP}"}}',
+            ]
+        )
+        assert len(log) == 1
+        assert log.batches[0].deltas == (Delta.edge_add(1, 2),)
+
+    def test_parse_rejects_invalid_json(self):
+        with pytest.raises(DeltaError):
+            DeltaLog.parse(["{not json"])
+
+    def test_parse_rejects_non_objects(self):
+        with pytest.raises(DeltaError):
+            DeltaLog.parse(["[1, 2]"])

@@ -1,0 +1,214 @@
+"""Tests for DynamicAttributedGraph: CSR patching, netting, versioning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EdgeError, NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.vicinity import VicinityIndex
+from repro.streaming import Delta, DeltaBatch, DynamicAttributedGraph
+
+
+def _dynamic(graph=None, events=None):
+    if graph is None:
+        graph = erdos_renyi_graph(60, 0.08, random_state=5)
+    if events is None:
+        events = {"a": range(0, 20), "b": range(15, 35)}
+    return DynamicAttributedGraph(graph, events)
+
+
+class TestApplyEdges:
+    def test_add_and_remove_edges(self):
+        dynamic = _dynamic()
+        before_edges = dynamic.num_edges
+        # Pick one existing edge and one absent pair.
+        u, v = next(iter(dynamic.csr.edges()))
+        absent = None
+        for x in range(dynamic.num_nodes):
+            for y in range(x + 1, dynamic.num_nodes):
+                if not dynamic.csr.has_edge(x, y):
+                    absent = (x, y)
+                    break
+            if absent:
+                break
+        applied = dynamic.apply(
+            [Delta.edge_remove(u, v), Delta.edge_add(*absent)]
+        )
+        assert applied.removed_edges == ((u, v),)
+        assert applied.added_edges == (absent,)
+        assert dynamic.num_edges == before_edges
+        assert not dynamic.csr.has_edge(u, v)
+        assert dynamic.csr.has_edge(*absent)
+        assert applied.structure_changed
+        assert dynamic.structure_version == 1
+
+    def test_noop_deltas_have_no_effect(self):
+        dynamic = _dynamic()
+        u, v = next(iter(dynamic.csr.edges()))
+        applied = dynamic.apply([Delta.edge_add(u, v)])  # already exists
+        assert not applied.changed
+        assert dynamic.structure_version == 0
+        assert applied.new_csr is applied.old_csr
+
+    def test_cancelling_deltas_net_out(self):
+        dynamic = _dynamic()
+        absent = (0, 59) if not dynamic.csr.has_edge(0, 59) else (1, 58)
+        applied = dynamic.apply(
+            [Delta.edge_add(*absent), Delta.edge_remove(*absent)]
+        )
+        assert not applied.structure_changed
+        assert dynamic.structure_version == 0
+
+    def test_remove_then_readd_nets_out(self):
+        dynamic = _dynamic()
+        u, v = next(iter(dynamic.csr.edges()))
+        applied = dynamic.apply([Delta.edge_remove(u, v), Delta.edge_add(u, v)])
+        assert not applied.structure_changed
+        assert dynamic.csr.has_edge(u, v)
+
+    def test_matches_mutable_graph_application(self, rng):
+        """Property: CSR patching equals a from-scratch adjacency rebuild."""
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            graph = erdos_renyi_graph(80, 0.06, random_state=seed)
+            dynamic = _dynamic(graph.copy(), {"a": [0, 1]})
+            reference = graph.copy()
+            deltas = []
+            edges = list(reference.edges())
+            for _ in range(12):
+                if local.random() < 0.5 and edges:
+                    index = int(local.integers(0, len(edges)))
+                    u, v = edges.pop(index)
+                    if reference.remove_edge(u, v):
+                        deltas.append(Delta.edge_remove(u, v))
+                else:
+                    u = int(local.integers(0, 80))
+                    v = int(local.integers(0, 80))
+                    if u != v and reference.add_edge(u, v):
+                        deltas.append(Delta.edge_add(u, v))
+            dynamic.apply(deltas)
+            expected = reference.to_csr()
+            np.testing.assert_array_equal(dynamic.csr.indptr, expected.indptr)
+            np.testing.assert_array_equal(dynamic.csr.indices, expected.indices)
+
+    def test_rejects_self_loop(self):
+        dynamic = _dynamic()
+        with pytest.raises(EdgeError):
+            dynamic.apply([Delta.edge_add(3, 3)])
+
+    def test_rejects_unknown_node_without_partial_apply(self):
+        dynamic = _dynamic()
+        u, v = next(iter(dynamic.csr.edges()))
+        with pytest.raises(NodeNotFoundError):
+            dynamic.apply([Delta.edge_remove(u, v), Delta.edge_add(0, 10_000)])
+        # Validation failed before anything was applied.
+        assert dynamic.csr.has_edge(u, v)
+        assert dynamic.structure_version == 0
+
+
+class TestApplyEvents:
+    def test_attach_and_detach(self):
+        dynamic = _dynamic()
+        applied = dynamic.apply(
+            [Delta.event_attach("a", 50), Delta.event_detach("b", 20)]
+        )
+        assert applied.attached == (("a", 50),)
+        assert applied.detached == (("b", 20),)
+        assert 50 in dynamic.event_nodes("a")
+        assert 20 not in dynamic.event_nodes("b")
+        assert not applied.structure_changed
+
+    def test_idempotent_event_deltas(self):
+        dynamic = _dynamic()
+        applied = dynamic.apply(
+            [Delta.event_attach("a", 0), Delta.event_detach("b", 59)]
+        )
+        assert applied.attached == ()
+        assert applied.detached == ()
+        assert not applied.changed
+
+    def test_detaching_last_occurrence_keeps_event(self):
+        dynamic = _dynamic(events={"a": [3], "b": [4, 5]})
+        dynamic.apply([Delta.event_detach("a", 3)])
+        assert dynamic.event_nodes("a").size == 0
+        assert "a" in dynamic.event_names()
+
+    def test_invalid_event_name_rejected_without_partial_apply(self):
+        """Atomicity: a malformed event delta must not leave earlier deltas
+        of the same batch applied."""
+        from repro.exceptions import EventError
+        from repro.streaming.delta import Delta as D
+
+        dynamic = _dynamic()
+        absent = (0, 59) if not dynamic.csr.has_edge(0, 59) else (1, 58)
+        version = dynamic.events.version
+        with pytest.raises(EventError):
+            dynamic.apply(
+                [
+                    D.edge_add(*absent),
+                    D.event_attach("a", 45),
+                    D.event_attach("", 2),  # parses fine from JSONL, invalid here
+                ]
+            )
+        assert not dynamic.csr.has_edge(*absent)
+        assert dynamic.structure_version == 0
+        assert dynamic.events.version == version
+        assert 45 not in dynamic.event_nodes("a")
+
+    def test_event_version_advances_only_on_change(self):
+        dynamic = _dynamic()
+        version = dynamic.events.version
+        dynamic.apply([Delta.event_attach("a", 0)])  # already present
+        assert dynamic.events.version == version
+        dynamic.apply([Delta.event_attach("a", 55)])
+        assert dynamic.events.version == version + 1
+
+
+class TestVicinityRebase:
+    def test_clean_sizes_survive_and_dirty_recompute(self):
+        graph = Graph(7)
+        graph.add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)])
+        dynamic = _dynamic(graph, {"a": [0], "b": [6]})
+        index = dynamic.vicinity_index(levels=(1, 2))
+        index.precompute()
+        dynamic.apply([Delta.edge_add(0, 6)])  # close the ring
+        rebased = dynamic.vicinity_index(levels=(1, 2))
+        assert rebased is not index
+        fresh = VicinityIndex(dynamic.csr, levels=(1, 2), lazy=False)
+        for level in (1, 2):
+            np.testing.assert_array_equal(
+                rebased.sizes(range(7), level), fresh.sizes(range(7), level)
+            )
+        # Nodes far from the patch kept their memoised entries.
+        assert rebased.is_cached(3, 1)
+
+    def test_invalidate_vicinity_seam(self):
+        dynamic = _dynamic()
+        index = dynamic.vicinity_index(levels=(1,))
+        size = index.size(4, 1)
+        assert index.is_cached(4, 1)
+        dynamic.invalidate_vicinity([4])
+        assert not index.is_cached(4, 1)
+        assert index.size(4, 1) == size
+        dynamic.invalidate_vicinity()
+        assert not index.is_cached(0, 1)
+
+    def test_invalidate_vicinity_noop_without_index(self):
+        dynamic = _dynamic()
+        dynamic.invalidate_vicinity([1, 2])  # must not raise
+
+
+class TestSnapshot:
+    def test_snapshot_is_static_copy(self):
+        dynamic = _dynamic()
+        snapshot = dynamic.snapshot()
+        dynamic.apply([Delta.event_attach("a", 45)])
+        assert 45 in dynamic.event_nodes("a")
+        assert 45 not in snapshot.event_nodes("a")
+
+    def test_batch_coercion_from_mutation_triples(self):
+        dynamic = _dynamic()
+        u, v = next(iter(dynamic.csr.edges()))
+        applied = dynamic.apply(DeltaBatch.coerce([("remove", u, v)]))
+        assert applied.removed_edges == ((u, v),)

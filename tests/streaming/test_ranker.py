@@ -1,0 +1,274 @@
+"""ContinuousRanker tests.
+
+The centrepiece is the equivalence property suite: after *any* sequence of
+delta batches, the streaming ranking must be bit-identical — scores,
+z-scores, p-values, verdicts, ranks — to a fresh
+:class:`~repro.core.batch.BatchTescEngine` run on the equivalent static graph
+with the same seed, across samplers and worker counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchTescEngine
+from repro.core.config import TescConfig
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.datasets.synthetic_twitter import make_twitter_like
+from repro.exceptions import ConfigurationError
+from repro.streaming import ContinuousRanker, Delta, DynamicAttributedGraph
+
+
+def _random_batch(rng, dynamic, events, num_edges=4, num_events=2):
+    """A mixed batch of random structural and event deltas."""
+    deltas = []
+    edges = list(dynamic.csr.edges())
+    num_nodes = dynamic.num_nodes
+    for _ in range(num_edges):
+        if rng.random() < 0.5 and edges:
+            u, v = edges.pop(int(rng.integers(0, len(edges))))
+            deltas.append(Delta.edge_remove(u, v))
+        else:
+            u, v = int(rng.integers(0, num_nodes)), int(rng.integers(0, num_nodes))
+            if u != v:
+                deltas.append(Delta.edge_add(u, v))
+    for _ in range(num_events):
+        event = events[int(rng.integers(0, len(events)))]
+        node = int(rng.integers(0, num_nodes))
+        if rng.random() < 0.5:
+            deltas.append(Delta.event_attach(event, node))
+        else:
+            deltas.append(Delta.event_detach(event, node))
+    return deltas
+
+
+def _assert_matches_static(ranking, dynamic, pairs, config, sort_by="score"):
+    static = BatchTescEngine(dynamic.snapshot(), config).rank_pairs(
+        pairs, sort_by=sort_by
+    )
+    assert [p.events for p in ranking] == [p.events for p in static]
+    assert [p.rank for p in ranking] == [p.rank for p in static]
+    assert [p.score for p in ranking] == [p.score for p in static]
+    assert [p.z_score for p in ranking] == [p.z_score for p in static]
+    assert [p.p_value for p in ranking] == [p.p_value for p in static]
+    assert [p.verdict for p in ranking] == [p.verdict for p in static]
+    assert [p.num_reference_nodes for p in ranking] == [
+        p.num_reference_nodes for p in static
+    ]
+
+
+class TestEquivalenceProperty:
+    """Satellite: random delta sequences stay bit-identical to static re-rank."""
+
+    @pytest.mark.parametrize("sampler", ["batch_bfs", "whole_graph", "exhaustive"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_dblp_like_stream(self, sampler, workers):
+        dataset = make_dblp_like(
+            num_communities=10, community_size=40, num_positive_pairs=2,
+            num_negative_pairs=2, num_background_keywords=4, random_state=31,
+        )
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        pairs = (
+            dataset.positive_pairs
+            + dataset.negative_pairs
+            + [("bg_0", "bg_1"), ("bg_2", "bg_3")]
+        )
+        events = sorted({event for pair in pairs for event in pair})
+        config = TescConfig(
+            vicinity_level=1, sample_size=120, sampler=sampler, random_state=7,
+        )
+        rng = np.random.default_rng(100 + workers)
+        with ContinuousRanker(dynamic, pairs, config, workers=workers) as ranker:
+            _assert_matches_static(ranker.commit().ranking, dynamic, pairs, config)
+            for _ in range(4):
+                batch = _random_batch(rng, dynamic, events)
+                delta = ranker.commit(batch)
+                _assert_matches_static(delta.ranking, dynamic, pairs, config)
+
+    @pytest.mark.parametrize("sampler", ["batch_bfs", "whole_graph"])
+    def test_twitter_like_stream(self, sampler):
+        graph = make_twitter_like(num_nodes=600, edges_per_node=4, random_state=3)
+        rng = np.random.default_rng(17)
+        events = {
+            name: rng.choice(600, size=60, replace=False)
+            for name in ("a", "b", "c", "d")
+        }
+        dynamic = DynamicAttributedGraph(graph, events)
+        config = TescConfig(
+            vicinity_level=2, sample_size=100, sampler=sampler, random_state=23,
+        )
+        with ContinuousRanker(dynamic, "all", config) as ranker:
+            _assert_matches_static(ranker.commit().ranking, dynamic, "all", config)
+            for _ in range(3):
+                batch = _random_batch(rng, dynamic, list(events), num_edges=6)
+                delta = ranker.commit(batch)
+                _assert_matches_static(delta.ranking, dynamic, "all", config)
+
+    def test_worker_counts_agree_exactly(self):
+        dataset = make_dblp_like(
+            num_communities=8, community_size=30, num_positive_pairs=2,
+            num_negative_pairs=1, num_background_keywords=2, random_state=5,
+        )
+        config = TescConfig(sample_size=90, random_state=11)
+        batches = []
+        rng = np.random.default_rng(55)
+        probe = DynamicAttributedGraph(
+            dataset.graph.copy(), dataset.attributed.events.copy()
+        )
+        events = probe.event_names()
+        for _ in range(3):
+            batches.append(_random_batch(rng, probe, events))
+            probe.apply(batches[-1])
+
+        rankings = {}
+        for workers in (1, 2):
+            dynamic = DynamicAttributedGraph(
+                dataset.graph.copy(), dataset.attributed.events.copy()
+            )
+            with ContinuousRanker(dynamic, "all", config, workers=workers) as ranker:
+                ranker.commit()
+                for batch in batches:
+                    final = ranker.commit(batch)
+                rankings[workers] = final.ranking
+        assert [p.score for p in rankings[1]] == [p.score for p in rankings[2]]
+        assert [p.events for p in rankings[1]] == [p.events for p in rankings[2]]
+        assert [p.verdict for p in rankings[1]] == [p.verdict for p in rankings[2]]
+
+
+class TestIncrementalBehaviour:
+    @pytest.fixture
+    def dataset(self):
+        return make_dblp_like(
+            num_communities=10, community_size=40, num_positive_pairs=2,
+            num_negative_pairs=2, num_background_keywords=4, random_state=31,
+        )
+
+    def test_first_commit_reports_every_pair_as_new(self, dataset):
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        config = TescConfig(sample_size=100, random_state=3)
+        ranker = ContinuousRanker(dynamic, "all", config)
+        delta = ranker.commit()
+        assert len(delta.changed) == len(delta.ranking)
+        assert all(change.is_new for change in delta.changed)
+        assert delta.stats.columns_recomputed == delta.stats.columns_total
+
+    def test_empty_commit_changes_nothing(self, dataset):
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        config = TescConfig(sample_size=100, random_state=3)
+        ranker = ContinuousRanker(dynamic, "all", config)
+        ranker.commit()
+        delta = ranker.commit()
+        assert len(delta.changed) == 0
+        assert delta.stats.columns_recomputed == 0
+        assert delta.stats.pairs_rescored == 0
+        assert not delta.stats.sample_redrawn
+        assert "no ranking changes" in delta.render()
+
+    def test_localised_edit_reuses_columns_and_pairs(self, dataset):
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        config = TescConfig(sample_size=150, random_state=3)
+        pairs = dataset.positive_pairs + dataset.negative_pairs
+        ranker = ContinuousRanker(dynamic, pairs, config)
+        ranker.commit()
+        # Toggle one occurrence of one monitored event: no structural change,
+        # so no column needs a BFS — counts are patched in place.
+        event = dataset.positive_pairs[0][0]
+        node = int(dynamic.event_nodes(event)[0])
+        delta = ranker.commit([Delta.event_detach(event, node)])
+        assert delta.stats.columns_recomputed == 0
+        assert delta.stats.pairs_reused > 0
+        _assert_matches_static(delta.ranking, dynamic, pairs, config)
+
+    def test_unmonitored_event_toggle_keeps_sample(self, dataset):
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        config = TescConfig(sample_size=100, random_state=3)
+        ranker = ContinuousRanker(dynamic, dataset.positive_pairs, config)
+        ranker.commit()
+        delta = ranker.commit([Delta.event_attach("bg_0", 5)])
+        assert not delta.stats.sample_redrawn
+        assert len(delta.changed) == 0
+
+    def test_out_of_band_mutation_is_detected(self, dataset):
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        config = TescConfig(sample_size=100, random_state=3)
+        pairs = dataset.positive_pairs + dataset.negative_pairs
+        ranker = ContinuousRanker(dynamic, pairs, config)
+        ranker.commit()
+        # Mutate behind the ranker's back, then commit an empty batch: the
+        # ranker must notice the version drift and still match static.
+        u, v = next(iter(dynamic.csr.edges()))
+        dynamic.apply([Delta.edge_remove(u, v)])
+        delta = ranker.commit()
+        _assert_matches_static(delta.ranking, dynamic, pairs, config)
+
+    def test_watch_and_unwatch(self, dataset):
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        config = TescConfig(sample_size=100, random_state=3)
+        ranker = ContinuousRanker(dynamic, dataset.positive_pairs, config)
+        ranker.commit()
+        ranker.watch([("bg_0", "bg_1")])
+        delta = ranker.commit()
+        assert ("bg_0", "bg_1") in [p.events for p in delta.ranking]
+        _assert_matches_static(
+            delta.ranking, dynamic,
+            dataset.positive_pairs + [("bg_0", "bg_1")], config,
+        )
+        ranker.unwatch([("bg_0", "bg_1")])
+        delta = ranker.commit()
+        assert ("bg_0", "bg_1") not in [p.events for p in delta.ranking]
+
+    def test_top_k_trims_public_ranking_only(self, dataset):
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        config = TescConfig(sample_size=100, random_state=3)
+        ranker = ContinuousRanker(dynamic, "all", config, top_k=2)
+        delta = ranker.commit()
+        assert len(delta.ranking) == 2
+        event = dataset.positive_pairs[0][0]
+        node = int(dynamic.event_nodes(event)[0])
+        delta = ranker.commit([Delta.event_detach(event, node)])
+        static = BatchTescEngine(dynamic.snapshot(), config).rank_pairs(
+            "all", top_k=2
+        )
+        assert [p.events for p in delta.ranking] == [p.events for p in static]
+        assert [p.score for p in delta.ranking] == [p.score for p in static]
+
+    def test_verdict_flip_surfaces_in_delta(self, dataset):
+        dynamic = DynamicAttributedGraph(dataset.graph, dataset.attributed.events)
+        config = TescConfig(sample_size=150, random_state=3)
+        pair = dataset.positive_pairs[0]
+        ranker = ContinuousRanker(dynamic, [pair], config)
+        first = ranker.commit()
+        assert first.ranking[0].verdict.value == "positive"
+        # Detaching every occurrence of one side forces the pair to
+        # insufficient/independent — a verdict flip the delta must surface.
+        nodes = [int(n) for n in dynamic.event_nodes(pair[0])]
+        delta = ranker.commit([Delta.event_detach(pair[0], n) for n in nodes])
+        assert len(delta.verdict_flips) == 1
+        _assert_matches_static(delta.ranking, dynamic, [pair], config)
+
+
+class TestValidation:
+    def test_requires_dynamic_graph(self, dataset=None):
+        data = make_dblp_like(
+            num_communities=8, community_size=20, num_positive_pairs=1,
+            num_negative_pairs=1, num_background_keywords=0, random_state=1,
+        )
+        with pytest.raises(ConfigurationError):
+            ContinuousRanker(data.attributed, "all")
+
+    def test_rejects_weighted_samplers(self):
+        data = make_dblp_like(
+            num_communities=8, community_size=20, num_positive_pairs=1,
+            num_negative_pairs=1, num_background_keywords=0, random_state=1,
+        )
+        dynamic = DynamicAttributedGraph(data.graph, data.attributed.events)
+        with pytest.raises(ConfigurationError):
+            ContinuousRanker(dynamic, "all", TescConfig(sampler="importance"))
+
+    def test_rejects_bad_sort_key(self):
+        data = make_dblp_like(
+            num_communities=8, community_size=20, num_positive_pairs=1,
+            num_negative_pairs=1, num_background_keywords=0, random_state=1,
+        )
+        dynamic = DynamicAttributedGraph(data.graph, data.attributed.events)
+        with pytest.raises(ConfigurationError):
+            ContinuousRanker(dynamic, "all", sort_by="banana")

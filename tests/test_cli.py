@@ -143,3 +143,86 @@ class TestExperimentCommand:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "figure99"])
+
+
+class TestStreamCommand:
+    @pytest.fixture
+    def files(self, tmp_path):
+        from repro.streaming import DeltaLog
+
+        graph = community_ring_graph(6, 30, 5.0, 8, random_state=2)
+        edges_path = tmp_path / "graph.txt"
+        events_path = tmp_path / "events.txt"
+        deltas_path = tmp_path / "deltas.jsonl"
+        write_edge_list(graph, str(edges_path))
+        write_event_file(
+            {
+                "a": list(range(0, 30)),
+                "b": list(range(10, 40)),
+                "c": list(range(90, 120)),
+            },
+            str(events_path),
+        )
+        log = DeltaLog()
+        log.add_edge(0, 100)
+        log.remove_edge(0, 1)
+        log.seal()
+        log.attach_event("a", 95)
+        log.detach_event("b", 12)
+        log.seal()
+        log.save(str(deltas_path))
+        return str(edges_path), str(events_path), str(deltas_path)
+
+    def test_replay_prints_ranking_deltas(self, files, capsys):
+        edges_path, events_path, deltas_path = files
+        exit_code = main(
+            [
+                "stream",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--deltas", deltas_path,
+                "--level", "1",
+                "--sample-size", "80",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "initial ranking" in output
+        assert "commit 1" in output
+        assert "commit 2" in output
+        assert "final ranking" in output
+        assert "re-scored" in output
+
+    def test_stream_matches_static_rank_after_replay(self, files, capsys):
+        """The final streamed ranking equals a static rank of the final graph."""
+        from repro.core.batch import BatchTescEngine
+        from repro.core.config import TescConfig
+        from repro.graph.io import read_edge_list, read_event_file
+        from repro.streaming import DeltaLog, DynamicAttributedGraph
+
+        edges_path, events_path, deltas_path = files
+        exit_code = main(
+            [
+                "stream",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--deltas", deltas_path,
+                "--sample-size", "80",
+                "--seed", "3",
+            ]
+        )
+        assert exit_code == 0
+        streamed = capsys.readouterr().out
+
+        graph, labels = read_edge_list(edges_path)
+        label_to_id = {label: index for index, label in enumerate(labels)}
+        events = read_event_file(events_path, label_to_id=label_to_id)
+        dynamic = DynamicAttributedGraph(graph, events, labels=labels)
+        for batch in DeltaLog.load(deltas_path).replay():
+            dynamic.apply(batch)
+        config = TescConfig(sample_size=80, random_state=3)
+        static = BatchTescEngine(dynamic.snapshot(), config).rank_pairs("all")
+        final_block = streamed.split("final ranking:")[1]
+        for pair in static:
+            assert f"{pair.score:+.4f}" in final_block
