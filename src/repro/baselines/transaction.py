@@ -117,19 +117,30 @@ def transaction_correlation(
     )
 
 
-def transaction_tau_b_dense(indicator_a: np.ndarray, indicator_b: np.ndarray) -> float:
-    """Reference τ-b on dense binary vectors (used to cross-check the closed form)."""
+def transaction_tau_b_dense(
+    indicator_a: np.ndarray, indicator_b: np.ndarray, kernel: str = "auto"
+) -> float:
+    """Reference τ-b on dense binary vectors (used to cross-check the closed form).
+
+    Routed through the size-dispatched concordance kernels, so the dense
+    cross-check stays usable on full-graph indicator vectors (O(N log N)
+    instead of an N×N sign matrix).
+    """
     if indicator_a.shape != indicator_b.shape:
         raise EstimationError("indicator vectors must have the same shape")
-    return kendall_tau_b(indicator_a.astype(float), indicator_b.astype(float))
+    return kendall_tau_b(
+        indicator_a.astype(float), indicator_b.astype(float), kernel=kernel
+    )
 
 
-def transaction_z_dense(indicator_a: np.ndarray, indicator_b: np.ndarray) -> float:
+def transaction_z_dense(
+    indicator_a: np.ndarray, indicator_b: np.ndarray, kernel: str = "auto"
+) -> float:
     """Reference z-score on dense binary vectors (cross-check of the closed form)."""
     a = indicator_a.astype(float)
     b = indicator_b.astype(float)
     if degenerate_ties(a, b):
         return 0.0
-    s = pair_concordance_sum(a, b)
+    s = pair_concordance_sum(a, b, kernel=kernel)
     sigma = tie_corrected_sigma(a, b)
     return float(s / sigma) if sigma > 0 else 0.0

@@ -39,6 +39,7 @@ from repro.graph.io import read_edge_list, read_event_file
 from repro.graph.metrics import summarize_graph
 from repro.sampling.registry import available_samplers
 from repro.simulation.runner import SimulationStudy
+from repro.stats.fast_kendall import KERNELS
 from repro.utils.logging import configure_logging
 from repro.utils.tables import TextTable, render_mapping
 
@@ -65,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     test_parser.add_argument(
         "--alternative", default="two-sided", choices=["two-sided", "greater", "less"]
     )
+    test_parser.add_argument(
+        "--kendall-kernel", default="auto", choices=list(KERNELS),
+        help="concordance kernel: auto (size-dispatched), naive (O(n^2) "
+             "sign matrices) or fast (O(n log n) merge sort / Fenwick tree)",
+    )
     test_parser.add_argument("--seed", type=int, default=None)
 
     rank_parser = subparsers.add_parser(
@@ -89,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     rank_parser.add_argument("--sort-by", default="score", choices=list(SORT_KEYS))
     rank_parser.add_argument("--markdown", action="store_true",
                              help="render the ranking as markdown")
+    rank_parser.add_argument(
+        "--kendall-kernel", default="auto", choices=list(KERNELS),
+        help="concordance kernel: auto (size-dispatched), naive (O(n^2) "
+             "sign matrices) or fast (O(n log n) merge sort); identical "
+             "rankings either way",
+    )
     rank_parser.add_argument("--seed", type=int, default=None)
     rank_parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -124,6 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument("--sort-by", default="score", choices=list(SORT_KEYS))
     stream_parser.add_argument("--markdown", action="store_true",
                                help="render tables as markdown")
+    stream_parser.add_argument(
+        "--kendall-kernel", default="auto", choices=list(KERNELS),
+        help="concordance kernel: auto (size-dispatched), naive (O(n^2) "
+             "sign matrices) or fast (O(n log n) merge sort); identical "
+             "rankings either way",
+    )
     stream_parser.add_argument("--seed", type=int, default=None)
     stream_parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -176,6 +194,7 @@ def _command_test(args: argparse.Namespace) -> int:
         sampler=args.sampler,
         alpha=args.alpha,
         alternative=args.alternative,
+        kendall_kernel=args.kendall_kernel,
         random_state=args.seed,
     )
     result = TescTester(attributed, config).test(args.event_a, args.event_b)
@@ -206,6 +225,7 @@ def _command_rank(args: argparse.Namespace) -> int:
         sample_size=args.sample_size,
         sampler=args.sampler,
         alpha=args.alpha,
+        kendall_kernel=args.kendall_kernel,
         random_state=args.seed,
     )
     pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"
@@ -247,6 +267,7 @@ def _command_stream(args: argparse.Namespace) -> int:
         sample_size=args.sample_size,
         sampler=args.sampler,
         alpha=args.alpha,
+        kendall_kernel=args.kendall_kernel,
         random_state=args.seed,
     )
     pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"

@@ -23,9 +23,12 @@ across a whole pair set:
    pair's own population, and in exhaustive mode the per-pair results are
    *numerically identical* to looped :class:`~repro.core.tesc.TescTester`
    runs.
-4. **Shared estimator state.**  Each event's ``O(n²)`` concordance-sign
-   matrix is computed once by :class:`~repro.core.estimators.PairEstimateBatcher`
-   and sliced per pair.
+4. **Shared estimator state.**  Each event's density column is rank-encoded
+   once by :class:`~repro.core.estimators.PairEstimateBatcher` (an ``O(n)``
+   rank vector per event) and gathered per pair; the per-pair concordance
+   runs through the size-dispatched kernels of
+   :mod:`repro.stats.fast_kendall` (``O(n log n)`` merge sort above the
+   crossover, the vectorised naive kernel below it).
 
 The entry points are :meth:`BatchTescEngine.rank_pairs` (object API) and
 :func:`rank_pairs` (one-call convenience), both returning a
@@ -67,8 +70,8 @@ WEIGHTED_SAMPLERS = ("importance", "batch_importance")
 #: Samplers that need the ``|V^h_v|`` vicinity-size index to draw.
 INDEXED_SAMPLERS = ("importance", "batch_importance", "reject")
 
-#: How many density matrices (each with its per-event sign matrices, up to
-#: ~1 MB per event at n=900) an engine retains before evicting the oldest.
+#: How many density matrices (each with its per-event O(n) rank vectors)
+#: an engine retains before evicting the oldest.
 MAX_CACHED_MATRICES = 8
 
 
@@ -320,11 +323,12 @@ def estimate_pair_list(
 
     ``batcher=None`` computes each pair directly with
     :func:`~repro.core.estimators.plain_estimate` on the restricted density
-    vectors instead of slicing shared ``O(n²)`` sign matrices.  The two
-    paths are numerically identical (asserted in the estimator tests); the
-    batcher amortises across many pairs sharing events, the plain path wins
-    when only a few pairs are being (re-)scored — the streaming ranker's
-    common case.
+    vectors instead of gathering shared rank vectors.  The two paths are
+    numerically identical (asserted in the estimator tests); the batcher
+    amortises the rank encoding across many pairs sharing events, the plain
+    path wins when only a few pairs are being (re-)scored — the streaming
+    ranker's common case.  Both dispatch the concordance kernel through
+    ``cfg.kendall_kernel`` / ``cfg.kendall_crossover``.
     """
     results: List[RankedPair] = []
     for event_a, event_b in pair_list:
@@ -348,7 +352,10 @@ def estimate_pair_list(
             continue
         if batcher is None:
             components: EstimateComponents = plain_estimate(
-                matrix.densities[row_a, columns], matrix.densities[row_b, columns]
+                matrix.densities[row_a, columns],
+                matrix.densities[row_b, columns],
+                kernel=cfg.kendall_kernel,
+                crossover=cfg.kendall_crossover,
             )
         else:
             components = batcher.estimate_pair(row_a, row_b, columns)
@@ -480,16 +487,28 @@ class BatchTescEngine:
             while len(self._matrices) >= MAX_CACHED_MATRICES:
                 oldest = next(iter(self._matrices))
                 del self._matrices[oldest]
-                self._batchers.pop(oldest, None)
+                # Batcher keys extend the matrix key with the kernel choice;
+                # drop every batcher built over the evicted matrix.
+                for stale in [
+                    batcher_key for batcher_key in self._batchers
+                    if batcher_key[: len(oldest)] == oldest
+                ]:
+                    del self._batchers[stale]
             self._matrices[key] = cached
             call_stats.density_passes += 1
             call_stats.density_bfs_calls += engine.bfs_calls - bfs_before
         return cached
 
-    def _batcher(self, matrix: DensityMatrix, key: tuple) -> PairEstimateBatcher:
+    def _batcher(self, matrix: DensityMatrix, key: tuple,
+                 cfg: TescConfig) -> PairEstimateBatcher:
+        key = key + (cfg.kendall_kernel, cfg.kendall_crossover)
         cached = self._batchers.get(key)
         if cached is None:
-            cached = PairEstimateBatcher(matrix.densities)
+            cached = PairEstimateBatcher(
+                matrix.densities,
+                kernel=cfg.kendall_kernel,
+                crossover=cfg.kendall_crossover,
+            )
             self._batchers[key] = cached
         return cached
 
@@ -538,7 +557,7 @@ class BatchTescEngine:
 
         pair_list = self._resolve_pairs(pairs)
         # Sorted row layout so pair sets naming the same events (in any
-        # order) share one cached density matrix and sign-matrix set.
+        # order) share one cached density matrix and rank-vector set.
         events = sorted({event for pair in pair_list for event in pair})
         row_of = {event: row for row, event in enumerate(events)}
         # Touching every indicator up front surfaces unknown events before
@@ -550,7 +569,7 @@ class BatchTescEngine:
         matrix = self._density_matrix(
             cfg, events, sample, matrix_key, timer, call_stats
         )
-        batcher = self._batcher(matrix, matrix_key + (tuple(events),))
+        batcher = self._batcher(matrix, matrix_key + (tuple(events),), cfg)
 
         with timer.lap("estimates"):
             results = self._estimate_pair_list(
@@ -633,7 +652,7 @@ class BatchTescEngine:
         matrix = self._density_matrix(
             cfg, events, sample, matrix_key, timer, call_stats
         )
-        batcher = self._batcher(matrix, matrix_key + (tuple(events),))
+        batcher = self._batcher(matrix, matrix_key + (tuple(events),), cfg)
         with timer.lap("estimates"):
             results = self._estimate_pair_list(
                 pair_list, row_of, matrix, batcher, cfg, on_insufficient

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
+from repro.stats.fast_kendall import KERNELS
 from repro.utils.rng import RandomState
 from repro.utils.validation import check_positive_int, check_vicinity_level
 
@@ -16,6 +17,9 @@ DEFAULT_SAMPLE_SIZE = 900
 
 #: Significance level of the paper's one-tailed tests.
 DEFAULT_ALPHA = 0.05
+
+#: Sentinel for :meth:`TescConfig.with_kernel`: keep the current crossover.
+_KEEP_CROSSOVER = object()
 
 
 @dataclass(frozen=True)
@@ -56,6 +60,16 @@ class TescConfig:
         For the batched importance sampler: how many reference nodes to draw
         from each sampled event node's vicinity (Section 5.2.2 uses 3 for
         h=2 and 6 for h=3).  ``None`` keeps the chosen sampler's own default.
+    kendall_kernel:
+        Concordance-kernel selection for every estimate this config drives:
+        ``"auto"`` (default) dispatches on sample size — the vectorised
+        O(n²) kernel below the crossover, the O(n log n) merge-sort /
+        Fenwick kernels at or above it; ``"naive"`` / ``"fast"`` force one
+        path (benchmarks, debugging).  The unweighted kernels return the
+        same exact integer ``S``, so this never changes a test verdict.
+    kendall_crossover:
+        ``"auto"`` dispatch threshold override (``None`` keeps the library
+        default, :data:`repro.stats.fast_kendall.DEFAULT_CROSSOVER`).
     random_state:
         Seed/generator for the sampling step.
     """
@@ -66,6 +80,8 @@ class TescConfig:
     alpha: float = DEFAULT_ALPHA
     alternative: str = "two-sided"
     batch_per_vicinity: Optional[int] = None
+    kendall_kernel: str = "auto"
+    kendall_crossover: Optional[int] = None
     random_state: RandomState = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -82,6 +98,28 @@ class TescConfig:
             )
         if not isinstance(self.sampler, str) or not self.sampler:
             raise ConfigurationError("sampler must be a non-empty string")
+        if self.kendall_kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kendall_kernel must be one of {KERNELS}, "
+                f"got {self.kendall_kernel!r}"
+            )
+        if self.kendall_crossover is not None:
+            check_positive_int(self.kendall_crossover, "kendall_crossover")
+
+    def with_kernel(self, kendall_kernel: str,
+                    kendall_crossover: object = _KEEP_CROSSOVER) -> "TescConfig":
+        """A copy of this configuration using a different concordance kernel.
+
+        ``kendall_crossover`` is preserved unless explicitly passed (``None``
+        explicitly restores the library default threshold).
+        """
+        if kendall_crossover is _KEEP_CROSSOVER:
+            kendall_crossover = self.kendall_crossover
+        return replace(
+            self,
+            kendall_kernel=kendall_kernel,
+            kendall_crossover=kendall_crossover,
+        )
 
     def with_level(self, vicinity_level: int) -> "TescConfig":
         """A copy of this configuration at a different vicinity level."""

@@ -13,8 +13,8 @@ additionally fans the *per-pair* work out across worker processes:
    verdict is **bit-identical to the serial engine** — in exhaustive mode and
    in sampled mode alike.
 2. **Pair shards, round-robin.**  The pair list is dealt round-robin across
-   ``workers`` shards.  Each shard computes the density matrix and sign
-   matrices only for the events its pairs touch and shares them among those
+   ``workers`` shards.  Each shard computes the density matrix and rank
+   vectors only for the events its pairs touch and shares them among those
    pairs through the worker-resident :class:`BatchTescEngine` caches.
 3. **Per-shard deterministic seeding.**  Each shard receives a seed derived
    from the root ``random_state`` through :class:`numpy.random.SeedSequence`
@@ -127,8 +127,8 @@ def shard_seeds(
 #: shard the worker handles (graph, event layer, engine with warm caches).
 _WORKER_STATE: Dict[str, object] = {}
 
-#: How many config-distinct engines (each holding density/sign-matrix
-#: caches) a worker process retains before evicting the oldest.
+#: How many config-distinct engines (each holding density-matrix and
+#: rank-vector caches) a worker process retains before evicting the oldest.
 MAX_WORKER_ENGINES = 4
 
 
@@ -159,7 +159,7 @@ def _rank_shard(
     :func:`shard_seeds`).  It is deliberately *not* folded into the engine's
     config: today's shards consume no randomness (the sample was drawn by
     the parent), and keeping the config seed-free lets a pooled worker's
-    density-matrix and sign-matrix caches serve any shard of any call.
+    density-matrix and rank-vector caches serve any shard of any call.
     Future stochastic estimators should seed their generators from it.
     """
     attributed: AttributedGraph = _WORKER_STATE["attributed"]  # type: ignore[assignment]
@@ -206,7 +206,7 @@ def estimate_matrix_shard(
     work) and ships only the small ``(num_events, n)`` matrix to each worker,
     which runs the same per-pair arithmetic as the serial engine on its
     shard (the plain restricted-vector path — each worker scores few pairs,
-    so shared sign matrices would not amortise).  No worker-resident graph
+    so shared rank vectors would not amortise).  No worker-resident graph
     state is needed, so the pool stays valid across graph mutations.
     """
     cfg = TescConfig(**config_kwargs)

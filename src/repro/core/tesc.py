@@ -144,10 +144,15 @@ class TescTester:
         with timer.lap("measure"):
             if sample.weighted:
                 components = importance_weighted_estimate(
-                    densities_a, densities_b, sample.frequencies, sample.probabilities
+                    densities_a, densities_b,
+                    sample.frequencies, sample.probabilities,
+                    kernel=cfg.kendall_kernel, crossover=cfg.kendall_crossover,
                 )
             else:
-                components = plain_estimate(densities_a, densities_b)
+                components = plain_estimate(
+                    densities_a, densities_b,
+                    kernel=cfg.kendall_kernel, crossover=cfg.kendall_crossover,
+                )
             significance = decide(components.z_score, cfg.alpha, cfg.alternative)
 
         return TescResult(

@@ -5,6 +5,13 @@ no knowledge of graphs.  This keeps the statistical machinery independently
 testable against brute force and against ``scipy.stats``.
 """
 
+from repro.stats.fast_kendall import (
+    DEFAULT_CROSSOVER,
+    KERNELS,
+    fenwick_weighted_concordance,
+    merge_concordance_sum,
+    resolve_kernel,
+)
 from repro.stats.kendall import (
     concordance_matrix,
     kendall_tau_a,
@@ -22,6 +29,11 @@ from repro.stats.normal import normal_cdf, normal_sf, z_to_p_value
 from repro.stats.hypothesis import CorrelationVerdict, SignificanceResult, decide
 
 __all__ = [
+    "DEFAULT_CROSSOVER",
+    "KERNELS",
+    "fenwick_weighted_concordance",
+    "merge_concordance_sum",
+    "resolve_kernel",
     "concordance_matrix",
     "kendall_tau_a",
     "kendall_tau_b",

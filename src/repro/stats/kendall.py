@@ -10,18 +10,23 @@ over binary transaction vectors (Section 5.4).  This module provides:
   of the importance-sampling estimator ``t̃`` (Eq. 8).
 * :func:`kendall_tau_a` and :func:`kendall_tau_b` — the classic coefficients.
 
-For the sample sizes the paper uses (``n`` around 900) a vectorised ``O(n²)``
-computation is fast (<10 ms) and, unlike the ``O(n log n)`` merge-sort trick,
-extends directly to the weighted estimator, so that is what we use.
+All four validate their inputs and then route through the size-dispatched
+kernels of :mod:`repro.stats.fast_kendall`: a vectorised ``O(n²)``
+sign-matrix kernel below the crossover (~200 observations, where its small
+constant wins) and the exact ``O(n log n)`` merge-sort / Fenwick-tree
+kernels above it.  ``kernel`` accepts ``"auto"`` (default), ``"naive"`` or
+``"fast"`` to force a path; the unweighted kernels return the same integer
+``S`` either way, so dispatch never changes a result.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import EstimationError
+from repro.stats.fast_kendall import concordance_sum, weighted_concordance
 
 
 def _as_vector(values, name: str) -> np.ndarray:
@@ -47,10 +52,17 @@ def concordance_matrix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     return (dx * dy).astype(np.int64)
 
 
-def pair_concordance_sum(x: np.ndarray, y: np.ndarray) -> int:
+def pair_concordance_sum(
+    x: np.ndarray,
+    y: np.ndarray,
+    kernel: str = "auto",
+    crossover: Optional[int] = None,
+) -> int:
     """``S = #concordant − #discordant`` over all unordered pairs.
 
-    This is the numerator ``sum_{i<j} c(r_i, r_j)`` of Eq. 4.
+    This is the numerator ``sum_{i<j} c(r_i, r_j)`` of Eq. 4.  ``kernel``
+    selects the concordance kernel (see :mod:`repro.stats.fast_kendall`);
+    the result is the same exact integer on every path.
     """
     x = _as_vector(x, "x")
     y = _as_vector(y, "y")
@@ -58,20 +70,22 @@ def pair_concordance_sum(x: np.ndarray, y: np.ndarray) -> int:
         raise EstimationError("x and y must have the same length")
     if x.size < 2:
         raise EstimationError("at least two observations are required")
-    dx = np.sign(x[:, None] - x[None, :])
-    dy = np.sign(y[:, None] - y[None, :])
-    total = float((dx * dy).sum())  # counts each unordered pair twice; diagonal is 0
-    return int(round(total / 2.0))
+    return concordance_sum(x, y, kernel=kernel, crossover=crossover)
 
 
 def weighted_pair_concordance(
-    x: np.ndarray, y: np.ndarray, pair_weights: np.ndarray
+    x: np.ndarray,
+    y: np.ndarray,
+    pair_weights: np.ndarray,
+    kernel: str = "auto",
+    crossover: Optional[int] = None,
 ) -> Tuple[float, float]:
     """Weighted concordance numerator and denominator of Eq. 8.
 
     ``pair_weights[i]`` is the per-node weight ``w_i / p(r_i)``; the pair
     weight used by the estimator is the product of the two node weights.
-    Returns ``(sum_{i<j} c_ij * W_ij, sum_{i<j} W_ij)``.
+    Returns ``(sum_{i<j} c_ij * W_ij, sum_{i<j} W_ij)``.  The naive and
+    Fenwick kernels agree up to float summation order.
     """
     x = _as_vector(x, "x")
     y = _as_vector(y, "y")
@@ -82,28 +96,24 @@ def weighted_pair_concordance(
         raise EstimationError("at least two observations are required")
     if np.any(weights < 0):
         raise EstimationError("pair_weights must be non-negative")
-    dx = np.sign(x[:, None] - x[None, :])
-    dy = np.sign(y[:, None] - y[None, :])
-    weight_matrix = weights[:, None] * weights[None, :]
-    concordance = dx * dy
-    numerator = float((concordance * weight_matrix).sum() / 2.0)
-    denominator = float(
-        (weight_matrix.sum() - np.sum(weights * weights)) / 2.0
-    )
-    return numerator, denominator
+    return weighted_concordance(x, y, weights, kernel=kernel, crossover=crossover)
 
 
-def kendall_tau_a(x: np.ndarray, y: np.ndarray) -> float:
+def kendall_tau_a(
+    x: np.ndarray, y: np.ndarray, kernel: str = "auto"
+) -> float:
     """Kendall τ-a: ``S / (n(n-1)/2)`` — Eq. 3/4 of the paper."""
     x = _as_vector(x, "x")
     n = x.size
     if n < 2:
         raise EstimationError("at least two observations are required")
-    s = pair_concordance_sum(x, y)
+    s = pair_concordance_sum(x, y, kernel=kernel)
     return float(s) / (0.5 * n * (n - 1))
 
 
-def kendall_tau_b(x: np.ndarray, y: np.ndarray) -> float:
+def kendall_tau_b(
+    x: np.ndarray, y: np.ndarray, kernel: str = "auto"
+) -> float:
     """Kendall τ-b: tie-adjusted coefficient used for Transaction Correlation.
 
     ``τ_b = S / sqrt((n0 - n1)(n0 - n2))`` where ``n0 = n(n-1)/2`` and
@@ -120,7 +130,7 @@ def kendall_tau_b(x: np.ndarray, y: np.ndarray) -> float:
         raise EstimationError("at least two observations are required")
     from repro.stats.ties import tie_group_sizes
 
-    s = pair_concordance_sum(x, y)
+    s = pair_concordance_sum(x, y, kernel=kernel)
     n0 = 0.5 * n * (n - 1)
     ties_x = tie_group_sizes(x)
     ties_y = tie_group_sizes(y)

@@ -87,6 +87,38 @@ class TestRankCommand:
             "independent"
         ) >= 3
 
+    def test_kendall_kernel_flag_is_result_invariant(self, files, capsys):
+        """--kendall-kernel naive|fast|auto print the identical ranking table
+        (the kernels compute the same exact integer S)."""
+        edges_path, events_path = files
+        outputs = {}
+        for kernel in ("naive", "fast", "auto"):
+            exit_code = main(
+                [
+                    "rank",
+                    "--edges", edges_path,
+                    "--events", events_path,
+                    "--sample-size", "80",
+                    "--seed", "3",
+                    "--kendall-kernel", kernel,
+                ]
+            )
+            assert exit_code == 0
+            outputs[kernel] = capsys.readouterr().out
+        assert outputs["naive"] == outputs["fast"] == outputs["auto"]
+
+    def test_rejects_unknown_kernel(self, files, capsys):
+        edges_path, events_path = files
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "rank",
+                    "--edges", edges_path,
+                    "--events", events_path,
+                    "--kendall-kernel", "blas",
+                ]
+            )
+
     def test_explicit_pairs_and_top_k(self, files, capsys):
         edges_path, events_path = files
         exit_code = main(
