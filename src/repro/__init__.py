@@ -21,6 +21,7 @@ True
 
 from repro.core.batch import BatchTescEngine, PairRanking, RankedPair, rank_pairs
 from repro.core.parallel import ParallelBatchTescEngine, rank_pairs_parallel
+from repro.core.topk import ProgressiveTopKEngine, TopKRanking, top_k_pairs
 from repro.core.config import TescConfig
 from repro.core.tesc import TescResult, TescTester, measure_tesc
 from repro.events.attributed_graph import AttributedGraph
@@ -47,5 +48,8 @@ __all__ = [
     "rank_pairs",
     "rank_pairs_parallel",
     "ParallelBatchTescEngine",
+    "ProgressiveTopKEngine",
+    "TopKRanking",
+    "top_k_pairs",
     "__version__",
 ]

@@ -7,7 +7,13 @@ Subcommands
     files.
 ``tesc rank``
     Batch-test many event pairs on one graph with the shared-sample
-    :class:`~repro.core.batch.BatchTescEngine` and print them ranked.
+    :class:`~repro.core.batch.BatchTescEngine` and print them ranked
+    (``--top-k`` routes through the progressive engine when sorting by
+    score).
+``tesc topk``
+    Progressive top-k: grow the shared sample in geometric rounds, prune
+    pairs whose confidence interval falls below the k-th lower bound, and
+    print the surviving top-k (identical to a full ``tesc rank`` top-k).
 ``tesc stream``
     Replay a JSONL delta file against a dynamic graph, incrementally
     re-ranking monitored event pairs after every commit and printing the
@@ -29,7 +35,7 @@ from typing import List, Optional
 
 from repro import __version__
 from repro.core.batch import SORT_KEYS
-from repro.core.config import TescConfig
+from repro.core.config import DEFAULT_TOPK_INITIAL_SAMPLE_SIZE, TescConfig
 from repro.core.parallel import ParallelBatchTescEngine, resolve_workers
 from repro.core.tesc import TescTester
 from repro.datasets.registry import available_datasets, load_dataset
@@ -105,6 +111,70 @@ def build_parser() -> argparse.ArgumentParser:
     rank_parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="shard the pair workload across N worker processes "
+             "(0 = one per core); results are identical to a serial run",
+    )
+    rank_parser.add_argument(
+        "--no-progressive", action="store_true",
+        help="with --top-k and --sort-by score: force the full batch engine "
+             "instead of routing through the progressive top-k engine",
+    )
+
+    topk_parser = subparsers.add_parser(
+        "topk",
+        help="progressive top-k pair ranking with confidence-bound pruning",
+    )
+    topk_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
+    topk_parser.add_argument("--events", required=True, help="event file (event<TAB>node)")
+    topk_parser.add_argument("--k", type=int, required=True,
+                             help="how many top pairs to return")
+    topk_parser.add_argument(
+        "--pair", nargs=2, action="append", metavar=("EVENT_A", "EVENT_B"),
+        help="one candidate pair (repeatable); default: all pairs of events in the file",
+    )
+    topk_parser.add_argument("--level", type=int, default=1, help="vicinity level h")
+    topk_parser.add_argument("--sample-size", type=int, default=900,
+                             help="full reference-sample budget (the last round's size)")
+    topk_parser.add_argument(
+        "--sampler", default="batch_bfs",
+        choices=["batch_bfs", "exhaustive", "whole_graph", "reject"],
+        help="uniform samplers only (importance weights cannot be shared across pairs)",
+    )
+    topk_parser.add_argument("--alpha", type=float, default=0.05)
+    topk_parser.add_argument(
+        "--confidence", type=float, default=None, metavar="C",
+        help="two-sided confidence level of the pruning bounds (default 0.995)",
+    )
+    topk_parser.add_argument(
+        "--initial-sample", type=int, default=None, metavar="N0",
+        help="first-round prefix size (default 256)",
+    )
+    schedule_group = topk_parser.add_mutually_exclusive_group()
+    schedule_group.add_argument(
+        "--growth", type=float, default=None, metavar="G",
+        help="geometric growth factor between rounds (default 2.0)",
+    )
+    schedule_group.add_argument(
+        "--rounds", type=int, default=None, metavar="R",
+        help="alternative to --growth: target number of rounds from the "
+             "initial size to the budget (the growth factor is derived)",
+    )
+    topk_parser.add_argument(
+        "--bound", default=None, choices=["asymptotic", "certified"],
+        help="pruning-bound variance: asymptotic (tight, default) or the "
+             "paper's certified upper bound (conservative, prunes late)",
+    )
+    topk_parser.add_argument("--markdown", action="store_true",
+                             help="render the ranking as markdown")
+    topk_parser.add_argument(
+        "--kendall-kernel", default="auto", choices=list(KERNELS),
+        help="concordance kernel: auto (size-dispatched), naive (O(n^2) "
+             "sign matrices) or fast (O(n log n) merge sort); identical "
+             "rankings either way",
+    )
+    topk_parser.add_argument("--seed", type=int, default=None)
+    topk_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the final survivor re-score across N worker processes "
              "(0 = one per core); results are identical to a serial run",
     )
 
@@ -230,6 +300,19 @@ def _command_rank(args: argparse.Namespace) -> int:
     )
     pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"
     workers = resolve_workers(args.workers)
+    if (
+        args.top_k is not None
+        and args.sort_by == "score"
+        and not args.no_progressive
+    ):
+        # A top-k-by-score request is exactly the progressive engine's
+        # workload; results are identical to the batch path, only cheaper.
+        from repro.core.topk import ProgressiveTopKEngine
+
+        with ProgressiveTopKEngine(attributed, config, workers=workers) as engine:
+            topk_ranking = engine.top_k(args.top_k, pairs)
+        _print_topk(topk_ranking, workers, args)
+        return 0
     # The parallel engine degrades to the serial BatchTescEngine in-process
     # when workers <= 1, so one code path serves both modes.
     with ParallelBatchTescEngine(attributed, config, workers=workers) as engine:
@@ -253,6 +336,91 @@ def _command_rank(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _print_topk(ranking, workers: int, args: argparse.Namespace) -> int:
+    """Render a progressive top-k ranking plus its round/pruning summary."""
+    stats = ranking.topk_stats
+    print(ranking.render(markdown=args.markdown))
+    print()
+    rounds = TextTable(
+        ["round", "prefix n", "new nodes", "pairs in", "estimated", "pruned",
+         "live events", "k-th lower bound"]
+    )
+    for entry in stats.rounds:
+        rounds.add_row(
+            [
+                entry.index + 1,
+                entry.sample_size,
+                entry.new_reference_nodes,
+                entry.pairs_entering,
+                entry.pairs_estimated,
+                entry.pairs_pruned,
+                entry.live_events,
+                "-" if entry.kth_lower_bound is None
+                else f"{entry.kth_lower_bound:+.4f}",
+            ]
+        )
+    print(rounds.render(markdown=args.markdown))
+    print()
+    print(
+        render_mapping(
+            {
+                "k": stats.k,
+                "candidate pairs": stats.num_pairs,
+                "pairs pruned": stats.pairs_pruned,
+                "survivors at full budget": stats.pairs_survived,
+                "screening estimates": stats.screen_estimates,
+                "full-budget estimates": stats.final_estimates,
+                "sample budget": stats.budget,
+                "density BFS calls": stats.density_bfs_calls,
+                "confidence": ranking.confidence,
+                "workers": workers,
+                "sampler": args.sampler,
+                "level": args.level,
+            },
+            title="progressive top-k engine",
+        )
+    )
+    return 0
+
+
+def _command_topk(args: argparse.Namespace) -> int:
+    from repro.core.topk import ProgressiveTopKEngine, derive_growth_factor
+
+    graph, labels = read_edge_list(args.edges)
+    label_to_id = {label: index for index, label in enumerate(labels)}
+    events = read_event_file(args.events, label_to_id=label_to_id)
+    attributed = AttributedGraph(graph, events, labels=labels)
+    config_kwargs = dict(
+        vicinity_level=args.level,
+        sample_size=args.sample_size,
+        sampler=args.sampler,
+        alpha=args.alpha,
+        kendall_kernel=args.kendall_kernel,
+        random_state=args.seed,
+    )
+    if args.confidence is not None:
+        config_kwargs["topk_confidence"] = args.confidence
+    if args.initial_sample is not None:
+        config_kwargs["topk_initial_sample_size"] = args.initial_sample
+    if args.bound is not None:
+        config_kwargs["topk_bound"] = args.bound
+    if args.growth is not None:
+        config_kwargs["topk_growth_factor"] = args.growth
+    elif args.rounds is not None:
+        initial = config_kwargs.get(
+            "topk_initial_sample_size", DEFAULT_TOPK_INITIAL_SAMPLE_SIZE
+        )
+        config_kwargs["topk_growth_factor"] = derive_growth_factor(
+            initial, args.sample_size, args.rounds
+        )
+    config = TescConfig(**config_kwargs)
+    pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"
+    workers = resolve_workers(args.workers)
+    with ProgressiveTopKEngine(attributed, config, workers=workers) as engine:
+        ranking = engine.top_k(args.k, pairs)
+    return _print_topk(ranking, workers, args)
 
 
 def _command_stream(args: argparse.Namespace) -> int:
@@ -379,6 +547,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_test(args)
     if args.command == "rank":
         return _command_rank(args)
+    if args.command == "topk":
+        return _command_topk(args)
     if args.command == "stream":
         return _command_stream(args)
     if args.command == "experiment":

@@ -7,10 +7,13 @@ sampling, vicinity indexing and density computation across a whole pair set
 and return a ranked :class:`PairRanking`.  For multi-core machines,
 :class:`ParallelBatchTescEngine` / ``rank_pairs(..., workers=N)`` shard the
 pair workload across a process pool with results identical to the serial
-engine.
+engine.  :class:`ProgressiveTopKEngine` / :func:`top_k_pairs` answer top-k
+queries with confidence-bound pruning over a prefix-growable sample —
+identical output to ``rank_pairs().top(k)``, a fraction of the work.
 """
 
 from repro.core.batch import BatchTescEngine, PairRanking, RankedPair, rank_pairs
+from repro.core.topk import ProgressiveTopKEngine, TopKRanking, top_k_pairs
 from repro.core.parallel import (
     ParallelBatchTescEngine,
     rank_pairs_parallel,
@@ -30,6 +33,9 @@ from repro.core.weighted import distance_weighted_densities, weighted_tesc_score
 
 __all__ = [
     "BatchTescEngine",
+    "ProgressiveTopKEngine",
+    "TopKRanking",
+    "top_k_pairs",
     "ParallelBatchTescEngine",
     "rank_pairs_parallel",
     "resolve_workers",

@@ -232,6 +232,38 @@ class PairRanking:
 PairSpec = Union[str, Sequence[Tuple[str, str]]]
 
 
+def ensure_uniform_sampler(cfg: TescConfig, caller: str = "the batch engine") -> None:
+    """Reject sampler configs whose draws carry importance weights.
+
+    Weighted draws are defined relative to the population they were drawn
+    from and cannot be restricted to per-pair populations, so every engine
+    built on a shared sample (batch, parallel, streaming, progressive top-k)
+    rejects them up front through this guard.
+    """
+    if cfg.sampler in WEIGHTED_SAMPLERS:
+        raise ConfigurationError(
+            f"sampler {cfg.sampler!r} produces importance-weighted samples, "
+            f"which {caller} cannot restrict to per-pair populations; "
+            "use a uniform sampler (batch_bfs, exhaustive, whole_graph, reject) "
+            "or per-pair TescTester"
+        )
+
+
+def ensure_uniform_sample(sample: ReferenceSample, sampler_name: str) -> None:
+    """Reject weighted or degenerate samples a custom sampler handed back."""
+    if sample.weighted:
+        # Custom-registered samplers can still hand back weighted draws.
+        raise ConfigurationError(
+            f"sampler {sampler_name!r} produced an importance-weighted sample, "
+            "which shared-sample engines cannot restrict to per-pair populations"
+        )
+    if sample.num_distinct < 2:
+        raise InsufficientSampleError(
+            f"sampler {sampler_name!r} produced {sample.num_distinct} reference "
+            "nodes; at least two are required"
+        )
+
+
 def make_config_sampler(attributed: AttributedGraph, cfg: TescConfig):
     """A fresh sampler for ``cfg`` over ``attributed`` (freshly seeded RNG).
 
@@ -440,13 +472,7 @@ class BatchTescEngine:
     def _shared_sample(self, cfg: TescConfig, universe: np.ndarray,
                        timer: Timer, call_stats: BatchStats
                        ) -> Tuple[ReferenceSample, tuple]:
-        if cfg.sampler in WEIGHTED_SAMPLERS:
-            raise ConfigurationError(
-                f"sampler {cfg.sampler!r} produces importance-weighted samples, "
-                "which the batch engine cannot restrict to per-pair populations; "
-                "use a uniform sampler (batch_bfs, exhaustive, whole_graph, reject) "
-                "or per-pair TescTester"
-            )
+        ensure_uniform_sampler(cfg)
         sampler = self._sampler(cfg)
         misses_before = sampler.misses
         with timer.lap("sampling"):
@@ -455,17 +481,7 @@ class BatchTescEngine:
             call_stats.samples_drawn += 1
         else:
             call_stats.sample_cache_hits += 1
-        if sample.weighted:
-            # Custom-registered samplers can still hand back weighted draws.
-            raise ConfigurationError(
-                f"sampler {cfg.sampler!r} produced an importance-weighted sample, "
-                "which the batch engine cannot restrict to per-pair populations"
-            )
-        if sample.num_distinct < 2:
-            raise InsufficientSampleError(
-                f"sampler {cfg.sampler!r} produced {sample.num_distinct} reference "
-                "nodes; at least two are required"
-            )
+        ensure_uniform_sample(sample, cfg.sampler)
         matrix_key = self._sampler_key(cfg) + (
             event_nodes_fingerprint(universe), cfg.vicinity_level, cfg.sample_size,
         )

@@ -184,6 +184,80 @@ class DensityComputer:
             level=int(level),
         )
 
+    def append_columns(
+        self,
+        matrix: "DensityMatrix",
+        new_nodes: Iterable[int],
+        indicator_matrix: np.ndarray,
+        rows: Optional[np.ndarray] = None,
+    ) -> "DensityMatrix":
+        """Grow a density matrix by BFS-counting only the *new* reference nodes.
+
+        The progressive top-k engine's prefix-sample rounds call this with
+        each round's suffix of freshly revealed reference nodes: the existing
+        columns are reused untouched (density is a per-column quantity, so
+        appended matrices are bit-identical to a one-shot pass over the
+        concatenated node list), and only ``len(new_nodes)`` h-hop BFS
+        traversals are issued per round.
+
+        Parameters
+        ----------
+        matrix:
+            The matrix to grow; its columns become the prefix of the result.
+        new_nodes:
+            Reference nodes to append (in order) as new columns.
+        indicator_matrix:
+            ``(num_rows_to_fill, num_nodes)`` boolean matrix of the events
+            whose counts are still needed.  With ``rows=None`` it must cover
+            every row of ``matrix``; otherwise row ``i`` of the indicators
+            fills matrix row ``rows[i]``.
+        rows:
+            Optional row indices into ``matrix`` for the indicator rows.
+            Rounds pass the rows of the events still appearing in a surviving
+            pair; dead events' new columns are left at count 0 (their rows
+            are never read again — their pairs were pruned).
+        """
+        indicators = np.asarray(indicator_matrix)
+        if indicators.ndim != 2 or indicators.shape[1] != self.graph.num_nodes:
+            raise ValueError(
+                "indicator_matrix must have shape (num_events, num_nodes), got "
+                f"{indicators.shape}"
+            )
+        if rows is None:
+            if indicators.shape[0] != matrix.num_events:
+                raise ValueError(
+                    f"indicator_matrix has {indicators.shape[0]} rows but the "
+                    f"matrix has {matrix.num_events}; pass rows= to fill a subset"
+                )
+            row_index = np.arange(matrix.num_events, dtype=np.int64)
+        else:
+            row_index = np.asarray(rows, dtype=np.int64)
+            if row_index.shape != (indicators.shape[0],):
+                raise ValueError(
+                    "rows must map each indicator row to a matrix row, got "
+                    f"{row_index.shape} for {indicators.shape[0]} indicator rows"
+                )
+        nodes = np.asarray(
+            list(int(node) for node in new_nodes), dtype=np.int64
+        )
+        new_counts = np.zeros((matrix.num_events, nodes.size), dtype=np.int64)
+        if nodes.size:
+            live_counts, new_sizes = self.engine.grouped_marked_counts(
+                nodes, matrix.level, indicators
+            )
+            new_counts[row_index] = live_counts
+        else:
+            new_sizes = np.zeros(0, dtype=np.int64)
+        return DensityMatrix(
+            reference_nodes=np.concatenate([matrix.reference_nodes, nodes]),
+            densities=np.hstack(
+                [matrix.densities, densities_from_counts(new_counts, new_sizes)]
+            ),
+            counts=np.hstack([matrix.counts, new_counts]),
+            vicinity_sizes=np.concatenate([matrix.vicinity_sizes, new_sizes]),
+            level=matrix.level,
+        )
+
 
 def density_vectors(
     attributed: AttributedGraph,

@@ -9,7 +9,7 @@ tie-corrected null standard deviation and the z-score of Eq. 7.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -238,6 +238,39 @@ class PairEstimateBatcher:
         self._crossover = crossover
         self._ranks: Dict[int, np.ndarray] = {}
 
+    @property
+    def num_reference_nodes(self) -> int:
+        """Number of shared reference-sample columns the batcher ranks over."""
+        return int(self._matrix.shape[1])
+
+    def grown(self, density_matrix: np.ndarray) -> "PairEstimateBatcher":
+        """A fresh batcher over a column-grown version of this matrix.
+
+        The progressive top-k engine appends reference-node columns between
+        rounds; rank vectors encode the order structure of *all* columns, so
+        they cannot be patched in place — every cached vector goes stale the
+        moment a column arrives.  This constructor makes the round hand-off
+        explicit: it validates that the old matrix is a column prefix of the
+        new one (same event rows, old columns bit-identical), then returns a
+        new batcher whose rank vectors will be re-encoded lazily for exactly
+        the rows the surviving pairs still touch.
+        """
+        matrix = np.asarray(density_matrix, dtype=float)
+        old = self._matrix
+        if (
+            matrix.ndim != 2
+            or matrix.shape[0] != old.shape[0]
+            or matrix.shape[1] < old.shape[1]
+            or not np.array_equal(matrix[:, : old.shape[1]], old)
+        ):
+            raise EstimationError(
+                "grown() needs a matrix whose column prefix is this batcher's "
+                f"matrix; got shape {matrix.shape} over {old.shape}"
+            )
+        return PairEstimateBatcher(
+            matrix, kernel=self._kernel, crossover=self._crossover
+        )
+
     def _rank_vector(self, row: int) -> np.ndarray:
         """Dense ranks of one density row, computed once and cached (O(n))."""
         cached = self._ranks.get(row)
@@ -245,6 +278,32 @@ class PairEstimateBatcher:
             cached = dense_ranks(self._matrix[row])
             self._ranks[row] = cached
         return cached
+
+    def screen_pair(
+        self, row_a: int, row_b: int, columns: Optional[np.ndarray] = None
+    ) -> Tuple[float, int]:
+        """Just ``(estimate, num_reference_nodes)`` for a pair — no inference.
+
+        The progressive top-k engine's pruning rounds only need each pair's
+        point estimate and restricted sample size to form confidence bounds;
+        the tie statistics, null sigma and z-score of
+        :meth:`estimate_pair` are several extra sorts per pair that the
+        screening loop deliberately skips (they are computed once, on the
+        full-budget sample, for the pairs that survive).  The returned
+        estimate is the exact same number :meth:`estimate_pair` would report.
+        """
+        a = self._rank_vector(row_a)
+        b = self._rank_vector(row_b)
+        if columns is not None:
+            a = a[columns]
+            b = b[columns]
+        n = int(a.size)
+        if n < 2:
+            raise InsufficientSampleError(
+                f"need at least 2 reference nodes to form a pair, got {n}"
+            )
+        s = concordance_sum(a, b, kernel=self._kernel, crossover=self._crossover)
+        return s / (0.5 * n * (n - 1)), n
 
     def estimate_pair(
         self, row_a: int, row_b: int, columns: Optional[np.ndarray] = None
@@ -315,10 +374,19 @@ def variance_upper_bound(tau: float, sample_size: int) -> float:
     """The paper's bound ``Var(t) <= 2 (1 - τ²) / n`` (Section 3.1).
 
     Used to argue that a moderate ``n`` suffices regardless of how large the
-    reference population ``N`` is.
+    reference population ``N`` is — and by the progressive top-k engine to
+    derive per-round confidence half-widths.  ``sample_size`` must be at
+    least 2: the statistic ``t`` is undefined on fewer than two reference
+    nodes (no pairs exist), so the formula would return a meaningless value
+    for ``n = 1`` — the progressive engine's tiny first rounds hit exactly
+    this edge, hence the hard validation.
     """
-    if sample_size < 1:
-        raise EstimationError("sample_size must be positive")
+    if sample_size < 2:
+        raise ValueError(
+            "variance_upper_bound needs sample_size >= 2 (the Kendall "
+            f"statistic is undefined on fewer than two reference nodes), "
+            f"got {sample_size}"
+        )
     if not -1.0 <= tau <= 1.0:
         raise EstimationError(f"tau must lie in [-1, 1], got {tau}")
     return 2.0 * (1.0 - tau * tau) / sample_size

@@ -213,6 +213,41 @@ def estimate_matrix_shard(
     return estimate_pair_list(shard, row_of, matrix, None, cfg, on_insufficient)
 
 
+def estimate_matrix_pairs_sharded(
+    executor,
+    matrix: DensityMatrix,
+    row_of: Dict[str, int],
+    pair_list: Sequence[Tuple[str, str]],
+    cfg: TescConfig,
+    on_insufficient: str,
+    num_shards: int,
+) -> List[RankedPair]:
+    """Fan :func:`estimate_matrix_shard` out over an executor and merge.
+
+    The parent owns the density matrix; each shard re-runs the per-pair
+    arithmetic on its round-robin slice of ``pair_list``.  Results come back
+    unranked in shard-completion-independent order (futures are drained in
+    submission order), so callers get the same multiset of
+    :class:`~repro.core.batch.RankedPair` regardless of worker count — the
+    progressive top-k engine's final re-score path relies on this for its
+    bit-identity guarantee.
+    """
+    shards = shard_pairs(pair_list, num_shards)
+    base_kwargs = asdict(cfg)
+    base_kwargs["random_state"] = None
+    futures = [
+        executor.submit(
+            estimate_matrix_shard, matrix, row_of, shard, base_kwargs,
+            on_insufficient,
+        )
+        for shard in shards
+    ]
+    results: List[RankedPair] = []
+    for future in futures:
+        results.extend(future.result())
+    return results
+
+
 class ParallelBatchTescEngine:
     """Sharded multi-process TESC pair ranking.
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -59,6 +60,13 @@ class ReferenceSample:
         otherwise ``None``.
     cost:
         The :class:`SamplingCost` accumulated while sampling.
+    draw_order:
+        The same node ids in the order the sampler drew them, when the
+        sampler records one (``None`` otherwise).  For uniform samplers the
+        draw sequence is exchangeable, so every prefix of ``draw_order`` is
+        itself a uniform sample of the population — the invariant the
+        progressive top-k engine's round schedule rests on (see
+        :class:`SampleGrowth`).
     """
 
     nodes: np.ndarray
@@ -67,6 +75,7 @@ class ReferenceSample:
     weighted: bool = False
     population_size: Optional[int] = None
     cost: SamplingCost = field(default_factory=SamplingCost)
+    draw_order: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.nodes = np.asarray(self.nodes, dtype=np.int64)
@@ -81,6 +90,15 @@ class ReferenceSample:
             self.probabilities = np.asarray(self.probabilities, dtype=float)
             if self.probabilities.shape != self.nodes.shape:
                 raise SamplingError("probabilities must have the same shape as nodes")
+        if self.draw_order is not None:
+            self.draw_order = np.asarray(self.draw_order, dtype=np.int64)
+            if (
+                self.draw_order.shape != self.nodes.shape
+                or not np.array_equal(np.sort(self.draw_order), np.sort(self.nodes))
+            ):
+                raise SamplingError(
+                    "draw_order must be a permutation of the sampled nodes"
+                )
 
     @property
     def num_distinct(self) -> int:
@@ -91,6 +109,97 @@ class ReferenceSample:
     def num_draws(self) -> int:
         """Total number of draws (``n'`` in Algorithm 2)."""
         return int(self.frequencies.sum())
+
+
+def deterministic_draw_order(nodes: np.ndarray) -> np.ndarray:
+    """A content-keyed pseudo-random permutation of ``nodes``.
+
+    Fallback draw order for samples whose sampler did not record one (e.g.
+    the exhaustive sampler, whose "sample" is the enumerated population).
+    The permutation is keyed purely by the node-set content, so any process
+    — parent or worker, fresh engine or cached — derives the identical
+    order for the same sample without consuming anyone's RNG stream.
+    """
+    canonical = np.sort(np.asarray(nodes, dtype=np.int64))
+    digest = hashlib.sha1(canonical.tobytes()).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    order_rng = np.random.Generator(np.random.PCG64(seed))
+    return canonical[order_rng.permutation(canonical.size)]
+
+
+class SampleGrowth(abc.ABC):
+    """A reference sample that grows toward a budget in prefix rounds.
+
+    The progressive top-k engine consumes samples through this seam: each
+    round asks for a larger prefix via :meth:`grow_to`, and the contract is
+    the *prefix invariant* — the draw-order node sequence returned for size
+    ``m`` is a strict prefix of the sequence returned for any ``m' > m``,
+    and growing all the way to ``budget`` yields exactly the sample (same
+    node set) the sampler's one-shot :meth:`ReferenceSampler.sample` would
+    draw for the same arguments from the same RNG state.
+    """
+
+    def __init__(self, budget: int) -> None:
+        self.budget = int(budget)
+
+    @abc.abstractmethod
+    def grow_to(self, size: int) -> np.ndarray:
+        """Grow to ``min(size, budget)`` drawn nodes; return them in draw order.
+
+        The returned array is a read-only view of the growth's internal
+        draw-order sequence — round ``r``'s array is literally a prefix of
+        round ``r + 1``'s.
+        """
+
+    @abc.abstractmethod
+    def full_sample(self) -> ReferenceSample:
+        """The canonical full-budget :class:`ReferenceSample` (sorted nodes).
+
+        Implies :meth:`grow_to` ``(budget)``.  Bit-identical to the one-shot
+        draw of the same sampler, which is what makes a progressive run's
+        surviving pairs match a full-budget batch run exactly.
+        """
+
+    @property
+    def size(self) -> int:
+        """Number of nodes drawn so far."""
+        return int(self.grown_size)
+
+    grown_size: int = 0
+
+
+class EagerSampleGrowth(SampleGrowth):
+    """Prefix growth over a sample that was drawn in full up front.
+
+    Wraps any already-drawn :class:`ReferenceSample`: the draw order is the
+    sampler-recorded one when available (``sample.draw_order``), else the
+    content-keyed :func:`deterministic_draw_order`.  ``grow_to`` merely
+    reveals a longer prefix — no new randomness is consumed, so the final
+    sample is trivially the one-shot draw.
+    """
+
+    def __init__(self, sample: ReferenceSample) -> None:
+        super().__init__(sample.nodes.size)
+        self._sample = sample
+        # Private copy: freezing the caller's (possibly cached and shared)
+        # draw_order array in place would leak read-only state to every
+        # other holder of the sample.
+        order = (
+            sample.draw_order.copy()
+            if sample.draw_order is not None
+            else deterministic_draw_order(sample.nodes)
+        )
+        order.setflags(write=False)
+        self._order = order
+        self.grown_size = 0
+
+    def grow_to(self, size: int) -> np.ndarray:
+        self.grown_size = max(self.grown_size, min(int(size), self.budget))
+        return self._order[: self.grown_size]
+
+    def full_sample(self) -> ReferenceSample:
+        self.grow_to(self.budget)
+        return self._sample
 
 
 class ReferenceSampler(abc.ABC):
@@ -105,6 +214,11 @@ class ReferenceSampler(abc.ABC):
     #: Registry name; subclasses override.
     name = "abstract"
 
+    #: Whether :meth:`growable` draws lazily round by round from the RNG
+    #: stream (True for acceptance-loop samplers such as whole-graph) rather
+    #: than eagerly revealing prefixes of a one-shot draw.
+    incremental_growth = False
+
     def __init__(self, graph: CSRGraph, random_state: RandomState = None) -> None:
         self.graph = graph
         self.rng = ensure_rng(random_state)
@@ -113,6 +227,18 @@ class ReferenceSampler(abc.ABC):
     def sample(self, event_nodes: np.ndarray, level: int,
                sample_size: int) -> ReferenceSample:
         """Draw a reference sample for the given event-node union."""
+
+    def growable(self, event_nodes: np.ndarray, level: int,
+                 budget: int) -> SampleGrowth:
+        """A prefix-extendable sample targeting ``budget`` reference nodes.
+
+        The default draws the full budget once through :meth:`sample` (so
+        the RNG stream advances exactly as a one-shot draw would) and grows
+        by revealing prefixes of the recorded draw order.  Samplers whose
+        per-draw cost is significant override this to draw each round's
+        suffix lazily from the same stream (``incremental_growth = True``).
+        """
+        return EagerSampleGrowth(self.sample(event_nodes, level, budget))
 
     def _validate(self, event_nodes: np.ndarray, level: int, sample_size: int) -> np.ndarray:
         check_vicinity_level(level)

@@ -40,8 +40,14 @@ class BatchBFSSampler(ReferenceSampler):
         population_size = int(population.size)
         if sample_size >= population_size:
             chosen = population.copy()
+            draw_order = None
         else:
+            # Generator.choice without replacement shuffles its output, so
+            # ``chosen`` is in exchangeable random order: every prefix is a
+            # uniform without-replacement sample of the population.  Recording
+            # it (pre-sort) is what makes this sample prefix-extendable.
             chosen = self.rng.choice(population, size=sample_size, replace=False)
+            draw_order = chosen.copy()
         cost = SamplingCost(wall_seconds=time.perf_counter() - started)
         cost.merge_engine(self._engine)
         return ReferenceSample(
@@ -51,6 +57,7 @@ class BatchBFSSampler(ReferenceSampler):
             weighted=False,
             population_size=population_size,
             cost=cost,
+            draw_order=draw_order,
         )
 
 

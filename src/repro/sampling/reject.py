@@ -121,16 +121,20 @@ class RejectionSampler(ReferenceSampler):
                 "use importance or batch_bfs sampling for this input"
             )
 
-        nodes = np.array(sorted(accepted), dtype=np.int64)
+        # ``accepted`` is insertion-ordered, i.e. the acceptance sequence of
+        # the rejection loop — an exchangeable order whose prefixes are
+        # themselves uniform samples (used by prefix-extendable growth).
+        draw_order = np.fromiter(accepted, count=len(accepted), dtype=np.int64)
         cost = SamplingCost(
             rejections=rejections, wall_seconds=time.perf_counter() - started
         )
         cost.merge_engine(self._engine)
         return ReferenceSample(
-            nodes=nodes,
-            frequencies=np.ones(nodes.size, dtype=np.int64),
+            nodes=np.sort(draw_order),
+            frequencies=np.ones(draw_order.size, dtype=np.int64),
             probabilities=None,
             weighted=False,
             population_size=None,
             cost=cost,
+            draw_order=draw_order,
         )

@@ -118,8 +118,11 @@ class TestExactTauAndBound:
     def test_variance_bound_validation(self):
         with pytest.raises(EstimationError):
             variance_upper_bound(2.0, 10)
-        with pytest.raises(EstimationError):
-            variance_upper_bound(0.5, 0)
+        # Fewer than two reference nodes: the statistic (and hence the
+        # bound) is undefined — a clear ValueError, not a garbage value.
+        for bad_size in (0, 1, -3):
+            with pytest.raises(ValueError, match="sample_size >= 2"):
+                variance_upper_bound(0.5, bad_size)
 
 
 class TestPairEstimateBatcher:
@@ -159,3 +162,52 @@ class TestPairEstimateBatcher:
         batcher = PairEstimateBatcher(np.zeros((2, 5)))
         with pytest.raises(InsufficientSampleError):
             batcher.estimate_pair(0, 1, np.array([2]))
+
+
+class TestScreenPair:
+    def test_matches_estimate_pair_exactly(self):
+        from repro.core.estimators import PairEstimateBatcher
+
+        rng = np.random.default_rng(8)
+        matrix = np.round(rng.random((4, 80)), 1)  # tie-heavy
+        batcher = PairEstimateBatcher(matrix)
+        columns = np.sort(rng.choice(80, size=33, replace=False))
+        estimate, count = batcher.screen_pair(0, 3, columns)
+        reference = batcher.estimate_pair(0, 3, columns)
+        assert estimate == reference.estimate
+        assert count == reference.num_reference_nodes
+
+    def test_insufficient_columns_raise(self):
+        from repro.core.estimators import PairEstimateBatcher
+
+        batcher = PairEstimateBatcher(np.zeros((2, 5)))
+        with pytest.raises(InsufficientSampleError):
+            batcher.screen_pair(0, 1, np.array([3]))
+
+
+class TestBatcherGrown:
+    def test_grown_requires_column_prefix(self):
+        from repro.core.estimators import PairEstimateBatcher
+
+        rng = np.random.default_rng(9)
+        matrix = rng.random((3, 20))
+        batcher = PairEstimateBatcher(matrix)
+        wider = np.hstack([matrix, rng.random((3, 10))])
+        grown = batcher.grown(wider)
+        assert grown.num_reference_nodes == 30
+        # Same kernel arithmetic over the grown matrix.
+        direct = PairEstimateBatcher(wider).estimate_pair(0, 2)
+        assert grown.estimate_pair(0, 2).estimate == direct.estimate
+
+    def test_grown_rejects_non_prefix(self):
+        from repro.core.estimators import PairEstimateBatcher
+
+        rng = np.random.default_rng(10)
+        matrix = rng.random((3, 20))
+        batcher = PairEstimateBatcher(matrix)
+        with pytest.raises(EstimationError, match="prefix"):
+            batcher.grown(rng.random((3, 25)))
+        with pytest.raises(EstimationError, match="prefix"):
+            batcher.grown(matrix[:, :10])
+        with pytest.raises(EstimationError, match="prefix"):
+            batcher.grown(rng.random((4, 25)))

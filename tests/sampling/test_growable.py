@@ -1,0 +1,132 @@
+"""Tests for the prefix-extendable sample seam (SampleGrowth and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.sampling.base import (
+    EagerSampleGrowth,
+    ReferenceSample,
+    deterministic_draw_order,
+)
+from repro.sampling.batch_bfs import BatchBFSSampler, ExhaustiveSampler
+from repro.sampling.cache import CachingSampler, SampleMemo
+from repro.sampling.reject import RejectionSampler
+from repro.sampling.whole_graph import WholeGraphSampler
+
+
+@pytest.fixture
+def csr(random_graph):
+    return random_graph.to_csr()
+
+
+@pytest.fixture
+def universe():
+    return np.arange(0, 80)
+
+
+class TestDrawOrderField:
+    def test_draw_order_must_be_permutation(self):
+        with pytest.raises(SamplingError, match="permutation"):
+            ReferenceSample(
+                nodes=np.array([1, 2, 3]),
+                frequencies=np.ones(3, dtype=np.int64),
+                draw_order=np.array([1, 2, 4]),
+            )
+
+    def test_samplers_record_draw_order(self, csr, universe):
+        for sampler in (
+            BatchBFSSampler(csr, random_state=3),
+            WholeGraphSampler(csr, random_state=3),
+            RejectionSampler(csr, random_state=3),
+        ):
+            sample = sampler.sample(universe, 1, 40)
+            assert sample.draw_order is not None
+            assert np.array_equal(np.sort(sample.draw_order), sample.nodes)
+
+    def test_exhaustive_has_no_draw_order(self, csr, universe):
+        sample = ExhaustiveSampler(csr, random_state=3).sample(universe, 1)
+        assert sample.draw_order is None
+
+    def test_deterministic_order_is_content_keyed(self):
+        nodes = np.array([5, 9, 2, 40, 17])
+        first = deterministic_draw_order(nodes)
+        second = deterministic_draw_order(nodes[::-1].copy())
+        assert np.array_equal(first, second)
+        assert np.array_equal(np.sort(first), np.sort(nodes))
+
+
+class TestPrefixInvariant:
+    """Round r's draw order must be a strict prefix of round r+1's, and the
+    grown-to-budget sample must equal the sampler's one-shot draw."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [BatchBFSSampler, WholeGraphSampler, ExhaustiveSampler],
+        ids=["batch_bfs", "whole_graph", "exhaustive"],
+    )
+    def test_prefixes_nest_and_full_matches_one_shot(self, csr, universe, factory):
+        one_shot = factory(csr, random_state=11).sample(universe, 1, 60)
+        growth = factory(csr, random_state=11).growable(universe, 1, 60)
+        previous = np.empty(0, dtype=np.int64)
+        for size in (8, 16, 33, 60):
+            order = growth.grow_to(size)
+            assert np.array_equal(order[: previous.size], previous)
+            assert np.unique(order).size == order.size
+            previous = order.copy()
+        full = growth.full_sample()
+        assert np.array_equal(full.nodes, one_shot.nodes)
+
+    def test_incremental_flag(self, csr):
+        assert WholeGraphSampler(csr).incremental_growth
+        assert not BatchBFSSampler(csr).incremental_growth
+
+    def test_whole_graph_grows_lazily(self, csr, universe):
+        growth = WholeGraphSampler(csr, random_state=7).growable(universe, 1, 60)
+        assert growth.grown_size == 0
+        growth.grow_to(10)
+        assert growth.grown_size == 10
+        # The eligibility BFS cost so far is bounded by the draws taken, far
+        # below what a full-budget draw would have issued.
+        assert growth.grown_size < growth.budget
+
+    def test_eager_growth_reveals_only(self, csr, universe):
+        sample = BatchBFSSampler(csr, random_state=5).sample(universe, 1, 50)
+        growth = EagerSampleGrowth(sample)
+        assert growth.budget == 50
+        assert growth.grow_to(10_000).size == 50
+        assert growth.full_sample() is sample
+
+
+class TestCachingGrowable:
+    def test_cache_hit_reuses_sample(self, csr, universe):
+        sampler = CachingSampler(BatchBFSSampler(csr, random_state=3))
+        first = sampler.sample(universe, 1, 40)
+        growth = sampler.growable(universe, 1, 40)
+        assert sampler.hits == 1
+        assert growth.full_sample() is first
+
+    def test_incremental_growth_registers_in_cache(self, csr, universe):
+        sampler = CachingSampler(WholeGraphSampler(csr, random_state=3))
+        growth = sampler.growable(universe, 1, 40)
+        growth.grow_to(10)
+        full = growth.full_sample()
+        assert sampler.misses == 1
+        assert sampler.sample(universe, 1, 40) is full
+        assert sampler.hits == 1
+
+    def test_eager_inner_goes_through_sample_cache(self, csr, universe):
+        sampler = CachingSampler(BatchBFSSampler(csr, random_state=3))
+        growth = sampler.growable(universe, 1, 40)
+        full = growth.full_sample()
+        assert sampler.misses == 1
+        assert sampler.sample(universe, 1, 40) is full
+
+
+class TestSampleMemoGrowable:
+    def test_growable_matches_memoised_draw(self, csr, universe):
+        memo = SampleMemo(lambda: BatchBFSSampler(csr, random_state=9))
+        sample = memo.sample(universe, 1, 40, epoch=2)
+        growth = memo.growable(universe, 1, 40, epoch=2)
+        assert growth.full_sample() is sample
+        assert memo.hits == 1

@@ -139,6 +139,119 @@ class TestRankCommand:
         assert "pairs tested" in output
 
 
+class TestTopkCommand:
+    @pytest.fixture
+    def files(self, tmp_path):
+        graph = community_ring_graph(6, 30, 5.0, 8, random_state=2)
+        edges_path = tmp_path / "graph.txt"
+        events_path = tmp_path / "events.txt"
+        write_edge_list(graph, str(edges_path))
+        write_event_file(
+            {
+                "a": list(range(0, 30)),
+                "b": list(range(10, 40)),
+                "c": list(range(90, 120)),
+                "d": list(range(100, 130)),
+            },
+            str(events_path),
+        )
+        return str(edges_path), str(events_path)
+
+    def test_topk_end_to_end(self, files, capsys):
+        edges_path, events_path = files
+        exit_code = main(
+            [
+                "topk",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--k", "2",
+                "--sample-size", "150",
+                "--initial-sample", "32",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "progressive top-k engine" in output
+        assert "k-th lower bound" in output
+        assert "pairs pruned" in output
+        # Exactly k result rows (rank column 1..2).
+        assert "1    |" in output and "2    |" in output
+
+    def test_rounds_flag_derives_schedule(self, files, capsys):
+        edges_path, events_path = files
+        exit_code = main(
+            [
+                "topk",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--k", "1",
+                "--sample-size", "150",
+                "--initial-sample", "16",
+                "--rounds", "3",
+                "--bound", "certified",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        # 3 rounds requested: two screening rounds plus the full budget.
+        assert output.count("\n1     |") + output.count("\n2     |") >= 1
+
+    def test_rounds_and_growth_conflict(self, files, capsys):
+        edges_path, events_path = files
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "topk",
+                    "--edges", edges_path,
+                    "--events", events_path,
+                    "--k", "1",
+                    "--rounds", "3",
+                    "--growth", "2.0",
+                ]
+            )
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_rank_top_k_routes_through_progressive_engine(self, files, capsys):
+        """rank --top-k --sort-by score must print the progressive engine's
+        summary and the identical top-k table the batch engine would."""
+        edges_path, events_path = files
+        common = [
+            "--edges", edges_path,
+            "--events", events_path,
+            "--top-k", "2",
+            "--sample-size", "150",
+            "--seed", "3",
+        ]
+        assert main(["rank"] + common) == 0
+        progressive = capsys.readouterr().out
+        assert "progressive top-k engine" in progressive
+        assert main(["rank"] + common + ["--no-progressive"]) == 0
+        batch = capsys.readouterr().out
+        assert "batch engine" in batch
+        # The ranked tables (first block up to the blank line) are identical.
+        assert progressive.split("\n\n")[0] == batch.split("\n\n")[0]
+
+    def test_rank_top_k_non_score_sort_stays_on_batch_engine(self, files, capsys):
+        edges_path, events_path = files
+        exit_code = main(
+            [
+                "rank",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--top-k", "2",
+                "--sort-by", "abs_z",
+                "--sample-size", "150",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "batch engine" in output
+        assert "progressive" not in output
+
+
 class TestDatasetCommand:
     def test_dblp_summary(self, capsys):
         exit_code = main(["dataset", "dblp", "--scale", "0.2", "--seed", "1"])
