@@ -614,6 +614,114 @@ def test_progressive_topk_beats_full_rank():
     assert max(speedups) >= 3.0
 
 
+# -- correlation service: warm persistent pool vs cold fork vs serial ---------
+#
+# The PR 2 pool forked fresh worker processes inside every rank_pairs call,
+# so on the 50-pair acceptance workload "parallel" paid ~150ms of spawn +
+# import cost per call and lost to serial outright (BENCH_pr5).  The
+# persistent service pool forks once per server lifetime and reuses the
+# workers; these cases measure all three regimes on the same workload:
+#
+#   serial     one BatchTescEngine, no processes;
+#   cold pool  global pool shut down before every round, so spawn cost is
+#              inside the measured time (the old per-call regime);
+#   warm pool  workers already up, per-call cost is shm transport + dispatch.
+#
+# The asserted regression case pins the acceptance bar: warm workers=2 beats
+# serial or ties within 10% — and returns the bit-identical ranking.
+
+
+def _service_rank_serial():
+    engine = BatchTescEngine(PARALLEL_DATASET.attributed, PARALLEL_CONFIG)
+    return engine.rank_pairs(PARALLEL_PAIRS)
+
+
+def _service_rank_pooled(workers=2):
+    with ParallelBatchTescEngine(
+        PARALLEL_DATASET.attributed, PARALLEL_CONFIG, workers=workers
+    ) as engine:
+        return engine.rank_pairs(PARALLEL_PAIRS)
+
+
+def test_rank_pairs_cold_pool_fifty(benchmark):
+    """The old fork-per-call regime: pool spawn inside every measured round."""
+    from repro.service.pool import shutdown_global_pool
+
+    def setup():
+        shutdown_global_pool()
+        return (), {}
+
+    benchmark.pedantic(_service_rank_pooled, setup=setup, rounds=3, iterations=1)
+
+
+def test_rank_pairs_warm_pool_fifty(benchmark):
+    """The service regime: persistent workers, fresh engine per round."""
+    from repro.service.pool import global_pool
+
+    global_pool().ensure(2)
+    _service_rank_pooled()  # warm worker-side dataset caches too
+    benchmark.pedantic(_service_rank_pooled, rounds=5, iterations=1)
+
+
+def test_warm_pool_ties_or_beats_serial_fifty():
+    """The service PR's acceptance bar, measured directly: on the 50-pair
+    workload, warm-pool rank_pairs with workers=2 must beat serial or tie
+    within 10% — while returning the bit-identical ranking.  (Cold-pool
+    timing is printed alongside for the trajectory record; on a single-core
+    runner the warm win comes from overlapping BFS with estimate work, on
+    multi-core runners it grows with the cores.)  Best-of-five timings damp
+    scheduler noise; both sides are warmed before measurement.
+    """
+    from repro.service.pool import global_pool, shutdown_global_pool
+
+    shutdown_global_pool()
+    started = time.perf_counter()
+    cold = _service_rank_pooled()
+    cold_seconds = time.perf_counter() - started
+
+    # Warm both sides, then interleave the measured rounds: CPU-load drift
+    # on a shared runner hits both legs alike instead of whichever leg
+    # happens to run later.
+    global_pool().ensure(2)
+    _service_rank_serial()
+    _service_rank_pooled()
+    serial_timings, warm_timings = [], []
+    for _ in range(6):
+        started = time.perf_counter()
+        serial = _service_rank_serial()
+        serial_timings.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        warm = _service_rank_pooled()
+        warm_timings.append(time.perf_counter() - started)
+    serial_seconds = min(serial_timings)
+    warm_seconds = min(warm_timings)
+
+    ratio = warm_seconds / serial_seconds if serial_seconds > 0 else float("inf")
+    print(
+        f"\n50-pair rank: serial {serial_seconds * 1e3:.1f}ms, warm pool "
+        f"(2 workers) {warm_seconds * 1e3:.1f}ms ({ratio:.2f}x serial), "
+        f"cold pool {cold_seconds * 1e3:.1f}ms"
+    )
+    for ranking in (cold, warm):
+        assert [pair.events for pair in ranking] == [
+            pair.events for pair in serial
+        ]
+        assert [pair.score for pair in ranking] == [
+            pair.score for pair in serial
+        ]
+        assert [pair.z_score for pair in ranking] == [
+            pair.z_score for pair in serial
+        ]
+        assert [pair.verdict for pair in ranking] == [
+            pair.verdict for pair in serial
+        ]
+    assert warm_seconds <= 1.1 * serial_seconds, (
+        f"warm pool {warm_seconds * 1e3:.1f}ms vs serial "
+        f"{serial_seconds * 1e3:.1f}ms ({ratio:.2f}x) — the persistent pool "
+        "must tie serial within 10% or beat it on the 50-pair workload"
+    )
+
+
 def test_parallel_engine_matches_serial_on_bench_workload():
     """Sanity alongside the timing cases: the parallel path returns exactly
     the serial ranking on the benchmark workload (and reports its speedup —

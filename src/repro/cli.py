@@ -18,6 +18,10 @@ Subcommands
     Replay a JSONL delta file against a dynamic graph, incrementally
     re-ranking monitored event pairs after every commit and printing the
     ranking deltas.
+``tesc serve``
+    Start the correlation service: a persistent server answering
+    ``rank``/``topk``/``stream`` requests over a local socket, with a
+    long-lived shared-memory worker pool and epoch-keyed result caching.
 ``tesc experiment``
     Run one of the paper's experiments (figure5 ... table5) and print the
     regenerated tables.
@@ -217,6 +221,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="shard pair re-scoring across N worker processes (0 = one per "
              "core); results are identical to a serial run",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="start the correlation service over a local socket",
+    )
+    serve_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
+    serve_parser.add_argument("--events", required=True, help="event file (event<TAB>node)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (0 picks a free one, printed at startup)")
+    serve_parser.add_argument("--level", type=int, default=1, help="vicinity level h")
+    serve_parser.add_argument("--sample-size", type=int, default=900)
+    serve_parser.add_argument(
+        "--sampler", default="batch_bfs",
+        choices=["batch_bfs", "exhaustive", "whole_graph", "reject"],
+        help="uniform samplers only (importance weights cannot be shared across pairs)",
+    )
+    serve_parser.add_argument("--alpha", type=float, default=0.05)
+    serve_parser.add_argument(
+        "--kendall-kernel", default="auto", choices=list(KERNELS),
+        help="concordance kernel: auto (size-dispatched), naive or fast",
+    )
+    serve_parser.add_argument("--seed", type=int, default=None)
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="persistent worker-pool size for density/estimate fan-out "
+             "(0 = one per core, default serial in-process)",
+    )
+    serve_parser.add_argument(
+        "--static", action="store_true",
+        help="serve a read-only graph: reject stream commits with 400",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency", type=int, default=4,
+        help="requests executing at once before new arrivals queue",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=16,
+        help="queued requests before new arrivals are rejected with 429",
+    )
+    serve_parser.add_argument(
+        "--queue-timeout", type=float, default=30.0,
+        help="seconds a queued request may wait before a 408 timeout",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -468,6 +516,48 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import CorrelationServer
+    from repro.streaming import DynamicAttributedGraph
+
+    graph, labels = read_edge_list(args.edges)
+    label_to_id = {label: index for index, label in enumerate(labels)}
+    events = read_event_file(args.events, label_to_id=label_to_id)
+    graph_cls = AttributedGraph if args.static else DynamicAttributedGraph
+    attributed = graph_cls(graph, events, labels=labels)
+    config = TescConfig(
+        vicinity_level=args.level,
+        sample_size=args.sample_size,
+        sampler=args.sampler,
+        alpha=args.alpha,
+        kendall_kernel=args.kendall_kernel,
+        random_state=args.seed,
+    )
+    server = CorrelationServer(
+        attributed, config,
+        workers=args.workers,
+        host=args.host, port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+    )
+    server.start()
+    host, port = server.address
+    mode = "static" if args.static else "dynamic"
+    print(f"tesc serve: listening on {host}:{port} "
+          f"({mode} graph, {server.engine.workers} worker(s))", flush=True)
+    try:
+        # The accept loop runs on a daemon thread; park the main thread
+        # until the client-issued shutdown (or Ctrl-C) stops the server.
+        while not server._stopping.wait(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        print("tesc serve: interrupted, shutting down", flush=True)
+    finally:
+        server.close()
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     results = run_all(args.experiment_ids, workers=args.workers)
     for index, result in enumerate(results):
@@ -551,6 +641,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_topk(args)
     if args.command == "stream":
         return _command_stream(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "dataset":

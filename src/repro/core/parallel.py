@@ -1,51 +1,51 @@
-"""Parallel sharded pair ranking over a process pool.
+"""Parallel pair ranking over the persistent shared-memory worker pool.
 
 :class:`ParallelBatchTescEngine` is the multi-core sibling of
-:class:`~repro.core.batch.BatchTescEngine`.  The serial engine already
-amortises sampling, density and estimator work across a pair set; this engine
-additionally fans the *per-pair* work out across worker processes:
+:class:`~repro.core.batch.BatchTescEngine`.  Earlier revisions forked a
+process pool per engine and re-ran the whole density pass inside every pair
+shard; with the O(n log n) kernels that spin-up and duplicated traversal
+cost more than the ranking itself (the BENCH_pr5 regression).  The engine
+now decomposes the work so that nothing is duplicated and nothing is forked
+per call:
 
-1. **One sample, drawn once, in the parent.**  The parent process draws the
-   shared reference sample over the union universe of all events exactly as
-   the serial engine would (same sampler, same RNG stream), then broadcasts
-   the reference-node ids to every shard.  Because each worker evaluates its
-   pairs on those very nodes, every per-pair density, estimate, z-score and
-   verdict is **bit-identical to the serial engine** — in exhaustive mode and
-   in sampled mode alike.
-2. **Pair shards, round-robin.**  The pair list is dealt round-robin across
-   ``workers`` shards.  Each shard computes the density matrix and rank
-   vectors only for the events its pairs touch and shares them among those
-   pairs through the worker-resident :class:`BatchTescEngine` caches.
-3. **Per-shard deterministic seeding.**  Each shard receives a seed derived
-   from the root ``random_state`` through :class:`numpy.random.SeedSequence`
-   spawning (shard ``i`` always receives the same seed for the same root),
-   so any future stochastic work inside a shard is reproducible and
-   independent of the number of workers.  The seed travels alongside — not
-   inside — the shard's config, keeping worker caches shard-agnostic.
-   Today's shards consume no randomness — the sample is drawn by the parent
-   — which is what makes the bit-identity guarantee unconditional.
+1. **One sample, drawn once, in the parent.**  The parent draws the shared
+   reference sample over the union universe exactly as the serial engine
+   would (same sampler, same RNG stream), so every downstream quantity is
+   **bit-identical to the serial engine** in exhaustive and sampled mode
+   alike.
+2. **One density pass, column-sharded.**  The grouped multi-source BFS
+   treats reference nodes independently, so the sample's columns are split
+   into contiguous slices — one per worker — and reassembled exactly
+   (:func:`~repro.service.pool.pooled_density_matrix`).  Unlike the old
+   pair-sharded design, no worker repeats another's traversal: total CPU
+   stays at serial cost.
+3. **Pair-sharded estimates over shared memory.**  The assembled matrix is
+   published once to :mod:`multiprocessing.shared_memory` and each worker
+   scores a round-robin pair shard with the same restricted-vector
+   arithmetic as the serial engine (:func:`estimate_matrix_pairs_sharded`).
 4. **Deterministic merge.**  Shard results are merged in the parent and
-   ranked with the same total order (statistic plus event-name tie-break) the
-   serial engine uses, so the final ranking does not depend on sharding or
+   ranked with the serial total order (statistic plus event-name
+   tie-break), so the final ranking does not depend on sharding or
    completion order.
 
-Workers are plain forked/spawned processes holding a copy of the CSR arrays
-and the event layer; the pool is created lazily on the first parallel call
-and reused until :meth:`ParallelBatchTescEngine.close` (the engine is also a
-context manager).
+All dispatch goes through the process-wide
+:class:`~repro.service.pool.PersistentWorkerPool`: workers are spawned once
+per process lifetime and reused by every engine (batch, progressive top-k,
+streaming, the correlation service), with datasets crossing the process
+boundary as version-memoised shared-memory blocks rather than per-call
+pickles.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.batch import (
+    MAX_CACHED_MATRICES,
     SORT_KEYS,
     BatchStats,
     BatchTescEngine,
@@ -100,7 +100,9 @@ def shard_seeds(
     independent child sequences — shard ``i`` gets the same seed for the same
     root no matter how the pair list is sharded.  ``None`` stays ``None``
     (fresh entropy), and generator roots also map to ``None`` rather than
-    consuming draws from the caller's stream.
+    consuming draws from the caller's stream.  Today's shards consume no
+    randomness — the sample is drawn by the parent — so this is plumbing for
+    future stochastic estimators.
     """
     if count <= 0:
         return []
@@ -121,76 +123,6 @@ def shard_seeds(
     ]
 
 
-# -- worker-process plumbing --------------------------------------------------
-
-#: Per-process state built once by :func:`_init_worker` and reused by every
-#: shard the worker handles (graph, event layer, engine with warm caches).
-_WORKER_STATE: Dict[str, object] = {}
-
-#: How many config-distinct engines (each holding density-matrix and
-#: rank-vector caches) a worker process retains before evicting the oldest.
-MAX_WORKER_ENGINES = 4
-
-
-def _init_worker(payload: Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]) -> None:
-    """Rebuild the attributed graph inside a worker process (runs once)."""
-    from repro.graph.csr import CSRGraph
-
-    indptr, indices, event_mapping = payload
-    attributed = AttributedGraph(CSRGraph(indptr, indices), event_mapping)
-    _WORKER_STATE["attributed"] = attributed
-    _WORKER_STATE["engines"] = {}
-
-
-def _config_key(config_kwargs: Dict[str, object]) -> tuple:
-    return tuple(sorted((key, repr(value)) for key, value in config_kwargs.items()))
-
-
-def _rank_shard(
-    config_kwargs: Dict[str, object],
-    shard: List[Tuple[str, str]],
-    reference_nodes: np.ndarray,
-    on_insufficient: str,
-    shard_seed: Optional[int],
-) -> Tuple[List[RankedPair], BatchStats]:
-    """Worker entry point: estimate one pair shard on the shared sample.
-
-    ``shard_seed`` is the shard's deterministic seed (see
-    :func:`shard_seeds`).  It is deliberately *not* folded into the engine's
-    config: today's shards consume no randomness (the sample was drawn by
-    the parent), and keeping the config seed-free lets a pooled worker's
-    density-matrix and rank-vector caches serve any shard of any call.
-    Future stochastic estimators should seed their generators from it.
-    """
-    attributed: AttributedGraph = _WORKER_STATE["attributed"]  # type: ignore[assignment]
-    engines: Dict[tuple, BatchTescEngine] = _WORKER_STATE["engines"]  # type: ignore[assignment]
-    config = TescConfig(**config_kwargs)
-    key = _config_key(config_kwargs)
-    engine = engines.get(key)
-    if engine is None:
-        while len(engines) >= MAX_WORKER_ENGINES:
-            del engines[next(iter(engines))]
-        engine = BatchTescEngine(attributed, config)
-        engines[key] = engine
-    passes_before = engine.stats.density_passes
-    bfs_before = engine.stats.density_bfs_calls
-    timings_before = dict(engine.stats.timings)
-    results = engine.estimate_pairs_on_nodes(
-        shard, reference_nodes, config, on_insufficient
-    )
-    shard_stats = BatchStats(
-        num_events=engine.stats.num_events,
-        num_pairs=len(shard),
-        density_passes=engine.stats.density_passes - passes_before,
-        density_bfs_calls=engine.stats.density_bfs_calls - bfs_before,
-        timings={
-            name: seconds - timings_before.get(name, 0.0)
-            for name, seconds in engine.stats.timings.items()
-        },
-    )
-    return results, shard_stats
-
-
 def estimate_matrix_shard(
     matrix: DensityMatrix,
     row_of: Dict[str, int],
@@ -200,21 +132,18 @@ def estimate_matrix_shard(
 ) -> List[RankedPair]:
     """Estimate one pair shard against an already-built density matrix.
 
-    This is the worker entry point of the streaming
-    :class:`~repro.streaming.ranker.ContinuousRanker`'s parallel path: the
-    parent maintains the density matrix incrementally (the expensive BFS
-    work) and ships only the small ``(num_events, n)`` matrix to each worker,
-    which runs the same per-pair arithmetic as the serial engine on its
-    shard (the plain restricted-vector path — each worker scores few pairs,
-    so shared rank vectors would not amortise).  No worker-resident graph
-    state is needed, so the pool stays valid across graph mutations.
+    The in-process reference implementation of what
+    :func:`~repro.service.pool._estimate_shard_task` runs inside a pool
+    worker: the plain restricted-vector path of
+    :func:`~repro.core.batch.estimate_pair_list`, numerically identical to
+    the serial engine's shared-rank-vector path.
     """
     cfg = TescConfig(**config_kwargs)
     return estimate_pair_list(shard, row_of, matrix, None, cfg, on_insufficient)
 
 
 def estimate_matrix_pairs_sharded(
-    executor,
+    pool,
     matrix: DensityMatrix,
     row_of: Dict[str, int],
     pair_list: Sequence[Tuple[str, str]],
@@ -222,34 +151,44 @@ def estimate_matrix_pairs_sharded(
     on_insufficient: str,
     num_shards: int,
 ) -> List[RankedPair]:
-    """Fan :func:`estimate_matrix_shard` out over an executor and merge.
+    """Fan pair estimates over the persistent pool through shared memory.
 
-    The parent owns the density matrix; each shard re-runs the per-pair
-    arithmetic on its round-robin slice of ``pair_list``.  Results come back
-    unranked in shard-completion-independent order (futures are drained in
-    submission order), so callers get the same multiset of
+    The density matrix is published to shared memory once, each worker
+    scores a round-robin slice of ``pair_list`` against it, and the blocks
+    are unlinked before returning.  Results come back in deterministic
+    (submission) order, so callers get the same multiset of
     :class:`~repro.core.batch.RankedPair` regardless of worker count — the
-    progressive top-k engine's final re-score path relies on this for its
-    bit-identity guarantee.
+    progressive top-k engine's final re-score and the streaming ranker's
+    dirty-pair re-score both rely on this for their bit-identity guarantees.
+
+    ``pool`` is a :class:`~repro.service.pool.PersistentWorkerPool`
+    (typically :func:`~repro.service.pool.global_pool`).
     """
+    from repro.service.pool import _estimate_shard_task, publish_matrix, release_matrix
+
     shards = shard_pairs(pair_list, num_shards)
     base_kwargs = asdict(cfg)
     base_kwargs["random_state"] = None
-    futures = [
-        executor.submit(
-            estimate_matrix_shard, matrix, row_of, shard, base_kwargs,
-            on_insufficient,
+    matrix_ref = publish_matrix(matrix)
+    try:
+        shard_results = pool.run_tasks(
+            _estimate_shard_task,
+            [
+                (matrix_ref, row_of, shard, base_kwargs, on_insufficient)
+                for shard in shards
+            ],
+            workers=num_shards,
         )
-        for shard in shards
-    ]
+    finally:
+        release_matrix(matrix_ref)
     results: List[RankedPair] = []
-    for future in futures:
-        results.extend(future.result())
+    for shard_result in shard_results:
+        results.extend(shard_result)
     return results
 
 
 class ParallelBatchTescEngine:
-    """Sharded multi-process TESC pair ranking.
+    """Column/pair-sharded TESC pair ranking over the persistent pool.
 
     Parameters
     ----------
@@ -260,13 +199,19 @@ class ParallelBatchTescEngine:
         the serial engine: uniform samplers only).
     workers:
         Worker-process count; see :func:`resolve_workers`.  ``1`` (the
-        default) degrades to the serial engine in-process — no pool is
-        created — so the engine is safe to use unconditionally.
+        default) degrades to the serial engine in-process — the pool is
+        never touched — so the engine is safe to use unconditionally.
     mp_context:
-        Optional :mod:`multiprocessing` start-method name (``"fork"``,
-        ``"spawn"``, ``"forkserver"``).  Defaults to ``"fork"`` where
-        available (cheap worker start-up on Linux), else the platform
-        default.
+        Optional :mod:`multiprocessing` start-method name.  ``None`` (the
+        default) shares the process-wide persistent pool; naming a method
+        gives this engine a private pool with that start method, torn down
+        by :meth:`close`.
+
+    Notes
+    -----
+    With the default shared pool, :meth:`close` (and the context-manager
+    exit) is a no-op for the pool itself: workers persist for the process
+    lifetime precisely so repeated calls never pay fork start-up again.
 
     Examples
     --------
@@ -293,49 +238,36 @@ class ParallelBatchTescEngine:
         self.attributed = attributed
         self.config = config if config is not None else TescConfig()
         self.workers = resolve_workers(workers)
-        self._mp_context = mp_context
         self._serial = BatchTescEngine(attributed, self.config)
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self._executor_workers = 0
+        self._private_pool = None
+        self._mp_context = mp_context
+        self._matrices: Dict[tuple, DensityMatrix] = {}
         self.stats = BatchStats(workers=self.workers)
 
-    # -- pool lifecycle -----------------------------------------------------
+    # -- pool plumbing -------------------------------------------------------
 
-    def _payload(self) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
-        csr = self.attributed.csr
-        mapping = {
-            event: self.attributed.event_nodes(event)
-            for event in self.attributed.event_names()
-        }
-        return csr.indptr, csr.indices, mapping
+    def _pool(self):
+        if self._mp_context is None:
+            from repro.service.pool import global_pool
 
-    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
-        # Grow-only: a larger pool serves smaller calls (idle workers cost
-        # nothing), so re-forking — which would discard every worker's warm
-        # caches — happens only when more workers are genuinely needed.
-        if self._executor is not None and self._executor_workers < workers:
-            self.close()
-        if self._executor is None:
-            method = self._mp_context
-            if method is None:
-                available = multiprocessing.get_all_start_methods()
-                method = "fork" if "fork" in available else None
-            context = multiprocessing.get_context(method)
-            self._executor = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=(self._payload(),),
-            )
-            self._executor_workers = workers
-        return self._executor
+            return global_pool()
+        if self._private_pool is None:
+            from repro.service.pool import PersistentWorkerPool
+
+            self._private_pool = PersistentWorkerPool(mp_context=self._mp_context)
+        return self._private_pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-            self._executor_workers = 0
+        """Release engine-held resources (idempotent).
+
+        A private pool (explicit ``mp_context``) is shut down; the shared
+        process-wide pool deliberately survives — its whole point is to
+        outlive individual engines.
+        """
+        if self._private_pool is not None:
+            self._private_pool.shutdown()
+            self._private_pool = None
+        self._matrices.clear()
 
     def __enter__(self) -> "ParallelBatchTescEngine":
         return self
@@ -393,51 +325,33 @@ class ParallelBatchTescEngine:
         call_stats = BatchStats(workers=worker_count)
 
         events = sorted({event for pair in pair_list for event in pair})
+        row_of = {event: row for row, event in enumerate(events)}
         # Touching every indicator up front surfaces unknown events in the
-        # parent before any processes are involved.
+        # parent before any worker is involved.
         self.attributed.indicator_matrix(events)
         universe = self._serial._universe(events)
-        sample, _matrix_key = self._serial._shared_sample(
+        sample, matrix_key = self._serial._shared_sample(
             cfg, universe, timer, call_stats
         )
 
-        shards = shard_pairs(pair_list, worker_count)
-        seeds = shard_seeds(cfg.random_state, len(shards))
-        # Shard configs are seed-free (the seed travels separately) so a
-        # worker's caches can serve any shard of any call; see _rank_shard.
-        base_kwargs = asdict(cfg)
-        base_kwargs["random_state"] = None
-        # Never fork more processes than there are shards to hand out.
-        executor = self._ensure_executor(min(worker_count, len(shards)))
-        futures = []
-        for shard, seed in zip(shards, seeds):
-            futures.append(
-                executor.submit(
-                    _rank_shard, base_kwargs, shard, sample.nodes,
-                    on_insufficient, seed,
-                )
-            )
-        results: List[RankedPair] = []
-        worker_density_seconds = 0.0
+        pool = self._pool()
+        matrix = self._matrix(
+            matrix_key + (tuple(events),), pool, sample.nodes, events, cfg,
+            worker_count, timer, call_stats,
+        )
         with timer.lap("estimates"):
-            for future in futures:
-                shard_results, shard_stats = future.result()
-                results.extend(shard_results)
-                call_stats.density_passes += shard_stats.density_passes
-                call_stats.density_bfs_calls += shard_stats.density_bfs_calls
-                worker_density_seconds += shard_stats.timings.get("densities", 0.0)
+            results = estimate_matrix_pairs_sharded(
+                pool, matrix, row_of, pair_list, cfg, on_insufficient,
+                worker_count,
+            )
 
         ranked = finalise_ranking(results, sort_by, top_k)
 
         call_stats.num_events = len(events)
         call_stats.num_pairs = len(pair_list)
-        call_stats.shards = len(shards)
-        for name in ("sampling", "estimates"):
+        call_stats.shards = len(shard_pairs(pair_list, worker_count))
+        for name in ("sampling", "densities", "estimates"):
             call_stats.timings[name] = timer.total(name)
-        # Aggregate worker-side density seconds (summed across shards, so
-        # this is CPU time; "estimates" above is the parent's wall time
-        # spent waiting on the pool).
-        call_stats.timings["densities"] = worker_density_seconds
         self._accumulate(call_stats)
         return PairRanking(
             pairs=ranked,
@@ -447,6 +361,39 @@ class ParallelBatchTescEngine:
             sample=sample,
             stats=call_stats,
         )
+
+    def _matrix(
+        self,
+        key: tuple,
+        pool,
+        sample_nodes: np.ndarray,
+        events: Sequence[str],
+        cfg: TescConfig,
+        worker_count: int,
+        timer: Timer,
+        call_stats: BatchStats,
+    ) -> DensityMatrix:
+        """The shared density matrix for this call, pool-computed on miss.
+
+        Cached under the same ``(sampler, universe, level, size, events)``
+        key the serial engine uses, so repeated calls re-dispatch nothing.
+        """
+        cached = self._matrices.get(key)
+        if cached is not None:
+            return cached
+        from repro.service.pool import pooled_density_matrix
+
+        with timer.lap("densities"):
+            matrix, bfs_calls = pooled_density_matrix(
+                pool, self.attributed, sample_nodes, events,
+                cfg.vicinity_level, worker_count,
+            )
+        call_stats.density_passes += 1
+        call_stats.density_bfs_calls += bfs_calls
+        while len(self._matrices) >= MAX_CACHED_MATRICES:
+            del self._matrices[next(iter(self._matrices))]
+        self._matrices[key] = matrix
+        return matrix
 
     def _accumulate(self, call_stats: BatchStats) -> None:
         self.stats.num_events = call_stats.num_events
@@ -471,8 +418,8 @@ def rank_pairs_parallel(
 ) -> PairRanking:
     """One-call convenience wrapper around :class:`ParallelBatchTescEngine`.
 
-    ``workers`` defaults to one per available core (``0``); the pool is torn
-    down before returning.
+    ``workers`` defaults to one per available core (``0``).  The persistent
+    pool stays warm after the call — that is the point.
     """
     config = TescConfig(vicinity_level=vicinity_level, **config_kwargs)
     with ParallelBatchTescEngine(attributed, config, workers=workers) as engine:

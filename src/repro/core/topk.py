@@ -46,8 +46,6 @@ when scanning very large pair sets.
 from __future__ import annotations
 
 import math
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -275,36 +273,34 @@ class ProgressiveTopKEngine:
         self._mp_context = mp_context
         self._density_computer = DensityComputer(attributed.csr)
         self._samplers: Dict[tuple, CachingSampler] = {}
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self._executor_workers = 0
+        self._private_pool = None
         self.stats = TopKStats(workers=self.workers)
 
     # -- pool lifecycle -----------------------------------------------------
 
-    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
-        # Grow-only, like the parallel batch engine: a larger pool serves
-        # smaller calls for free.
-        if self._executor is not None and self._executor_workers < workers:
-            self.close()
-        if self._executor is None:
-            method = self._mp_context
-            if method is None:
-                available = multiprocessing.get_all_start_methods()
-                method = "fork" if "fork" in available else None
-            # No initializer: the final re-score ships the density matrix
-            # with each shard, so workers hold no graph state.
-            self._executor = ProcessPoolExecutor(
-                max_workers=workers, mp_context=multiprocessing.get_context(method)
-            )
-            self._executor_workers = workers
-        return self._executor
+    def _pool(self):
+        # Same sharing rule as the parallel batch engine: the default is the
+        # process-wide persistent pool, an explicit mp_context gets a
+        # private pool torn down by close().
+        if self._mp_context is None:
+            from repro.service.pool import global_pool
+
+            return global_pool()
+        if self._private_pool is None:
+            from repro.service.pool import PersistentWorkerPool
+
+            self._private_pool = PersistentWorkerPool(mp_context=self._mp_context)
+        return self._private_pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-            self._executor_workers = 0
+        """Release engine-held resources (idempotent).
+
+        A private pool (explicit ``mp_context``) is shut down; the shared
+        process-wide pool survives for the next caller — by design.
+        """
+        if self._private_pool is not None:
+            self._private_pool.shutdown()
+            self._private_pool = None
 
     def __enter__(self) -> "ProgressiveTopKEngine":
         return self
@@ -515,11 +511,8 @@ class ProgressiveTopKEngine:
         # size-dispatched kernels), optionally sharded across workers.
         with timer.lap("estimates"):
             if worker_count > 1 and len(active) > 1:
-                executor = self._ensure_executor(
-                    min(worker_count, len(active))
-                )
                 results = estimate_matrix_pairs_sharded(
-                    executor, matrix, row_of, active, cfg, on_insufficient,
+                    self._pool(), matrix, row_of, active, cfg, on_insufficient,
                     worker_count,
                 )
             else:

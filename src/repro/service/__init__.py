@@ -1,0 +1,59 @@
+"""Correlation-as-a-service: the persistent execution layer.
+
+The batch/streaming engines in :mod:`repro.core` and :mod:`repro.streaming`
+answer one caller inside one process.  This package turns them into a
+long-lived *service*:
+
+* :mod:`repro.service.pool` — a process-wide persistent worker pool, spawned
+  once and reused by every parallel call (replacing the fork-per-call pools
+  that BENCH_pr5 showed losing to serial execution);
+* :mod:`repro.service.shm` — :mod:`multiprocessing.shared_memory` plumbing
+  so datasets, reference samples and density matrices cross the process
+  boundary as shared blocks instead of per-call pickles;
+* :mod:`repro.service.engine` — :class:`~repro.service.engine.ServiceEngine`,
+  the epoch-aware request executor with per-``(pair, epoch)`` result caching
+  layered on :class:`~repro.sampling.cache.SampleMemo`;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a local socket
+  server speaking newline-delimited JSON and its thin client;
+* :mod:`repro.service.admission` — bounded-queue admission control
+  (429-style rejection, queue timeouts) so many concurrent clients degrade
+  gracefully.
+
+Every answer the service produces is bit-identical to the serial in-process
+engines for the same seed — asserted throughout :mod:`tests.service`.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionStats
+from repro.service.client import CorrelationClient
+from repro.service.engine import ServiceEngine
+from repro.service.pool import (
+    PersistentWorkerPool,
+    WorkerCrashedError,
+    global_pool,
+    shutdown_global_pool,
+)
+from repro.service.protocol import (
+    BadRequestError,
+    OverloadedError,
+    RemoteError,
+    RequestTimeoutError,
+    ServiceError,
+)
+from repro.service.server import CorrelationServer
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "BadRequestError",
+    "CorrelationClient",
+    "CorrelationServer",
+    "OverloadedError",
+    "PersistentWorkerPool",
+    "RemoteError",
+    "RequestTimeoutError",
+    "ServiceEngine",
+    "ServiceError",
+    "WorkerCrashedError",
+    "global_pool",
+    "shutdown_global_pool",
+]

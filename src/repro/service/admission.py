@@ -1,0 +1,140 @@
+"""Admission control: bounded concurrency with graceful degradation.
+
+Many clients hitting one correlation server must degrade into clean,
+*bounded* behaviour, never into unbounded queues or hangs.  The
+:class:`AdmissionController` enforces two limits:
+
+* at most ``max_concurrency`` requests execute at once;
+* at most ``max_queue`` further requests wait for a slot — anything beyond
+  that is rejected immediately with :class:`~repro.service.protocol.OverloadedError`
+  (the HTTP-429 analogue), and a waiter that cannot start within
+  ``queue_timeout`` seconds gives up with
+  :class:`~repro.service.protocol.RequestTimeoutError` (the 408 analogue).
+
+Both error paths leave the controller's counters consistent, so a burst of
+rejected work never poisons later requests — asserted by the concurrency
+stress suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service.protocol import OverloadedError, RequestTimeoutError
+
+
+@dataclass
+class AdmissionStats:
+    """Lifetime counters of one :class:`AdmissionController`."""
+
+    admitted: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+    peak_running: int = 0
+    peak_waiting: int = 0
+
+
+class AdmissionController:
+    """Counting-semaphore admission with a bounded wait queue.
+
+    Parameters
+    ----------
+    max_concurrency:
+        How many requests may execute simultaneously.
+    max_queue:
+        How many requests may wait for a slot before new arrivals are
+        rejected outright.
+    queue_timeout:
+        Longest a request may wait for a slot, in seconds (``None`` waits
+        indefinitely — only sensible in tests).
+
+    Use as a context manager around request execution::
+
+        with controller.admit():
+            ... handle the request ...
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 4,
+        max_queue: int = 16,
+        queue_timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.max_concurrency = max(1, int(max_concurrency))
+        self.max_queue = max(0, int(max_queue))
+        self.queue_timeout = queue_timeout
+        self._condition = threading.Condition()
+        self._running = 0
+        self._waiting = 0
+        self.stats = AdmissionStats()
+
+    def admit(self) -> "_Admission":
+        """Claim an execution slot (or raise), released by context exit."""
+        deadline = (
+            None if self.queue_timeout is None
+            else time.monotonic() + self.queue_timeout
+        )
+        with self._condition:
+            if self._running >= self.max_concurrency:
+                if self._waiting >= self.max_queue:
+                    self.stats.rejected += 1
+                    raise OverloadedError(
+                        f"server overloaded: {self._running} running, "
+                        f"{self._waiting} queued (limits: "
+                        f"{self.max_concurrency} running, {self.max_queue} queued)"
+                    )
+                self._waiting += 1
+                self.stats.peak_waiting = max(self.stats.peak_waiting, self._waiting)
+                try:
+                    while self._running >= self.max_concurrency:
+                        remaining = (
+                            None if deadline is None
+                            else deadline - time.monotonic()
+                        )
+                        if remaining is not None and remaining <= 0:
+                            self.stats.timed_out += 1
+                            raise RequestTimeoutError(
+                                "request timed out after waiting "
+                                f"{self.queue_timeout:.3g}s for an execution slot"
+                            )
+                        self._condition.wait(remaining)
+                finally:
+                    self._waiting -= 1
+            self._running += 1
+            self.stats.admitted += 1
+            self.stats.peak_running = max(self.stats.peak_running, self._running)
+        return _Admission(self)
+
+    def _release(self) -> None:
+        with self._condition:
+            self._running -= 1
+            self._condition.notify()
+
+    @property
+    def running(self) -> int:
+        """Requests currently executing."""
+        return self._running
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        return self._waiting
+
+
+class _Admission:
+    """Context manager releasing one admitted slot."""
+
+    def __init__(self, controller: AdmissionController) -> None:
+        self._controller = controller
+        self._released = False
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()

@@ -1,0 +1,173 @@
+"""Thin blocking client of the correlation service.
+
+:class:`CorrelationClient` keeps one persistent connection, correlates
+responses by request id, and maps protocol error codes back onto the
+exception classes of :mod:`repro.service.protocol` — a 429 raises
+:class:`~repro.service.protocol.OverloadedError` on the caller, never a
+hang.  Safe for concurrent use from multiple threads (requests serialise on
+an internal lock); for true request parallelism open one client per thread —
+connections are cheap, all heavy state is server-side.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.protocol import (
+    RemoteError,
+    decode_line,
+    encode,
+    raise_for_error,
+)
+
+
+class CorrelationClient:
+    """Blocking JSON-line client of one :class:`CorrelationServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The server address (``*server.address`` after ``server.start()``).
+    timeout:
+        Socket timeout in seconds for connect and for each response.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, method: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One round-trip: send ``method``/``params``, return the result.
+
+        Raises the mapped :class:`~repro.service.protocol.ServiceError`
+        subclass on error responses, :class:`RemoteError` on a dead or
+        mismatched connection.
+        """
+        with self._lock:
+            if self._closed:
+                raise RemoteError("client is closed")
+            self._next_id += 1
+            request_id = self._next_id
+            try:
+                self._socket.sendall(
+                    encode({"id": request_id, "method": method, "params": params or {}})
+                )
+                line = self._reader.readline()
+            except OSError as exc:
+                raise RemoteError(f"connection to server lost: {exc}") from exc
+            if not line:
+                raise RemoteError("server closed the connection")
+            response = decode_line(line)
+            if response.get("id") != request_id:
+                raise RemoteError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id!r}"
+                )
+        return raise_for_error(response)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._reader.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            try:
+                self._socket.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "CorrelationClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- the service methods -------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness check (never gated by admission control)."""
+        return bool(self.request("ping").get("pong"))
+
+    def status(self) -> Dict[str, Any]:
+        """Server status: epoch, versions, cache occupancy, admission state."""
+        return self.request("status")
+
+    def rank(
+        self,
+        pairs: Any = "all",
+        top_k: Optional[int] = None,
+        sort_by: str = "score",
+        config: Optional[Dict[str, Any]] = None,
+        on_insufficient: str = "keep",
+    ) -> Dict[str, Any]:
+        """Rank event pairs; the result's ``"pairs"`` list is bit-identical
+        to the serial in-process engine's ``as_records()`` at the answering
+        epoch."""
+        params: Dict[str, Any] = {
+            "pairs": self._wire_pairs(pairs),
+            "sort_by": sort_by,
+            "on_insufficient": on_insufficient,
+        }
+        if top_k is not None:
+            params["top_k"] = int(top_k)
+        if config:
+            params["config"] = config
+        return self.request("rank", params)
+
+    def topk(
+        self,
+        k: int,
+        pairs: Any = "all",
+        sort_by: str = "score",
+        config: Optional[Dict[str, Any]] = None,
+        on_insufficient: str = "keep",
+    ) -> Dict[str, Any]:
+        """Progressive top-k ranking at the current epoch."""
+        params: Dict[str, Any] = {
+            "k": int(k),
+            "pairs": self._wire_pairs(pairs),
+            "sort_by": sort_by,
+            "on_insufficient": on_insufficient,
+        }
+        if config:
+            params["config"] = config
+        return self.request("topk", params)
+
+    def stream(self, deltas: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+        """Commit one batch of delta records; returns the new epoch."""
+        return self.request("stream", {"deltas": list(deltas)})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop (acknowledged before it tears down)."""
+        return self.request("shutdown")
+
+    @staticmethod
+    def _wire_pairs(pairs: Any) -> Any:
+        if pairs is None or (isinstance(pairs, str) and pairs == "all"):
+            return "all"
+        return [list(pair) for pair in pairs]
+
+
+def rank_records(result: Dict[str, Any]) -> List[Tuple]:
+    """A rank response's pairs as comparable tuples (test convenience)."""
+    return [
+        (
+            record["rank"], record["event_a"], record["event_b"],
+            record["score"], record["z_score"], record["p_value"],
+            record["verdict"], record["num_reference_nodes"],
+        )
+        for record in result["pairs"]
+    ]

@@ -1,0 +1,573 @@
+"""The epoch-aware request executor behind the correlation server.
+
+:class:`ServiceEngine` answers ``rank``/``topk``/``stream`` requests against
+one (possibly dynamic) attributed graph, with three layers of reuse:
+
+* **Samples** come from :class:`~repro.sampling.cache.SampleMemo` keyed by
+  the current *epoch*, so every drawn sample is bit-identical to what a
+  freshly constructed in-process engine would draw at that graph state;
+* **Density matrices** (with their estimate batchers) are cached per
+  ``(config, universe, events, epoch)`` and computed through the persistent
+  worker pool when the engine runs with ``workers > 1``;
+* **Per-pair results** are cached per ``(pair, config, universe, epoch)`` —
+  the pair's estimate depends only on the shared sample (a function of the
+  request universe, config and epoch) and the pair's two density rows, so
+  the key is exact: a cached entry can never be served stale, because any
+  commit that could change the answer bumps the epoch out from under it.
+
+The epoch is an internal counter bumped whenever the underlying graph's
+``(structure_version, events.version)`` moves — normally via :meth:`commit`
+(the ``stream`` method), which runs under the writer side of a
+readers-writer lock while ``rank``/``topk`` execute as readers.
+
+Every answer is bit-identical to the serial in-process engines
+(:class:`~repro.core.batch.BatchTescEngine`,
+:class:`~repro.core.topk.ProgressiveTopKEngine`) applied to a snapshot of
+the graph at the same epoch with the same seed — the property the epoch
+cache suite asserts under random commit/query interleavings.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.batch import (
+    SORT_KEYS,
+    BatchTescEngine,
+    RankedPair,
+    ensure_uniform_sample,
+    ensure_uniform_sampler,
+    estimate_pair_list,
+    event_universe,
+    finalise_ranking,
+    make_config_sampler,
+    resolve_pair_spec,
+)
+from repro.core.config import TescConfig
+from repro.core.density import DensityComputer, DensityMatrix
+from repro.core.estimators import PairEstimateBatcher
+from repro.core.parallel import estimate_matrix_pairs_sharded, resolve_workers
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import ConfigurationError, InsufficientSampleError
+from repro.sampling.cache import SampleMemo, event_nodes_fingerprint
+from repro.service.protocol import BadRequestError
+from repro.service.shm import unpublish_dataset
+from repro.streaming.delta import DeltaBatch
+from repro.streaming.dynamic_graph import DynamicAttributedGraph
+
+
+class _ReadWriteLock:
+    """Readers-writer lock: many concurrent ranks, exclusive commits.
+
+    Writer-preferring — a waiting commit blocks new readers — so a steady
+    rank load cannot starve stream updates.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if not self._readers:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    class _Guard:
+        def __init__(self, acquire, release):
+            self._acquire, self._release = acquire, release
+
+        def __enter__(self):
+            self._acquire()
+
+        def __exit__(self, *_exc):
+            self._release()
+
+    def read(self) -> "_ReadWriteLock._Guard":
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "_ReadWriteLock._Guard":
+        return self._Guard(self.acquire_write, self.release_write)
+
+
+def pair_record(pair: RankedPair) -> Dict[str, Any]:
+    """One ranked pair as a JSON-safe record (all fields, exact floats)."""
+    return {
+        "rank": pair.rank,
+        "event_a": pair.event_a,
+        "event_b": pair.event_b,
+        "score": pair.score,
+        "z_score": pair.z_score,
+        "p_value": pair.p_value,
+        "verdict": pair.verdict.value,
+        "num_reference_nodes": pair.num_reference_nodes,
+        "degenerate": pair.degenerate,
+        "insufficient": pair.insufficient,
+    }
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters of one :class:`ServiceEngine`."""
+
+    rank_requests: int = 0
+    topk_requests: int = 0
+    commits: int = 0
+    pair_cache_hits: int = 0
+    pair_cache_misses: int = 0
+    topk_cache_hits: int = 0
+    matrices_computed: int = 0
+
+
+class ServiceEngine:
+    """Epoch-cached ``rank``/``topk``/``stream`` execution over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve.  ``stream`` (delta commits) requires a
+        :class:`~repro.streaming.dynamic_graph.DynamicAttributedGraph`;
+        a plain :class:`~repro.events.attributed_graph.AttributedGraph` is
+        served read-only.
+    config:
+        Default :class:`~repro.core.config.TescConfig`; requests may
+        override whitelisted fields per call.
+    workers:
+        Worker processes for density/estimate fan-out through the
+        process-wide persistent pool (``1`` = in-process serial compute —
+        still bit-identical, the pool changes nothing but wall-clock).
+    max_cached_results / max_cached_matrices / max_cached_topk:
+        LRU bounds of the per-pair result cache, the density-matrix cache
+        and the whole-response top-k cache.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        config: Optional[TescConfig] = None,
+        workers: Optional[int] = None,
+        max_cached_results: int = 65536,
+        max_cached_matrices: int = 8,
+        max_cached_topk: int = 64,
+    ) -> None:
+        self.graph = graph
+        self.config = config if config is not None else TescConfig()
+        ensure_uniform_sampler(self.config, "the correlation service")
+        self.workers = resolve_workers(workers)
+        self.max_cached_results = max(1, int(max_cached_results))
+        self.max_cached_matrices = max(1, int(max_cached_matrices))
+        self.max_cached_topk = max(1, int(max_cached_topk))
+
+        self._lock = _ReadWriteLock()
+        self._miss_lock = threading.Lock()
+        self._epoch_lock = threading.Lock()
+        self._epoch = 0
+        self._seen_versions = self._graph_versions()
+
+        self._memos: Dict[tuple, SampleMemo] = {}
+        self._matrices: "OrderedDict[tuple, Tuple[DensityMatrix, PairEstimateBatcher]]" = (
+            OrderedDict()
+        )
+        self._results: "OrderedDict[tuple, RankedPair]" = OrderedDict()
+        self._topk_cache: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
+        self.stats = ServiceStats()
+
+    # -- epoch plumbing ------------------------------------------------------
+
+    def _graph_versions(self) -> Tuple[int, int]:
+        return (
+            int(getattr(self.graph, "structure_version", 0)),
+            int(self.graph.events.version),
+        )
+
+    def current_epoch(self) -> int:
+        """The epoch of the graph's current state (bumps on version change).
+
+        Monotonic and atomic: any observed epoch uniquely identifies one
+        ``(structure_version, events.version)`` graph state, which is what
+        makes the epoch a sound cache-key component.
+        """
+        versions = self._graph_versions()
+        with self._epoch_lock:
+            if versions != self._seen_versions:
+                self._seen_versions = versions
+                self._epoch += 1
+            return self._epoch
+
+    # -- config plumbing -----------------------------------------------------
+
+    def _merge_config(self, overrides: Dict[str, Any]) -> TescConfig:
+        if not overrides:
+            return self.config
+        merged = dict(asdict(self.config))
+        merged.update(overrides)
+        try:
+            cfg = TescConfig(**merged)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"invalid config override: {exc}") from exc
+        ensure_uniform_sampler(cfg, "the correlation service")
+        return cfg
+
+    @staticmethod
+    def _config_digest(cfg: TescConfig) -> tuple:
+        items = asdict(cfg)
+        seed = items.pop("random_state")
+        seed_token = seed if seed is None or isinstance(seed, int) else id(seed)
+        return tuple(sorted(items.items())) + (("random_state", seed_token),)
+
+    def _memo(self, cfg: TescConfig) -> SampleMemo:
+        key = (
+            cfg.sampler, cfg.batch_per_vicinity, cfg.vicinity_level,
+            self._config_digest(cfg)[-1],
+        )
+        memo = self._memos.get(key)
+        if memo is None:
+            graph = self.graph
+            memo = SampleMemo(lambda: make_config_sampler(graph, cfg))
+            self._memos[key] = memo
+        return memo
+
+    # -- rank ----------------------------------------------------------------
+
+    def rank(
+        self,
+        pairs="all",
+        top_k: Optional[int] = None,
+        sort_by: str = "score",
+        config_overrides: Optional[Dict[str, Any]] = None,
+        on_insufficient: str = "keep",
+    ) -> Dict[str, Any]:
+        """Rank ``pairs``, serving cached per-pair results where possible.
+
+        Bit-identical to ``BatchTescEngine(snapshot, cfg).rank_pairs(...)``
+        at the current epoch: hits and misses alike derive from the memoised
+        fresh-sampler draw over the request universe.
+        """
+        if sort_by not in SORT_KEYS:
+            raise ConfigurationError(
+                f"sort_by must be one of {SORT_KEYS}, got {sort_by!r}"
+            )
+        if on_insufficient not in ("keep", "raise"):
+            raise ConfigurationError(
+                f'on_insufficient must be "keep" or "raise", got {on_insufficient!r}'
+            )
+        cfg = self._merge_config(config_overrides or {})
+        with self._lock.read():
+            self.stats.rank_requests += 1
+            epoch = self.current_epoch()
+            pair_list = resolve_pair_spec(self.graph.event_names(), pairs)
+            events = sorted({event for pair in pair_list for event in pair})
+            # Surfaces unknown events before any sampling work happens.
+            self.graph.indicator_matrix(events)
+            universe = event_universe(self.graph, events)
+            universe_fp = event_nodes_fingerprint(universe)
+            digest = self._config_digest(cfg)
+
+            by_pair: Dict[Tuple[str, str], RankedPair] = {}
+            missing: List[Tuple[str, str]] = []
+            for pair in pair_list:
+                cached = self._results.get((pair, digest, universe_fp, epoch))
+                if cached is not None:
+                    by_pair[pair] = cached
+                else:
+                    missing.append(pair)
+            hits = len(pair_list) - len(missing)
+            self.stats.pair_cache_hits += hits
+            if missing:
+                computed = self._compute_pairs(
+                    cfg, events, universe, universe_fp, digest, epoch,
+                    missing, on_insufficient,
+                )
+                by_pair.update(computed)
+                self.stats.pair_cache_misses += len(missing)
+            results = [by_pair[pair] for pair in pair_list]
+            if on_insufficient == "raise":
+                for pair in results:
+                    if pair.insufficient:
+                        raise InsufficientSampleError(
+                            f"pair ({pair.event_a!r}, {pair.event_b!r}) has only "
+                            f"{pair.num_reference_nodes} reference nodes in the "
+                            "shared sample"
+                        )
+            ranked = finalise_ranking(results, sort_by, top_k)
+        return {
+            "pairs": [pair_record(pair) for pair in ranked],
+            "epoch": epoch,
+            "sort_by": sort_by,
+            "alpha": cfg.alpha,
+            "vicinity_level": cfg.vicinity_level,
+            "cached_pairs": hits,
+            "computed_pairs": len(missing),
+        }
+
+    def _compute_pairs(
+        self,
+        cfg: TescConfig,
+        events: Sequence[str],
+        universe,
+        universe_fp: str,
+        digest: tuple,
+        epoch: int,
+        missing: List[Tuple[str, str]],
+        on_insufficient: str,
+    ) -> Dict[Tuple[str, str], RankedPair]:
+        """Estimate the cache-missing pairs and record them.
+
+        Serialised by ``_miss_lock`` so concurrent identical requests
+        compute the shared sample/matrix once; the cache is re-checked
+        under the lock for pairs another thread just filled.
+        """
+        with self._miss_lock:
+            computed: Dict[Tuple[str, str], RankedPair] = {}
+            still_missing: List[Tuple[str, str]] = []
+            for pair in missing:
+                cached = self._results.get((pair, digest, universe_fp, epoch))
+                if cached is not None:
+                    computed[pair] = cached
+                else:
+                    still_missing.append(pair)
+            if not still_missing:
+                return computed
+
+            matrix, batcher = self._matrix_for(
+                cfg, tuple(events), universe, universe_fp, epoch
+            )
+            row_of = {event: row for row, event in enumerate(events)}
+            # Insufficient pairs are cached as insufficient records even in
+            # "raise" mode; the caller raises after assembly, and "keep"
+            # requests for the same pair still hit the cache.
+            if self.workers > 1 and len(still_missing) > 1:
+                from repro.service.pool import global_pool
+
+                fresh = estimate_matrix_pairs_sharded(
+                    global_pool(), matrix, row_of, still_missing, cfg,
+                    "keep", self.workers,
+                )
+            else:
+                fresh = estimate_pair_list(
+                    still_missing, row_of, matrix, batcher, cfg, "keep"
+                )
+            for pair_result in fresh:
+                pair = pair_result.events
+                computed[pair] = pair_result
+                self._results[(pair, digest, universe_fp, epoch)] = pair_result
+            while len(self._results) > self.max_cached_results:
+                self._results.popitem(last=False)
+            return computed
+
+    def _matrix_for(
+        self,
+        cfg: TescConfig,
+        events: Tuple[str, ...],
+        universe,
+        universe_fp: str,
+        epoch: int,
+    ) -> Tuple[DensityMatrix, PairEstimateBatcher]:
+        """The epoch's density matrix over the request events, cached."""
+        key = (
+            cfg.sampler, cfg.batch_per_vicinity,
+            self._config_digest(cfg)[-1],
+            universe_fp, cfg.vicinity_level, cfg.sample_size,
+            cfg.kendall_kernel, cfg.kendall_crossover,
+            events, epoch,
+        )
+        cached = self._matrices.get(key)
+        if cached is not None:
+            self._matrices.move_to_end(key)
+            return cached
+        memo = self._memo(cfg)
+        sample = memo.sample(
+            universe, cfg.vicinity_level, cfg.sample_size, epoch=epoch
+        )
+        ensure_uniform_sample(sample, cfg.sampler)
+        if self.workers > 1 and sample.nodes.size > 1:
+            from repro.service.pool import global_pool, pooled_density_matrix
+
+            matrix, _bfs = pooled_density_matrix(
+                global_pool(), self.graph, sample.nodes, events,
+                cfg.vicinity_level, self.workers,
+            )
+        else:
+            computer = DensityComputer(self.graph.csr)
+            indicators = self.graph.indicator_matrix(list(events))
+            matrix = computer.density_matrix(
+                sample.nodes, indicators, cfg.vicinity_level
+            )
+        batcher = PairEstimateBatcher(
+            matrix.densities,
+            kernel=cfg.kendall_kernel,
+            crossover=cfg.kendall_crossover,
+        )
+        while len(self._matrices) >= self.max_cached_matrices:
+            self._matrices.popitem(last=False)
+        self._matrices[key] = (matrix, batcher)
+        self.stats.matrices_computed += 1
+        return matrix, batcher
+
+    # -- topk ----------------------------------------------------------------
+
+    def topk(
+        self,
+        k: int,
+        pairs="all",
+        sort_by: str = "score",
+        config_overrides: Optional[Dict[str, Any]] = None,
+        on_insufficient: str = "keep",
+    ) -> Dict[str, Any]:
+        """Progressive top-k at the current epoch (whole-response cached).
+
+        A fresh :class:`~repro.core.topk.ProgressiveTopKEngine` per miss
+        reproduces exactly what an in-process run on a snapshot would
+        return; the response is cached per ``(k, pairs, config, epoch)``.
+        """
+        from repro.core.topk import ProgressiveTopKEngine
+
+        cfg = self._merge_config(config_overrides or {})
+        with self._lock.read():
+            self.stats.topk_requests += 1
+            epoch = self.current_epoch()
+            pair_list = resolve_pair_spec(self.graph.event_names(), pairs)
+            key = (
+                int(k), tuple(pair_list), sort_by,
+                self._config_digest(cfg), epoch,
+            )
+            cached = self._topk_cache.get(key)
+            if cached is not None:
+                self.stats.topk_cache_hits += 1
+                return cached
+            with self._miss_lock:
+                cached = self._topk_cache.get(key)
+                if cached is not None:
+                    self.stats.topk_cache_hits += 1
+                    return cached
+                engine = ProgressiveTopKEngine(
+                    self.graph, cfg, workers=self.workers
+                )
+                try:
+                    ranking = engine.top_k(
+                        int(k), pair_list, sort_by=sort_by,
+                        on_insufficient=on_insufficient,
+                    )
+                finally:
+                    engine.close()
+                result = {
+                    "pairs": [pair_record(pair) for pair in ranking],
+                    "epoch": epoch,
+                    "k": int(k),
+                    "sort_by": sort_by,
+                    "pairs_pruned": ranking.topk_stats.pairs_pruned,
+                    "pairs_survived": ranking.topk_stats.pairs_survived,
+                }
+                self._topk_cache[key] = result
+                while len(self._topk_cache) > self.max_cached_topk:
+                    self._topk_cache.popitem(last=False)
+                return result
+
+    # -- stream --------------------------------------------------------------
+
+    def commit(self, delta_records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+        """Apply one delta batch (exclusive) and report its net effect.
+
+        Takes the writer lock, so every in-flight ``rank``/``topk`` drains
+        first and every later one observes the bumped epoch — a cached
+        ``(pair, epoch)`` entry can therefore never be served after a
+        commit that might have invalidated it.
+        """
+        if not isinstance(self.graph, DynamicAttributedGraph):
+            raise BadRequestError(
+                "this server is static: stream commits need a dynamic graph "
+                "(construct the engine over a DynamicAttributedGraph)"
+            )
+        from repro.streaming.delta import Delta
+
+        try:
+            batch = DeltaBatch(
+                deltas=tuple(Delta.from_record(record) for record in delta_records)
+            )
+        except Exception as exc:
+            raise BadRequestError(f"invalid delta batch: {exc}") from exc
+        with self._lock.write():
+            self.stats.commits += 1
+            applied = self.graph.apply(batch)
+            epoch = self.current_epoch()
+        return {
+            "epoch": epoch,
+            "structure_version": applied.structure_version,
+            "added_edges": len(applied.added_edges),
+            "removed_edges": len(applied.removed_edges),
+            "attached": len(applied.attached),
+            "detached": len(applied.detached),
+            "changed": applied.changed,
+        }
+
+    # -- introspection / lifecycle -------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """Status snapshot (epoch, versions, cache occupancy, counters)."""
+        structure_version, events_version = self._graph_versions()
+        return {
+            "epoch": self.current_epoch(),
+            "structure_version": structure_version,
+            "events_version": events_version,
+            "num_events": len(self.graph.event_names()),
+            "num_nodes": self.graph.num_nodes,
+            "num_edges": self.graph.num_edges,
+            "workers": self.workers,
+            "dynamic": isinstance(self.graph, DynamicAttributedGraph),
+            "cached_pair_results": len(self._results),
+            "cached_matrices": len(self._matrices),
+            "cached_topk": len(self._topk_cache),
+            "stats": asdict(self.stats),
+        }
+
+    def reference_ranking(self, pairs="all", top_k=None, sort_by="score",
+                          config_overrides=None):
+        """A from-scratch serial ranking of the *current* graph state.
+
+        Test/debug helper: what a fresh
+        :class:`~repro.core.batch.BatchTescEngine` over a snapshot returns
+        right now — the baseline every service answer must match bit for
+        bit.
+        """
+        cfg = self._merge_config(config_overrides or {})
+        snapshot = (
+            self.graph.snapshot()
+            if isinstance(self.graph, DynamicAttributedGraph)
+            else self.graph
+        )
+        return BatchTescEngine(snapshot, cfg).rank_pairs(
+            pairs, top_k=top_k, sort_by=sort_by
+        )
+
+    def close(self) -> None:
+        """Drop caches and unlink this graph's shared-memory publication."""
+        with self._miss_lock:
+            self._results.clear()
+            self._matrices.clear()
+            self._topk_cache.clear()
+            self._memos.clear()
+        unpublish_dataset(self.graph)

@@ -1,0 +1,195 @@
+"""Wire protocol of the correlation service.
+
+Newline-delimited JSON over a local TCP (or Unix) socket: each request is
+one line ``{"id": ..., "method": ..., "params": {...}}``, each response one
+line ``{"id": ..., "ok": true, "result": {...}}`` or ``{"id": ..., "ok":
+false, "error": {"code": ..., "type": ..., "message": ...}}``.  JSON floats
+round-trip Python's float64 exactly (``repr`` shortest-round-trip), which is
+what lets the bit-identity suites compare service answers against in-process
+rankings field by field.
+
+Methods: ``ping``, ``status``, ``rank``, ``topk``, ``stream``, ``shutdown``.
+
+Error codes follow the familiar HTTP shape so backpressure is recognisable:
+``400`` malformed/invalid request, ``408`` queue-wait timeout, ``429``
+overloaded (bounded queue full), ``500`` internal failure.  The client maps
+each code back onto the exception classes below.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Config fields a request may override, and the coercions applied to them.
+CONFIG_FIELDS: Dict[str, type] = {
+    "vicinity_level": int,
+    "sample_size": int,
+    "sampler": str,
+    "alpha": float,
+    "alternative": str,
+    "batch_per_vicinity": int,
+    "kendall_kernel": str,
+    "kendall_crossover": int,
+    "topk_initial_sample_size": int,
+    "topk_growth_factor": float,
+    "topk_confidence": float,
+    "topk_bound": str,
+    "random_state": int,
+}
+
+
+class ServiceError(Exception):
+    """Base class of every error the service reports to a client."""
+
+    code = 500
+    kind = "internal"
+
+
+class BadRequestError(ServiceError):
+    """Malformed request, unknown method/event, or invalid configuration."""
+
+    code = 400
+    kind = "bad_request"
+
+
+class RequestTimeoutError(ServiceError):
+    """The request waited longer than the queue timeout for a slot."""
+
+    code = 408
+    kind = "timeout"
+
+
+class OverloadedError(ServiceError):
+    """The server's bounded wait queue is full (back off and retry)."""
+
+    code = 429
+    kind = "overloaded"
+
+
+class RemoteError(ServiceError):
+    """The server failed internally while handling the request."""
+
+    code = 500
+    kind = "internal"
+
+
+#: code -> client-side exception class.
+ERRORS_BY_CODE = {
+    cls.code: cls
+    for cls in (BadRequestError, RequestTimeoutError, OverloadedError, RemoteError)
+}
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one received line; raises :class:`BadRequestError` on garbage."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequestError(f"malformed JSON line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise BadRequestError(
+            f"protocol messages must be JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_response(request_id: Any, error: BaseException) -> Dict[str, Any]:
+    """The error-response message for ``error``."""
+    if isinstance(error, ServiceError):
+        code, kind = error.code, error.kind
+    else:
+        code, kind = 500, "internal"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": code,
+            "type": kind,
+            "exception": type(error).__name__,
+            "message": str(error),
+        },
+    }
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    """The success-response message wrapping ``result``."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
+    """Client side: unwrap a response, raising the mapped exception."""
+    if response.get("ok"):
+        return response.get("result", {})
+    error = response.get("error") or {}
+    cls = ERRORS_BY_CODE.get(error.get("code"), RemoteError)
+    exception = error.get("exception")
+    message = error.get("message", "unknown server error")
+    raise cls(f"{exception}: {message}" if exception else message)
+
+
+def parse_pairs(raw: Any) -> Any:
+    """Normalise a request's ``pairs`` param into a :data:`PairSpec`."""
+    if raw is None or raw == "all":
+        return "all"
+    if not isinstance(raw, list):
+        raise BadRequestError(
+            f'pairs must be "all" or a list of [event_a, event_b] pairs, got {raw!r}'
+        )
+    pairs = []
+    for entry in raw:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise BadRequestError(
+                f"each pair must be a two-element list, got {entry!r}"
+            )
+        pairs.append((str(entry[0]), str(entry[1])))
+    return pairs
+
+
+def parse_config_overrides(raw: Any) -> Dict[str, Any]:
+    """Validate and coerce a request's ``config`` override mapping.
+
+    Only whitelisted :class:`~repro.core.config.TescConfig` fields pass
+    (``seed`` is accepted as an alias for ``random_state``); anything else
+    is a :class:`BadRequestError` — clients cannot smuggle arbitrary kwargs
+    into the engine.
+    """
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise BadRequestError(f"config must be an object, got {raw!r}")
+    overrides: Dict[str, Any] = {}
+    for key, value in raw.items():
+        field = "random_state" if key == "seed" else key
+        coerce = CONFIG_FIELDS.get(field)
+        if coerce is None:
+            raise BadRequestError(f"unknown config field {key!r}")
+        if value is None:
+            overrides[field] = None
+            continue
+        try:
+            overrides[field] = coerce(value)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(
+                f"config field {key!r} has invalid value {value!r}: {exc}"
+            ) from exc
+    return overrides
+
+
+def parse_sort_and_k(params: Dict[str, Any]) -> Tuple[Optional[int], str]:
+    """Extract ``(top_k, sort_by)`` from request params."""
+    top_k = params.get("top_k")
+    if top_k is not None:
+        try:
+            top_k = int(top_k)
+        except (TypeError, ValueError) as exc:
+            raise BadRequestError(f"top_k must be an integer, got {top_k!r}") from exc
+    sort_by = params.get("sort_by", "score")
+    if not isinstance(sort_by, str):
+        raise BadRequestError(f"sort_by must be a string, got {sort_by!r}")
+    return top_k, sort_by

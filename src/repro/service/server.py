@@ -1,0 +1,301 @@
+"""The correlation server: sockets, dispatch, backpressure, lifecycle.
+
+:class:`CorrelationServer` owns one :class:`~repro.service.engine.ServiceEngine`
+and serves it over a loopback TCP socket speaking the newline-delimited JSON
+protocol of :mod:`repro.service.protocol`.  Process model:
+
+* the **worker pool** (the process-wide persistent pool) is spawned once, in
+  :meth:`start`, *before* any request thread exists — forked workers must
+  never inherit a threaded parent;
+* one daemon **accept thread** hands each connection to a daemon
+  **connection thread**; connections are cheap because all heavy state lives
+  in the engine and the pool;
+* compute methods (``rank``/``topk``/``stream``) pass through the
+  :class:`~repro.service.admission.AdmissionController` — bounded
+  concurrency, bounded queue, 429/408 rejections — while ``ping``/``status``
+  always answer, so health checks keep working under overload;
+* :meth:`close` stops the listener, drains connection threads, and releases
+  the engine's caches and shared-memory publications.  The global worker
+  pool deliberately survives, warm, for the next server or engine.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.config import TescConfig
+from repro.events.attributed_graph import AttributedGraph
+from repro.exceptions import ReproError
+from repro.service.admission import AdmissionController
+from repro.service.engine import ServiceEngine
+from repro.service.protocol import (
+    BadRequestError,
+    ServiceError,
+    decode_line,
+    encode,
+    error_response,
+    ok_response,
+    parse_config_overrides,
+    parse_pairs,
+    parse_sort_and_k,
+)
+
+#: Methods that skip admission control (cheap, must answer under overload).
+_UNGATED_METHODS = frozenset({"ping", "status", "shutdown"})
+
+
+class CorrelationServer:
+    """Serve ``rank``/``topk``/``stream`` for one graph over a local socket.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve (a
+        :class:`~repro.streaming.dynamic_graph.DynamicAttributedGraph` if
+        ``stream`` commits should be accepted).
+    config:
+        Default :class:`~repro.core.config.TescConfig` for all requests.
+    workers:
+        Worker processes in the persistent pool (``1`` = compute in the
+        request thread).
+    host / port:
+        Bind address; port ``0`` (the default) picks a free port, exposed
+        via :attr:`address` after :meth:`start`.
+    max_concurrency / max_queue / queue_timeout:
+        Admission-control limits (see
+        :class:`~repro.service.admission.AdmissionController`).
+    throttle:
+        Optional hook called as ``throttle(method)`` at the start of every
+        gated request *while holding its admission slot* — the concurrency
+        tests use it to pin requests in flight deterministically.
+
+    Usable as a context manager::
+
+        with CorrelationServer(graph, cfg) as server:
+            client = CorrelationClient(*server.address)
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        config: Optional[TescConfig] = None,
+        workers: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrency: int = 4,
+        max_queue: int = 16,
+        queue_timeout: Optional[float] = 30.0,
+        throttle: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.engine = ServiceEngine(graph, config, workers=workers)
+        self.admission = AdmissionController(
+            max_concurrency=max_concurrency,
+            max_queue=max_queue,
+            queue_timeout=queue_timeout,
+        )
+        self._host = host
+        self._requested_port = port
+        self._throttle = throttle
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` the server is bound to (valid after start)."""
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "CorrelationServer":
+        """Bind, pre-spawn the worker pool, and begin accepting requests."""
+        if self._started:
+            return self
+        if self.engine.workers > 1:
+            # Fork the workers while this process is still single-threaded —
+            # a fork after the accept/connection threads exist could inherit
+            # locks held mid-operation.
+            from repro.service.pool import global_pool
+
+            global_pool().ensure(self.engine.workers)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._requested_port))
+        listener.listen(64)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tesc-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, close live connections, drop engine state."""
+        if not self._started or self._stopping.is_set():
+            self._stopping.set()
+            return
+        self._stopping.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self.engine.close()
+
+    def __enter__(self) -> "CorrelationServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- socket plumbing -----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                connection, _address = listener.accept()
+            except OSError:
+                break  # listener closed by close()
+            with self._connections_lock:
+                self._connections.add(connection)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="tesc-serve-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            reader = connection.makefile("rb")
+            for line in reader:
+                if not line.strip():
+                    continue
+                response = self._handle_line(line)
+                try:
+                    connection.sendall(encode(response))
+                except OSError:
+                    break  # client went away mid-response
+                if response.pop("_shutdown", False):
+                    # Shutdown acknowledged; tear the server down from a
+                    # helper thread so this connection can finish cleanly.
+                    threading.Thread(target=self.close, daemon=True).start()
+                    break
+        except OSError:  # pragma: no cover - connection reset races
+            pass
+        finally:
+            with self._connections_lock:
+                self._connections.discard(connection)
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        request_id = None
+        try:
+            request = decode_line(line)
+            request_id = request.get("id")
+            method = request.get("method")
+            params = request.get("params") or {}
+            if not isinstance(method, str):
+                raise BadRequestError("request must carry a string 'method'")
+            if not isinstance(params, dict):
+                raise BadRequestError("request 'params' must be an object")
+            if method in _UNGATED_METHODS:
+                result = self._dispatch(method, params)
+            else:
+                with self.admission.admit():
+                    if self._throttle is not None:
+                        self._throttle(method)
+                    result = self._dispatch(method, params)
+            response = ok_response(request_id, result)
+            if method == "shutdown":
+                response["_shutdown"] = True
+            return response
+        except ServiceError as exc:
+            return error_response(request_id, exc)
+        except ReproError as exc:
+            # Engine-level validation errors (unknown event, bad config,
+            # insufficient sample in "raise" mode) are the client's fault.
+            return error_response(request_id, BadRequestError(str(exc)))
+        except Exception as exc:  # noqa: BLE001 - server must answer
+            return error_response(request_id, exc)
+
+    def _dispatch(self, method: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        if method == "ping":
+            return {"pong": True}
+        if method == "status":
+            status = self.engine.describe()
+            status["admission"] = {
+                "running": self.admission.running,
+                "waiting": self.admission.waiting,
+                "max_concurrency": self.admission.max_concurrency,
+                "max_queue": self.admission.max_queue,
+                "admitted": self.admission.stats.admitted,
+                "rejected": self.admission.stats.rejected,
+                "timed_out": self.admission.stats.timed_out,
+            }
+            return status
+        if method == "shutdown":
+            return {"stopping": True}
+        if method == "rank":
+            top_k, sort_by = parse_sort_and_k(params)
+            return self.engine.rank(
+                pairs=parse_pairs(params.get("pairs")),
+                top_k=top_k,
+                sort_by=sort_by,
+                config_overrides=parse_config_overrides(params.get("config")),
+                on_insufficient=params.get("on_insufficient", "keep"),
+            )
+        if method == "topk":
+            if "k" not in params:
+                raise BadRequestError("topk requires an integer 'k'")
+            try:
+                k = int(params["k"])
+            except (TypeError, ValueError) as exc:
+                raise BadRequestError(
+                    f"topk 'k' must be an integer, got {params['k']!r}"
+                ) from exc
+            _top_k, sort_by = parse_sort_and_k(params)
+            return self.engine.topk(
+                k,
+                pairs=parse_pairs(params.get("pairs")),
+                sort_by=sort_by,
+                config_overrides=parse_config_overrides(params.get("config")),
+                on_insufficient=params.get("on_insufficient", "keep"),
+            )
+        if method == "stream":
+            deltas = params.get("deltas")
+            if not isinstance(deltas, list):
+                raise BadRequestError(
+                    "stream requires 'deltas': a list of delta records"
+                )
+            return self.engine.commit(deltas)
+        raise BadRequestError(f"unknown method {method!r}")

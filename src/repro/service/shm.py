@@ -1,0 +1,329 @@
+"""Shared-memory publication of arrays, datasets and density matrices.
+
+The persistent pool's workers live across many requests, so per-call state
+must cross the process boundary without pickling whole graphs.  Everything
+here moves through :mod:`multiprocessing.shared_memory` blocks:
+
+* :func:`publish_array` copies one ndarray into a fresh segment and returns a
+  picklable :class:`ArrayRef` (name + shape + dtype) that any process can
+  attach;
+* :func:`publish_dataset` publishes an attributed graph (CSR arrays plus the
+  event layer) once per ``(structure_version, events.version)`` and memoises
+  the handle on the graph object, so repeated parallel calls — and fresh
+  engines over the same graph — reuse the same blocks;
+* workers rebuild graphs/matrices from refs through small bounded caches, so
+  a warm pool touches shared memory only on version changes.
+
+Segment names all start with :data:`SHM_PREFIX`, which is what the lifecycle
+tests grep ``/dev/shm`` for when asserting nothing leaked.
+
+CPython 3.11 quirk: ``SharedMemory(name=..., create=False)`` *registers* the
+segment with the resource tracker even though the attaching process does not
+own it (fixed by the ``track=`` parameter only in 3.13).  Forked workers
+share the parent's tracker process, whose cache is a set — so an attach-side
+register collapses into the parent's own registration, and *unregistering*
+after attach (the obvious workaround) would delete the parent's entry and
+make the eventual unlink blow up inside the tracker.  :func:`attach`
+therefore suppresses registration during the attach itself; only the
+creating process (via :class:`ShmRegistry`) registers and unlinks.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Prefix of every segment this package creates (lifecycle tests key on it).
+SHM_PREFIX = "tesc_"
+
+
+def _new_segment_name(tag: str) -> str:
+    return f"{SHM_PREFIX}{tag}_{uuid.uuid4().hex[:12]}"
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A picklable handle to one ndarray living in a shared-memory segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+#: Serialises the brief windows in which attach() disables the tracker's
+#: register hook, so a concurrent create on another thread cannot slip its
+#: (legitimate) registration into the gap.
+_TRACKER_LOCK = threading.Lock()
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its ownership."""
+    with _TRACKER_LOCK:
+        # Suppress the unconditional 3.11 attach-side registration (see
+        # module docstring); 3.13+ would spell this ``track=False``.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *_args, **_kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original_register
+
+
+def read_array(ref: ArrayRef) -> np.ndarray:
+    """Attach, copy out the array, and detach immediately.
+
+    The copy decouples the returned array's lifetime from the segment's, so
+    callers never hold views into memory another process may unlink.
+    """
+    segment = attach(ref.name)
+    try:
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+        return np.array(view, copy=True)
+    finally:
+        segment.close()
+
+
+class WriteSlot:
+    """A writable view into a published array, closed explicitly.
+
+    Used by density workers to deposit their column shard directly into the
+    parent-created counts/sizes blocks — results come back through shared
+    memory, never through pickles.
+    """
+
+    def __init__(self, ref: ArrayRef) -> None:
+        self._segment = attach(ref.name)
+        self.array = np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=self._segment.buf
+        )
+
+    def close(self) -> None:
+        # Drop the view before closing: a live exported buffer would make
+        # SharedMemory.close raise BufferError.
+        self.array = None
+        self._segment.close()
+
+    def __enter__(self) -> "WriteSlot":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class ShmRegistry:
+    """Owner-side ledger of created segments.
+
+    Every segment the process creates is recorded here; :meth:`release`
+    unlinks one, :meth:`unlink_all` sweeps everything (wired to
+    :mod:`atexit`, and called explicitly by server shutdown and the engines'
+    ``close``).  Only the creating process ever unlinks — attachers go
+    through :func:`attach`, which never takes ownership.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._pid = os.getpid()
+
+    def create(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
+        with _TRACKER_LOCK:  # keep our registration out of attach()'s window
+            segment = shared_memory.SharedMemory(
+                name=_new_segment_name(tag), create=True, size=max(int(nbytes), 1)
+            )
+        self._segments[segment.name] = segment
+        return segment
+
+    def publish_array(self, array: np.ndarray, tag: str = "arr") -> ArrayRef:
+        """Copy ``array`` into a fresh segment and return its handle."""
+        array = np.ascontiguousarray(array)
+        segment = self.create(tag, array.nbytes)
+        if array.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            del view
+        return ArrayRef(name=segment.name, shape=tuple(array.shape), dtype=array.dtype.str)
+
+    def alloc_array(self, shape: Tuple[int, ...], dtype, tag: str = "buf") -> ArrayRef:
+        """Create a zero-filled shared array for workers to write into."""
+        dtype = np.dtype(dtype)
+        nbytes = int(dtype.itemsize * np.prod(shape, dtype=np.int64))
+        segment = self.create(tag, nbytes)
+        return ArrayRef(name=segment.name, shape=tuple(int(s) for s in shape),
+                        dtype=dtype.str)
+
+    def release(self, name: str) -> None:
+        """Unlink one owned segment (idempotent)."""
+        segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - caller kept a live view
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def release_ref(self, ref: Optional[ArrayRef]) -> None:
+        if ref is not None:
+            self.release(ref.name)
+
+    def unlink_all(self) -> None:
+        """Unlink every owned segment (safe to call repeatedly)."""
+        if os.getpid() != self._pid:
+            # A forked child inherited this registry; the parent still owns
+            # the segments, so the child must not unlink them.
+            self._segments.clear()
+            return
+        for name in list(self._segments):
+            self.release(name)
+
+    @property
+    def num_owned(self) -> int:
+        return len(self._segments)
+
+
+#: The process-wide registry used by the engines and the server.
+GLOBAL_REGISTRY = ShmRegistry()
+atexit.register(GLOBAL_REGISTRY.unlink_all)
+
+
+def publish_array(array: np.ndarray, tag: str = "arr") -> ArrayRef:
+    """Publish one array through the process-wide registry."""
+    return GLOBAL_REGISTRY.publish_array(array, tag)
+
+
+def alloc_array(shape: Tuple[int, ...], dtype, tag: str = "buf") -> ArrayRef:
+    """Allocate a zero-filled shared array through the process-wide registry."""
+    return GLOBAL_REGISTRY.alloc_array(shape, dtype, tag)
+
+
+def release_ref(ref: Optional[ArrayRef]) -> None:
+    """Unlink one array published through the process-wide registry."""
+    GLOBAL_REGISTRY.release_ref(ref)
+
+
+# -- dataset publication ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DatasetRef:
+    """Picklable handle to one published attributed graph.
+
+    ``token`` identifies the publication (fresh per graph version), which is
+    what worker-side caches key on; the array refs carry the CSR adjacency
+    and the event layer as ``(concatenated nodes, offsets, names)``.
+    """
+
+    token: str
+    indptr: ArrayRef
+    indices: ArrayRef
+    event_nodes: ArrayRef
+    event_offsets: ArrayRef
+    event_names: Tuple[str, ...]
+
+
+#: Attribute under which a graph's live publication is memoised.
+_PUBLICATION_ATTR = "_service_shm_publication"
+
+
+def publish_dataset(attributed, registry: Optional[ShmRegistry] = None) -> DatasetRef:
+    """Publish ``attributed`` to shared memory, memoised per version.
+
+    The handle is cached on the graph object keyed by
+    ``(structure_version, events.version)``; commits that change either
+    version republish (and unlink the stale blocks), while repeated parallel
+    calls — even from freshly constructed engines — reuse the same segments.
+    """
+    registry = registry if registry is not None else GLOBAL_REGISTRY
+    version = (
+        int(getattr(attributed, "structure_version", 0)),
+        int(attributed.events.version),
+    )
+    cached = getattr(attributed, _PUBLICATION_ATTR, None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    if cached is not None:
+        unpublish_dataset(attributed, registry)
+    csr = attributed.csr
+    names = tuple(attributed.event_names())
+    arrays = [attributed.event_nodes(name) for name in names]
+    offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+    if arrays:
+        offsets[1:] = np.cumsum([array.size for array in arrays])
+        nodes = np.concatenate(arrays) if offsets[-1] else np.empty(0, np.int64)
+    else:
+        nodes = np.empty(0, np.int64)
+    ref = DatasetRef(
+        token=uuid.uuid4().hex,
+        indptr=registry.publish_array(np.asarray(csr.indptr), "indptr"),
+        indices=registry.publish_array(np.asarray(csr.indices), "indices"),
+        event_nodes=registry.publish_array(nodes.astype(np.int64, copy=False), "evnodes"),
+        event_offsets=registry.publish_array(offsets, "evoffs"),
+        event_names=names,
+    )
+    setattr(attributed, _PUBLICATION_ATTR, (version, ref))
+    return ref
+
+
+def unpublish_dataset(attributed, registry: Optional[ShmRegistry] = None) -> None:
+    """Unlink a graph's published blocks (no-op when never published)."""
+    registry = registry if registry is not None else GLOBAL_REGISTRY
+    cached = getattr(attributed, _PUBLICATION_ATTR, None)
+    if cached is None:
+        return
+    _version, ref = cached
+    for array_ref in (ref.indptr, ref.indices, ref.event_nodes, ref.event_offsets):
+        registry.release_ref(array_ref)
+    setattr(attributed, _PUBLICATION_ATTR, None)
+
+
+# -- worker-side dataset cache ------------------------------------------------
+
+#: token -> (AttributedGraph, BFSEngine); bounded so long-lived workers do
+#: not accumulate every graph version they ever served.
+_DATASET_CACHE: "OrderedDict[str, tuple]" = OrderedDict()
+MAX_CACHED_DATASETS = 4
+
+
+def materialise_dataset(ref: DatasetRef):
+    """Rebuild ``(attributed, bfs_engine)`` from a dataset ref, cached.
+
+    Arrays are copied out of shared memory once per publication token; the
+    resulting graph (with its warm indicator and BFS caches) then serves
+    every task of every request until the parent publishes a new version.
+    """
+    cached = _DATASET_CACHE.get(ref.token)
+    if cached is not None:
+        _DATASET_CACHE.move_to_end(ref.token)
+        return cached
+    from repro.events.attributed_graph import AttributedGraph
+    from repro.graph.csr import CSRGraph
+    from repro.graph.traversal import BFSEngine
+
+    indptr = read_array(ref.indptr)
+    indices = read_array(ref.indices)
+    nodes = read_array(ref.event_nodes)
+    offsets = read_array(ref.event_offsets)
+    mapping = {
+        name: nodes[offsets[position]:offsets[position + 1]]
+        for position, name in enumerate(ref.event_names)
+    }
+    attributed = AttributedGraph(CSRGraph(indptr, indices), mapping)
+    entry = (attributed, BFSEngine(attributed.csr))
+    while len(_DATASET_CACHE) >= MAX_CACHED_DATASETS:
+        _DATASET_CACHE.popitem(last=False)
+    _DATASET_CACHE[ref.token] = entry
+    return entry

@@ -15,9 +15,10 @@ what the committed deltas dirtied:
   structure or the monitored universe changed, exactly as a from-scratch
   engine would, and reuses the previous draw otherwise;
 * only pairs whose restricted density inputs actually changed are
-  **re-scored** (optionally sharded over a process pool with ``workers=N``
-  via :func:`~repro.core.parallel.estimate_matrix_shard`); untouched pairs
-  keep their previous statistics and are merely re-ranked.
+  **re-scored** (optionally sharded over the persistent worker pool with
+  ``workers=N`` via
+  :func:`~repro.core.parallel.estimate_matrix_pairs_sharded`); untouched
+  pairs keep their previous statistics and are merely re-ranked.
 
 Because every cached quantity is integer-exact and the float assembly
 (:func:`~repro.core.density.densities_from_counts`) and per-pair arithmetic
@@ -29,9 +30,7 @@ static graph with the same seed — the property the equivalence suite asserts.
 
 from __future__ import annotations
 
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -52,9 +51,8 @@ from repro.core.batch import (
 from repro.core.config import TescConfig
 from repro.core.density import DensityMatrix, densities_from_counts
 from repro.core.parallel import (
-    estimate_matrix_shard,
+    estimate_matrix_pairs_sharded,
     resolve_workers,
-    shard_pairs,
 )
 from repro.exceptions import ConfigurationError, InsufficientSampleError
 from repro.graph.traversal import BFSEngine
@@ -297,17 +295,16 @@ class ContinuousRanker:
         self._prev_results: Dict[Tuple[str, str], RankedPair] = {}
         self._graph_version = dynamic.structure_version
         self._events_version = dynamic.events.version
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self._executor_workers = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the re-scoring worker pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-            self._executor_workers = 0
+        """Release ranker-held resources (idempotent).
+
+        Parallel re-scoring runs on the process-wide persistent pool, which
+        deliberately outlives individual rankers, so there is nothing
+        pool-shaped to tear down here.
+        """
 
     def __enter__(self) -> "ContinuousRanker":
         return self
@@ -532,19 +529,6 @@ class ContinuousRanker:
                 clean.append(pair)
         return dirty, clean
 
-    def _ensure_executor(self, workers: int) -> ProcessPoolExecutor:
-        if self._executor is not None and self._executor_workers < workers:
-            self.close()
-        if self._executor is None:
-            available = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in available else None
-            self._executor = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=multiprocessing.get_context(method),
-            )
-            self._executor_workers = workers
-        return self._executor
-
     def _estimate(
         self,
         pair_list: List[Tuple[str, str]],
@@ -559,21 +543,12 @@ class ContinuousRanker:
         row_of = {event: row for row, event in enumerate(events)}
         with timer.lap("estimates"):
             if workers > 1 and len(pair_list) >= 2:
-                shards = shard_pairs(pair_list, workers)
-                config_kwargs = asdict(cfg)
-                config_kwargs["random_state"] = None
-                executor = self._ensure_executor(min(workers, len(shards)))
-                futures = [
-                    executor.submit(
-                        estimate_matrix_shard, matrix, row_of, shard,
-                        config_kwargs, self.on_insufficient,
-                    )
-                    for shard in shards
-                ]
-                results: List[RankedPair] = []
-                for future in futures:
-                    results.extend(future.result())
-                return results
+                from repro.service.pool import global_pool
+
+                return estimate_matrix_pairs_sharded(
+                    global_pool(), matrix, row_of, pair_list, cfg,
+                    self.on_insufficient, workers,
+                )
             # batcher=None: score each pair on its restricted density
             # vectors directly.  Numerically identical to the engine's
             # shared-rank-vector path, but skips the per-event rank encoding

@@ -1,0 +1,49 @@
+"""Shared fixtures for the correlation-service suites."""
+
+import glob
+import os
+
+import pytest
+
+from repro.core.config import TescConfig
+from repro.datasets.synthetic_dblp import make_dblp_like
+from repro.service.pool import shutdown_global_pool
+from repro.streaming.dynamic_graph import DynamicAttributedGraph
+
+
+def shm_segments():
+    """Names of the service's live shared-memory segments (``/dev/shm``)."""
+    return sorted(os.path.basename(path) for path in glob.glob("/dev/shm/tesc_*"))
+
+
+@pytest.fixture(scope="module")
+def service_dataset():
+    """A small DBLP-like attributed graph plus a matching config."""
+    dataset = make_dblp_like(
+        num_communities=10,
+        community_size=30,
+        num_positive_pairs=4,
+        num_negative_pairs=3,
+        num_background_keywords=10,
+        random_state=11,
+    )
+    config = TescConfig(vicinity_level=1, sample_size=200, random_state=17)
+    return dataset, config
+
+
+@pytest.fixture()
+def dynamic_graph(service_dataset):
+    """A fresh dynamic copy of the dataset's graph (mutable per test)."""
+    dataset, _config = service_dataset
+    attributed = dataset.attributed
+    return DynamicAttributedGraph(
+        attributed.csr,
+        {name: attributed.event_nodes(name) for name in attributed.event_names()},
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shutdown_pool_after_session():
+    """Leave no worker processes behind once the test session finishes."""
+    yield
+    shutdown_global_pool()

@@ -1,0 +1,169 @@
+"""Epoch-keyed result caching: no interleaving may ever serve stale data.
+
+The service caches per-``(pair, config, universe, epoch)`` results, so the
+property that matters is: after ANY sequence of stream commits and rank
+queries, every answer is bit-identical to a fresh from-scratch static
+ranking of the graph *as it stands at that moment*.  The suites below drive
+randomised interleavings (seeded, reproducible) plus the targeted cases —
+cache hits within an epoch, invalidation across epochs, no-op commits.
+"""
+
+import random
+
+import pytest
+
+from repro.service.engine import ServiceEngine, pair_record
+
+
+def reference_records(engine, pairs):
+    """What a fresh serial in-process engine answers right now."""
+    return [pair_record(pair) for pair in engine.reference_ranking(pairs)]
+
+
+def random_delta(rng, event_names, num_nodes):
+    kind = rng.randrange(4)
+    if kind == 0:
+        return {
+            "op": "event_attach",
+            "event": rng.choice(event_names),
+            "node": rng.randrange(num_nodes),
+        }
+    if kind == 1:
+        return {
+            "op": "event_detach",
+            "event": rng.choice(event_names),
+            "node": rng.randrange(num_nodes),
+        }
+    u = rng.randrange(num_nodes)
+    v = rng.randrange(num_nodes)
+    if u == v:
+        v = (v + 1) % num_nodes
+    op = "edge_add" if kind == 2 else "edge_remove"
+    return {"op": op, "u": u, "v": v}
+
+
+class TestEpochCacheProperty:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_interleavings_never_serve_stale_results(
+        self, seed, dynamic_graph, service_dataset
+    ):
+        """Randomised commit/rank interleaving: every rank answer must match
+        a fresh static ranking at the answering epoch, bit for bit."""
+        _dataset, config = service_dataset
+        rng = random.Random(seed)
+        engine = ServiceEngine(dynamic_graph, config)
+        event_names = dynamic_graph.event_names()
+        num_nodes = dynamic_graph.num_nodes
+        all_pairs = [
+            (event_names[i], event_names[j])
+            for i in range(0, len(event_names), 3)
+            for j in range(1, len(event_names), 5)
+            if event_names[i] != event_names[j]
+        ][:12]
+
+        queries = 0
+        for _step in range(24):
+            if rng.random() < 0.4:
+                deltas = [
+                    random_delta(rng, event_names, num_nodes)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                engine.commit(deltas)
+            else:
+                pairs = rng.sample(all_pairs, k=rng.randint(1, 4))
+                result = engine.rank(pairs)
+                assert result["pairs"] == reference_records(engine, pairs)
+                assert result["epoch"] == engine.current_epoch()
+                queries += 1
+        assert queries > 0
+        # The interleaving must actually have exercised the cache.
+        assert engine.stats.pair_cache_misses > 0
+        engine.close()
+
+    def test_same_epoch_queries_hit_the_cache(self, dynamic_graph, service_dataset):
+        _dataset, config = service_dataset
+        engine = ServiceEngine(dynamic_graph, config)
+        names = dynamic_graph.event_names()
+        pairs = [(names[0], names[1]), (names[2], names[3])]
+        first = engine.rank(pairs)
+        assert first["computed_pairs"] == 2 and first["cached_pairs"] == 0
+        second = engine.rank(pairs)
+        assert second["cached_pairs"] == 2 and second["computed_pairs"] == 0
+        assert second["pairs"] == first["pairs"]
+        # A subset request spans a different event universe, so it draws a
+        # different shared reference sample: the cache must NOT conflate the
+        # two, and the recomputed answer must still match a fresh engine.
+        subset = engine.rank(pairs[:1])
+        assert subset["cached_pairs"] == 0 and subset["computed_pairs"] == 1
+        assert subset["pairs"] == reference_records(engine, pairs[:1])
+        engine.close()
+
+    def test_commit_invalidates_exactly_by_epoch(
+        self, dynamic_graph, service_dataset
+    ):
+        """A commit that changes a watched event's occurrences must change
+        the served answer; the stale epoch's entries are never reused."""
+        _dataset, config = service_dataset
+        engine = ServiceEngine(dynamic_graph, config)
+        names = dynamic_graph.event_names()
+        pairs = [(names[0], names[1])]
+        before = engine.rank(pairs)
+        # Toggle many occurrences of a watched event: the restricted
+        # population shifts, so a correct answer must be recomputed.
+        occupied = set(dynamic_graph.event_nodes(names[0]).tolist())
+        free = [n for n in range(dynamic_graph.num_nodes) if n not in occupied]
+        engine.commit(
+            [{"op": "event_attach", "event": names[0], "node": n}
+             for n in free[:40]]
+        )
+        after = engine.rank(pairs)
+        assert after["epoch"] == before["epoch"] + 1
+        assert after["cached_pairs"] == 0  # nothing reused across the epoch
+        assert after["pairs"] == reference_records(engine, pairs)
+        record_before = before["pairs"][0]
+        record_after = after["pairs"][0]
+        assert (
+            record_before["num_reference_nodes"]
+            != record_after["num_reference_nodes"]
+            or record_before["score"] != record_after["score"]
+        )
+        engine.close()
+
+    def test_noop_commit_still_safe(self, dynamic_graph, service_dataset):
+        """Attach of an existing occurrence nets to nothing; whether or not
+        the epoch moves, answers must stay correct and bit-identical."""
+        _dataset, config = service_dataset
+        engine = ServiceEngine(dynamic_graph, config)
+        names = dynamic_graph.event_names()
+        node = int(dynamic_graph.event_nodes(names[0])[0])
+        pairs = [(names[0], names[1])]
+        before = engine.rank(pairs)
+        engine.commit([{"op": "event_attach", "event": names[0], "node": node}])
+        after = engine.rank(pairs)
+        assert after["pairs"] == reference_records(engine, pairs)
+        assert [r["score"] for r in after["pairs"]] == [
+            r["score"] for r in before["pairs"]
+        ]
+        engine.close()
+
+    def test_topk_cache_respects_epochs(self, dynamic_graph, service_dataset):
+        _dataset, config = service_dataset
+        engine = ServiceEngine(dynamic_graph, config)
+        names = dynamic_graph.event_names()
+        first = engine.topk(3)
+        again = engine.topk(3)
+        assert again is first or again == first
+        assert engine.stats.topk_cache_hits == 1
+        reference = engine.reference_ranking("all", top_k=3)
+        assert first["pairs"] == [pair_record(pair) for pair in reference]
+        occupied = set(dynamic_graph.event_nodes(names[0]).tolist())
+        free = [n for n in range(dynamic_graph.num_nodes) if n not in occupied]
+        engine.commit(
+            [{"op": "event_attach", "event": names[0], "node": n}
+             for n in free[:30]]
+        )
+        fresh = engine.topk(3)
+        assert fresh["epoch"] == first["epoch"] + 1
+        reference = engine.reference_ranking("all", top_k=3)
+        assert fresh["pairs"] == [pair_record(pair) for pair in reference]
+        engine.close()

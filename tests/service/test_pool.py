@@ -1,0 +1,153 @@
+"""Persistent pool: dispatch, crash recovery, and the pooled density pass."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.batch import event_universe, make_config_sampler
+from repro.core.density import DensityComputer
+from repro.service.pool import (
+    PersistentWorkerPool,
+    WorkerCrashedError,
+    pooled_density_matrix,
+)
+
+from tests.service.conftest import shm_segments
+
+
+def _double(value):
+    return value * 2
+
+
+def _crash_unless_marked(flag_path, value):
+    """Die hard on the first run; succeed once the flag file exists.
+
+    Models a worker killed mid-task (OOM, SIGKILL): ``os._exit`` skips all
+    cleanup, so the executor sees a vanished process and breaks.
+    """
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w"):
+            pass
+        os._exit(1)
+    return value
+
+
+def _always_crash():
+    os._exit(1)
+
+
+@pytest.fixture()
+def pool():
+    instance = PersistentWorkerPool()
+    yield instance
+    instance.shutdown()
+
+
+class TestRunTasks:
+    def test_results_preserve_submission_order(self, pool):
+        results = pool.run_tasks(_double, [(i,) for i in range(7)], workers=2)
+        assert results == [0, 2, 4, 6, 8, 10, 12]
+        assert pool.stats.batches_dispatched == 1
+        assert pool.stats.tasks_dispatched == 7
+
+    def test_empty_batch_never_spawns(self, pool):
+        assert pool.run_tasks(_double, [], workers=4) == []
+        assert not pool.running
+        assert pool.stats.pools_spawned == 0
+
+    def test_grow_only(self, pool):
+        pool.ensure(2)
+        assert pool.workers == 2
+        spawned = pool.stats.pools_spawned
+        pool.ensure(1)  # never shrinks
+        assert pool.workers == 2
+        assert pool.stats.pools_spawned == spawned
+        pool.ensure(3)  # growing re-forks
+        assert pool.workers == 3
+        assert pool.stats.pools_spawned == spawned + 1
+
+    def test_shutdown_then_reuse(self, pool):
+        pool.run_tasks(_double, [(1,)], workers=1)
+        pool.shutdown()
+        assert not pool.running and pool.workers == 0
+        assert pool.run_tasks(_double, [(2,)], workers=1) == [4]
+
+
+class TestCrashRecovery:
+    def test_killed_worker_respawned_without_wedging(self, pool, tmp_path):
+        """One worker death mid-batch: the pool rebuilds itself and the
+        in-flight batch is resubmitted and completes — no hang, no error."""
+        flag = str(tmp_path / "crashed-once")
+        results = pool.run_tasks(
+            _crash_unless_marked, [(flag, 11), (flag, 22)], workers=2
+        )
+        assert results == [11, 22]
+        assert pool.stats.crashes_recovered == 1
+        assert pool.running
+
+    def test_repeated_crashes_surface_cleanly(self, pool):
+        with pytest.raises(WorkerCrashedError):
+            pool.run_tasks(_always_crash, [(), ()], workers=2)
+        # The failure left a fresh pool behind, not a wedged one.
+        assert pool.running
+        assert pool.run_tasks(_double, [(3,)], workers=1) == [6]
+
+    def test_crash_leaves_no_shared_memory(self, pool):
+        before = shm_segments()
+        with pytest.raises(WorkerCrashedError):
+            pool.run_tasks(_always_crash, [()], workers=1)
+        assert shm_segments() == before
+
+
+class TestPooledDensity:
+    def test_matches_serial_density_pass_exactly(self, pool, service_dataset):
+        """Column-sharded counts/sizes/densities are bit-identical to the
+        one-shot serial pass, for any shard count."""
+        dataset, config = service_dataset
+        attributed = dataset.attributed
+        events = sorted(attributed.event_names())[:12]
+        universe = event_universe(attributed, events)
+        sample = make_config_sampler(attributed, config).sample(
+            universe, config.vicinity_level, config.sample_size
+        )
+        indicators = attributed.indicator_matrix(events)
+        serial = DensityComputer(attributed.csr).density_matrix(
+            sample.nodes, indicators, config.vicinity_level
+        )
+        for workers in (1, 2, 3):
+            matrix, bfs_calls = pooled_density_matrix(
+                pool, attributed, sample.nodes, events,
+                config.vicinity_level, workers,
+            )
+            np.testing.assert_array_equal(matrix.counts, serial.counts)
+            np.testing.assert_array_equal(
+                matrix.vicinity_sizes, serial.vicinity_sizes
+            )
+            np.testing.assert_array_equal(matrix.densities, serial.densities)
+            assert bfs_calls > 0
+
+    def test_transient_blocks_released(self, pool, service_dataset):
+        """Per-call blocks (sample, counts, sizes) are unlinked after each
+        pass; only the memoised dataset publication stays live."""
+        from repro.service.shm import unpublish_dataset
+
+        dataset, config = service_dataset
+        attributed = dataset.attributed
+        events = sorted(attributed.event_names())[:6]
+        universe = event_universe(attributed, events)
+        sample = make_config_sampler(attributed, config).sample(
+            universe, config.vicinity_level, 50
+        )
+        before = shm_segments()
+        pooled_density_matrix(
+            pool, attributed, sample.nodes, events, config.vicinity_level, 2
+        )
+        after = shm_segments()
+        created = set(after) - set(before)
+        assert all(
+            name.split("_")[1] in ("indptr", "indices", "evnodes", "evoffs")
+            for name in created
+        )
+        unpublish_dataset(attributed)
+        assert set(shm_segments()) <= set(before)

@@ -1,0 +1,156 @@
+"""Server protocol edge cases, lifecycle, and shared-memory hygiene."""
+
+import errno
+import json
+import socket
+import time
+
+import pytest
+
+from repro.service.client import CorrelationClient
+from repro.service.protocol import BadRequestError, RemoteError
+from repro.service.server import CorrelationServer
+from repro.streaming.dynamic_graph import DynamicAttributedGraph
+
+from tests.service.conftest import shm_segments
+
+
+@pytest.fixture()
+def static_server(service_dataset):
+    dataset, config = service_dataset
+    with CorrelationServer(dataset.attributed, config, workers=1) as server:
+        yield server
+
+
+def raw_exchange(address, payload: bytes) -> dict:
+    """Send raw bytes over a fresh socket, return the decoded response."""
+    with socket.create_connection(address, timeout=30) as sock:
+        sock.sendall(payload)
+        with sock.makefile("rb") as reader:
+            line = reader.readline()
+    assert line, "server closed the connection without answering"
+    return json.loads(line.decode("utf-8"))
+
+
+class TestProtocolEdges:
+    def test_malformed_json_gets_400_not_disconnect(self, static_server):
+        response = raw_exchange(static_server.address, b"this is not json\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == 400
+        assert response["id"] is None
+
+    def test_non_object_message_gets_400(self, static_server):
+        response = raw_exchange(static_server.address, b"[1, 2, 3]\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == 400
+
+    def test_request_id_echoed_on_errors(self, static_server):
+        payload = json.dumps({"id": 42, "method": "nope", "params": {}})
+        response = raw_exchange(static_server.address, payload.encode() + b"\n")
+        assert response["id"] == 42
+        assert response["ok"] is False
+        assert response["error"]["code"] == 400
+
+    def test_missing_method_gets_400(self, static_server):
+        payload = json.dumps({"id": 1, "params": {}})
+        response = raw_exchange(static_server.address, payload.encode() + b"\n")
+        assert response["error"]["code"] == 400
+
+    def test_connection_survives_a_bad_request(self, static_server):
+        """One bad line must not poison the connection for the next request."""
+        host, port = static_server.address
+        with CorrelationClient(host, port) as client:
+            with pytest.raises(BadRequestError):
+                client.request("rank", {"pairs": [["no_such_event", "also_no"]]})
+            assert client.ping()
+
+    def test_unknown_event_and_bad_config_are_400(self, static_server):
+        host, port = static_server.address
+        with CorrelationClient(host, port) as client:
+            with pytest.raises(BadRequestError):
+                client.rank([("ghost_event", "bg_0")])
+            with pytest.raises(BadRequestError):
+                client.rank("all", config={"not_a_field": 3})
+            with pytest.raises(BadRequestError):
+                client.request("topk", {"k": "three"})
+            with pytest.raises(BadRequestError):
+                client.request("topk", {})  # k missing entirely
+
+    def test_static_graph_rejects_stream(self, static_server):
+        host, port = static_server.address
+        with CorrelationClient(host, port) as client:
+            with pytest.raises(BadRequestError):
+                client.stream([{"op": "edge_add", "u": 0, "v": 5}])
+
+
+class TestStatusAndLifecycle:
+    def test_status_reports_admission_and_engine_state(self, static_server):
+        host, port = static_server.address
+        with CorrelationClient(host, port) as client:
+            status = client.status()
+            assert status["dynamic"] is False
+            assert status["epoch"] == 0
+            assert status["admission"]["max_concurrency"] == 4
+            assert status["admission"]["running"] == 0
+            client.rank([("bg_0", "bg_1")])
+            status = client.status()
+            assert status["admission"]["admitted"] == 1
+            assert status["stats"]["rank_requests"] == 1
+            assert status["cached_pair_results"] == 1
+
+    def test_shutdown_stops_accepting(self, service_dataset):
+        dataset, config = service_dataset
+        server = CorrelationServer(dataset.attributed, config, workers=1)
+        server.start()
+        host, port = server.address
+        with CorrelationClient(host, port) as client:
+            assert client.shutdown()["stopping"] is True
+        assert server._stopping.wait(timeout=30)
+        server.close()  # idempotent with the shutdown-triggered teardown
+        # The shutdown-triggered teardown runs on its own thread; give the
+        # listener a bounded window to actually disappear from the port.
+        deadline = time.monotonic() + 30
+        refused = False
+        while time.monotonic() < deadline:
+            try:
+                with socket.create_connection((host, port), timeout=5):
+                    pass
+            except OSError as exc:
+                assert exc.errno in (
+                    errno.ECONNREFUSED, errno.ECONNRESET, errno.ETIMEDOUT
+                )
+                refused = True
+                break
+            time.sleep(0.05)
+        assert refused, "listener still accepting 30s after shutdown"
+
+    def test_close_leaves_no_shared_memory(self, service_dataset):
+        dataset, config = service_dataset
+        attributed = dataset.attributed
+        graph = DynamicAttributedGraph(
+            attributed.csr,
+            {name: attributed.event_nodes(name)
+             for name in attributed.event_names()},
+        )
+        before = shm_segments()
+        server = CorrelationServer(graph, config, workers=2)
+        server.start()
+        host, port = server.address
+        with CorrelationClient(host, port) as client:
+            client.rank([("bg_0", "bg_1"), ("bg_2", "pos_a_0")])
+            client.stream([{"op": "event_attach", "event": "bg_0", "node": 1}])
+            client.rank([("bg_0", "bg_1")])
+        server.close()
+        assert shm_segments() == before
+
+    def test_client_raises_remote_error_after_server_gone(self, service_dataset):
+        dataset, config = service_dataset
+        server = CorrelationServer(dataset.attributed, config, workers=1)
+        server.start()
+        host, port = server.address
+        client = CorrelationClient(host, port)
+        assert client.ping()
+        server.close()
+        with pytest.raises(RemoteError):
+            client.ping()
+        client.close()

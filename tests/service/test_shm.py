@@ -1,0 +1,115 @@
+"""Shared-memory layer: publication, lifecycle, and leak-freedom."""
+
+import numpy as np
+import pytest
+
+from repro.service.shm import (
+    SHM_PREFIX,
+    ShmRegistry,
+    WriteSlot,
+    materialise_dataset,
+    publish_dataset,
+    read_array,
+    unpublish_dataset,
+)
+from repro.streaming.delta import Delta
+
+from tests.service.conftest import shm_segments
+
+
+class TestRegistry:
+    def test_publish_read_round_trip(self):
+        registry = ShmRegistry()
+        array = np.arange(24, dtype=np.float64).reshape(4, 6) * 0.5
+        ref = registry.publish_array(array, "t")
+        try:
+            assert ref.name.startswith(SHM_PREFIX)
+            assert ref.shape == (4, 6)
+            out = read_array(ref)
+            np.testing.assert_array_equal(out, array)
+            # The copy is decoupled from the segment.
+            out[0, 0] = -1.0
+            np.testing.assert_array_equal(read_array(ref), array)
+        finally:
+            registry.unlink_all()
+
+    def test_alloc_and_write_slot(self):
+        registry = ShmRegistry()
+        ref = registry.alloc_array((3, 5), np.int64, "buf")
+        try:
+            np.testing.assert_array_equal(read_array(ref), np.zeros((3, 5), np.int64))
+            with WriteSlot(ref) as slot:
+                slot.array[1, :] = 7
+            expected = np.zeros((3, 5), np.int64)
+            expected[1, :] = 7
+            np.testing.assert_array_equal(read_array(ref), expected)
+        finally:
+            registry.unlink_all()
+
+    def test_release_and_unlink_all_remove_segments(self):
+        before = shm_segments()
+        registry = ShmRegistry()
+        first = registry.publish_array(np.arange(10), "a")
+        second = registry.publish_array(np.arange(5), "b")
+        assert registry.num_owned == 2
+        assert len(shm_segments()) == len(before) + 2
+        registry.release(first.name)
+        registry.release(first.name)  # idempotent
+        assert registry.num_owned == 1
+        registry.unlink_all()
+        registry.unlink_all()  # idempotent
+        assert registry.num_owned == 0
+        assert shm_segments() == before
+        with pytest.raises(FileNotFoundError):
+            read_array(second)
+
+    def test_empty_array_publishes(self):
+        registry = ShmRegistry()
+        ref = registry.publish_array(np.empty(0, dtype=np.int64), "empty")
+        try:
+            assert read_array(ref).size == 0
+        finally:
+            registry.unlink_all()
+
+
+class TestDatasetPublication:
+    def test_memoised_per_version_and_republished_on_change(self, dynamic_graph):
+        before = shm_segments()
+        first = publish_dataset(dynamic_graph)
+        again = publish_dataset(dynamic_graph)
+        assert again is first  # same version -> same publication, no new blocks
+        created = set(shm_segments()) - set(before)
+        assert len(created) == 4  # indptr, indices, event nodes, offsets
+
+        event = dynamic_graph.event_names()[0]
+        dynamic_graph.apply([Delta.event_attach(event, 1)])
+        republished = publish_dataset(dynamic_graph)
+        assert republished.token != first.token
+        # The stale blocks were unlinked, the new ones are live.
+        with pytest.raises(FileNotFoundError):
+            read_array(first.indptr)
+        assert read_array(republished.indptr).size > 0
+
+        unpublish_dataset(dynamic_graph)
+        unpublish_dataset(dynamic_graph)  # idempotent
+        assert shm_segments() == before
+
+    def test_materialise_rebuilds_identical_graph(self, dynamic_graph):
+        ref = publish_dataset(dynamic_graph)
+        try:
+            rebuilt, engine = materialise_dataset(ref)
+            np.testing.assert_array_equal(
+                rebuilt.csr.indptr, dynamic_graph.csr.indptr
+            )
+            np.testing.assert_array_equal(
+                rebuilt.csr.indices, dynamic_graph.csr.indices
+            )
+            assert rebuilt.event_names() == dynamic_graph.event_names()
+            for name in dynamic_graph.event_names():
+                np.testing.assert_array_equal(
+                    rebuilt.event_nodes(name), dynamic_graph.event_nodes(name)
+                )
+            # Cached per token: the same ref materialises to the same object.
+            assert materialise_dataset(ref)[0] is rebuilt
+        finally:
+            unpublish_dataset(dynamic_graph)
