@@ -25,7 +25,7 @@ from repro.graph.traversal import BFSEngine
 from repro.graph.vicinity import VicinityIndex
 from repro.sampling.registry import create_sampler
 from repro.stats.kendall import pair_concordance_sum, weighted_pair_concordance
-from repro.streaming import ContinuousRanker, DeltaBatch, DynamicAttributedGraph
+from repro.streaming import Delta, ContinuousRanker, DeltaBatch, DynamicAttributedGraph
 
 GRAPH = make_twitter_like(num_nodes=20_000, edges_per_node=8, random_state=1)
 EVENT_NODES = np.random.default_rng(2).choice(GRAPH.num_nodes, size=5_000, replace=False)
@@ -744,3 +744,218 @@ def test_parallel_engine_matches_serial_on_bench_workload():
     assert [pair.events for pair in parallel] == [pair.events for pair in serial]
     assert [pair.score for pair in parallel] == [pair.score for pair in serial]
     assert [pair.verdict for pair in parallel] == [pair.verdict for pair in serial]
+
+
+# -- HTAP: snapshot-isolated queries racing commits ---------------------------
+#
+# The PR 7 acceptance scenario: a dynamic graph takes a steady stream of
+# bulky structural commits while reader threads rank the same monitored
+# pairs.  The unit of merit is analytical queries completed **during commit
+# windows** — the span of the commit call itself, during which the old
+# lock-serialised engine held its write lock and every reader queued.
+# Under snapshot isolation readers lease the pre-commit epoch straight from
+# the lease table (the wait-free `pin()` fast path) and keep answering from
+# its cached ranking right through the apply; under the reference
+# `_ReadWriteLock` discipline they block until the writer is done.  Both
+# systems run the identical commit schedule and the identical reader
+# workload (the warm rank that re-establishes the new epoch's ranking runs
+# *outside* the window in both), and every MVCC answer is asserted
+# bit-identical to a serial from-scratch reference at the epoch it reports.
+
+HTAP_DATASET = make_dblp_like(
+    num_communities=10, community_size=30, num_positive_pairs=4,
+    num_negative_pairs=3, num_background_keywords=10, random_state=11,
+)
+HTAP_CONFIG = TescConfig(vicinity_level=1, sample_size=200, random_state=17)
+HTAP_PAIRS = list(HTAP_DATASET.positive_pairs)[:2] + list(HTAP_DATASET.negative_pairs)[:1]
+HTAP_COMMITS = 4
+HTAP_READERS = 2
+#: Structural deltas per commit — sized so one apply (netting + CSR splice +
+#: vicinity rebase) spans a measurable window rather than a few microseconds.
+HTAP_EDGES_PER_COMMIT = 2500
+#: Idle gap between commit windows (readers drain their cache-hit queries).
+HTAP_GAP_SECONDS = 0.03
+
+
+def _htap_dynamic():
+    attributed = HTAP_DATASET.attributed
+    return DynamicAttributedGraph(
+        attributed.csr.copy() if hasattr(attributed.csr, "copy") else attributed.csr,
+        {name: attributed.event_nodes(name) for name in attributed.event_names()},
+    )
+
+
+def _htap_schedule(dynamic):
+    """HTAP_COMMITS bulk edge-add batches, every delta effective (fresh edge)."""
+    existing = set()
+    for u in range(dynamic.num_nodes):
+        for v in dynamic.csr.neighbors(u):
+            v = int(v)
+            if u < v:
+                existing.add((u, v))
+    non_edges = [
+        (u, v)
+        for u in range(dynamic.num_nodes)
+        for v in range(u + 1, dynamic.num_nodes)
+        if (u, v) not in existing
+    ]
+    order = np.random.default_rng(23).permutation(len(non_edges))
+    assert len(order) >= HTAP_COMMITS * HTAP_EDGES_PER_COMMIT
+    return [
+        [
+            Delta.edge_add(*non_edges[int(j)]).to_record()
+            for j in order[i * HTAP_EDGES_PER_COMMIT:(i + 1) * HTAP_EDGES_PER_COMMIT]
+        ]
+        for i in range(HTAP_COMMITS)
+    ]
+
+
+def _run_htap_scenario(lock_serialised):
+    """Run the commit/query race; returns per-system measurements.
+
+    ``lock_serialised=False`` runs the MVCC engine as shipped.
+    ``lock_serialised=True`` wraps every reader in ``acquire_read`` and the
+    whole commit window in ``acquire_write`` of the reference
+    ``_ReadWriteLock`` — the pre-snapshot-isolation service discipline —
+    on an otherwise identical engine.
+    """
+    import threading
+
+    from repro.service.engine import ServiceEngine, _ReadWriteLock
+
+    dynamic = _htap_dynamic()
+    schedule = _htap_schedule(dynamic)
+    engine = ServiceEngine(dynamic, HTAP_CONFIG)
+    lock = _ReadWriteLock() if lock_serialised else None
+    engine.rank(HTAP_PAIRS)  # warm the initial epoch
+
+    responses = []
+    responses_lock = threading.Lock()
+    done = threading.Event()
+    errors = []
+
+    def reader():
+        try:
+            while not done.is_set():
+                if lock is not None:
+                    lock.acquire_read()
+                try:
+                    response = engine.rank(HTAP_PAIRS)
+                finally:
+                    if lock is not None:
+                        lock.release_read()
+                with responses_lock:
+                    responses.append((time.perf_counter(), response))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(HTAP_READERS)]
+    for thread in threads:
+        thread.start()
+    windows = []
+    try:
+        for batch in schedule:
+            time.sleep(HTAP_GAP_SECONDS)
+            started = time.perf_counter()
+            if lock is not None:
+                lock.acquire_write()
+            try:
+                engine.commit(batch)
+            finally:
+                if lock is not None:
+                    lock.release_write()
+            windows.append((started, time.perf_counter()))
+            # Warm rank at the new epoch — outside the window, under the
+            # read discipline of the scenario (it is a read, after all).
+            if lock is not None:
+                lock.acquire_read()
+            try:
+                engine.rank(HTAP_PAIRS)
+            finally:
+                if lock is not None:
+                    lock.release_read()
+        time.sleep(HTAP_GAP_SECONDS)
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join(timeout=120.0)
+    engine.close()
+    assert not errors, errors
+
+    in_window = [
+        response for finished, response in responses
+        if any(start <= finished <= end for start, end in windows)
+    ]
+    window_seconds = sum(end - start for start, end in windows)
+    return {
+        "responses": responses,
+        "in_window": len(in_window),
+        "window_seconds": window_seconds,
+        "total_queries": len(responses),
+        "schedule": schedule,
+    }
+
+
+def test_htap_scenario_mvcc(benchmark):
+    """Wall-clock of the full MVCC commit/query race (JSON artifact case)."""
+    result = benchmark.pedantic(
+        lambda: _run_htap_scenario(lock_serialised=False), rounds=3, iterations=1
+    )
+    assert result["total_queries"] > 0
+
+
+def test_htap_scenario_lock_serialised(benchmark):
+    """The identical race behind the reference read/write lock."""
+    result = benchmark.pedantic(
+        lambda: _run_htap_scenario(lock_serialised=True), rounds=3, iterations=1
+    )
+    assert result["total_queries"] > 0
+
+
+def test_htap_mvcc_beats_lock_serialised():
+    """The HTAP acceptance bar: at an equal commit rate, snapshot isolation
+    must complete >= 3x the lock-serialised baseline's query throughput
+    during commit windows — and every MVCC answer must be bit-identical to
+    a from-scratch serial reference at the epoch it reports."""
+    from repro.service.engine import pair_record
+
+    mvcc = _run_htap_scenario(lock_serialised=False)
+    locked = _run_htap_scenario(lock_serialised=True)
+
+    mvcc_rate = mvcc["in_window"] / mvcc["window_seconds"]
+    locked_rate = locked["in_window"] / locked["window_seconds"]
+    print(
+        f"\nqueries during commit windows: mvcc {mvcc['in_window']} "
+        f"({mvcc_rate:.0f}/s over {mvcc['window_seconds'] * 1e3:.0f}ms), "
+        f"lock-serialised {locked['in_window']} "
+        f"({locked_rate:.0f}/s over {locked['window_seconds'] * 1e3:.0f}ms); "
+        f"totals {mvcc['total_queries']} vs {locked['total_queries']}"
+    )
+    assert mvcc["in_window"] >= 20, (
+        "too few MVCC queries completed during commit windows for the rate "
+        f"to be meaningful (got {mvcc['in_window']})"
+    )
+    assert mvcc_rate >= 3.0 * locked_rate, (
+        f"snapshot isolation must sustain >= 3x the lock-serialised "
+        f"baseline during commit windows, got {mvcc_rate:.0f}/s vs "
+        f"{locked_rate:.0f}/s"
+    )
+
+    # Bit-identity: replay each observed epoch's prefix serially and compare.
+    references = {}
+    for _finished, response in mvcc["responses"]:
+        epoch = response["epoch"]
+        if epoch not in references:
+            replayed = _htap_dynamic()
+            for batch in mvcc["schedule"][:epoch]:
+                applied = replayed.apply(
+                    [Delta.from_record(record) for record in batch]
+                )
+                assert applied.changed
+            ranking = BatchTescEngine(
+                replayed.snapshot(), HTAP_CONFIG
+            ).rank_pairs(HTAP_PAIRS)
+            references[epoch] = [pair_record(pair) for pair in ranking.pairs]
+        assert response["pairs"] == references[epoch], (
+            f"MVCC answer at epoch {epoch} diverged from the serial reference"
+        )

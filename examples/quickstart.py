@@ -1,9 +1,15 @@
-"""Quickstart: measure the structural correlation of two events on a graph.
+"""Quickstart: open a session, rank event pairs, commit, re-rank.
 
-This example builds a small social-network-like graph, places two "product
-purchase" events on it, and runs the TESC significance test at vicinity
-levels 1-3 with the default Batch BFS sampler, printing the score, z-score,
-p-value and verdict for each level.
+This example builds a small social-network-like graph, places three "product
+purchase" events on it, and drives everything through the package's front
+door — :func:`repro.open_session`:
+
+* rank the event pairs at vicinity levels 1-3 (each answer reports the
+  commit epoch it was computed at);
+* commit a burst of new purchases and watch the epoch advance;
+* re-rank at the new epoch, and re-read the *old* epoch through
+  ``session.at_epoch`` — snapshot isolation means history stays readable
+  while the graph moves on.
 
 Run with:  python examples/quickstart.py
 """
@@ -12,12 +18,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import AttributedGraph, TescConfig, TescTester
+from repro import TescConfig, open_session
 from repro.graph.generators import community_ring_graph
 from repro.utils.tables import TextTable
 
 
-def build_demo_graph() -> AttributedGraph:
+def build_demo_events() -> tuple:
     """A 10-community social graph with two community-localised products."""
     rng = np.random.default_rng(7)
     graph = community_ring_graph(
@@ -45,31 +51,48 @@ def build_demo_graph() -> AttributedGraph:
         rng.choice(community(5), 35, replace=False),
         rng.choice(community(6), 18, replace=False),
     ])
-    return AttributedGraph(
-        graph, {"similac": similac, "enfamil": enfamil, "thinkpad": thinkpad}
-    )
+    return graph, {"similac": similac, "enfamil": enfamil, "thinkpad": thinkpad}
 
 
 def main() -> None:
-    attributed = build_demo_graph()
-    print(attributed)
-    tester = TescTester(attributed)
+    graph, events = build_demo_events()
+    pairs = [("similac", "enfamil"), ("similac", "thinkpad")]
 
-    table = TextTable(["pair", "h", "score t", "z-score", "p-value", "verdict"],
-                      float_format="{:.3f}")
-    for event_a, event_b in [("similac", "enfamil"), ("similac", "thinkpad")]:
+    with open_session(graph, TescConfig(sample_size=300, random_state=11),
+                      events=events) as session:
+        print(session)
+
+        table = TextTable(["pair", "h", "score t", "z-score", "p-value", "verdict"],
+                          float_format="{:.3f}")
         for level in (1, 2, 3):
-            config = TescConfig(vicinity_level=level, sample_size=300, random_state=11)
-            result = tester.test(event_a, event_b, config)
-            table.add_row([
-                f"{event_a} vs {event_b}", level, result.score,
-                result.z_score, result.p_value, result.verdict.value,
-            ])
-    print()
-    print(table.render())
-    print()
-    print("Expected: similac/enfamil attract each other (positive verdict), "
-          "similac/thinkpad repulse each other (negative verdict).")
+            response = session.rank(pairs, vicinity_level=level)
+            for record in response["pairs"]:
+                table.add_row([
+                    f"{record['event_a']} vs {record['event_b']}", level,
+                    record["score"], record["z_score"], record["p_value"],
+                    record["verdict"],
+                ])
+        print()
+        print(table.render())
+        print()
+        print("Expected: similac/enfamil attract each other (positive verdict), "
+              "similac/thinkpad repulse each other (negative verdict).")
+
+        # HTAP: commit a burst of thinkpad purchases inside the mother
+        # communities and re-rank.  The old epoch stays readable through a
+        # leased view for as long as we hold it.
+        before = session.rank(pairs)
+        with session.at_epoch() as view:
+            receipt = session.commit(
+                [("event_attach", "thinkpad", node) for node in range(40, 60)]
+            )
+            after = session.rank(pairs)
+            replay = view.rank(pairs)
+        print()
+        print(f"commit attached {receipt['attached']} occurrences: "
+              f"epoch {before['epoch']} -> {after['epoch']}")
+        print(f"re-reading epoch {view.epoch} under the lease is bit-identical: "
+              f"{replay['pairs'] == before['pairs']}")
 
 
 if __name__ == "__main__":

@@ -3,10 +3,11 @@
 The paper's workloads (keyword screening, intrusion-alert correlation) test
 *many* event pairs against one graph.  Looping
 :class:`~repro.core.tesc.TescTester` pays the sampling and density costs per
-pair; :class:`~repro.core.batch.BatchTescEngine` pays them once — one shared
-reference sample, one density pass over all events — and returns the pairs
-ranked.  This example runs both on the same DBLP-like network and prints the
-ranking together with the measured speedup.
+pair; a :func:`repro.open_session` session pays them once — one shared
+reference sample, one density pass over all events — and additionally caches
+the answer per epoch, so repeating the query is free until the next commit.
+This example runs both on the same DBLP-like network and prints the ranking
+together with the measured speedup.
 
 Run with:  python examples/rank_events.py
 """
@@ -15,7 +16,8 @@ from __future__ import annotations
 
 import time
 
-from repro.core import BatchTescEngine, TescConfig, TescTester
+from repro import TescConfig, open_session
+from repro.core import TescTester
 from repro.datasets import make_dblp_like
 from repro.utils.timing import format_seconds
 
@@ -38,20 +40,33 @@ def main() -> None:
     print()
 
     # The throughput path: one shared sample, one density pass, ranked output.
-    engine = BatchTescEngine(attributed, config)
-    started = time.perf_counter()
-    ranking = engine.rank_pairs(pairs, sort_by="abs_z")
-    batch_seconds = time.perf_counter() - started
+    with open_session(attributed, config) as session:
+        started = time.perf_counter()
+        response = session.rank(pairs, sort_by="abs_z")
+        batch_seconds = time.perf_counter() - started
 
-    print(ranking.render())
+        # Same epoch, same config: the second call is a cache hit.
+        started = time.perf_counter()
+        session.rank(pairs, sort_by="abs_z")
+        cached_seconds = time.perf_counter() - started
+
+    records = response["pairs"]
+    header = f"{'#':>2}  {'pair':<28} {'score t':>8} {'z':>7} {'p-value':>9}  verdict"
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        print(f"{record['rank']:>2}  "
+              f"{record['event_a'] + ' vs ' + record['event_b']:<28} "
+              f"{record['score']:>+8.4f} {record['z_score']:>+7.2f} "
+              f"{record['p_value']:>9.2e}  {record['verdict']}")
     print()
-    counts = ranking.verdict_counts()
-    print(f"verdicts: {counts['positive']} positive, {counts['negative']} negative, "
-          f"{counts['independent']} independent "
+    verdicts = [record["verdict"] for record in records]
+    print(f"verdicts: {verdicts.count('positive')} positive, "
+          f"{verdicts.count('negative')} negative, "
+          f"{verdicts.count('independent')} independent "
           f"(planted: {len(dataset.positive_pairs)} / {len(dataset.negative_pairs)})")
-    print(f"shared reference nodes: {ranking.sample.num_distinct}, "
-          f"density BFS calls: {engine.stats.density_bfs_calls} "
-          f"(instead of ~{ranking.sample.num_distinct * len(pairs)} for the loop)")
+    print(f"answered at epoch {response['epoch']}; repeating the query at the "
+          f"same epoch took {format_seconds(cached_seconds)} (cache hit)")
 
     # The same pairs through the per-pair tester, for the wall-clock contrast.
     tester = TescTester(attributed, config)
@@ -61,7 +76,7 @@ def main() -> None:
     loop_seconds = time.perf_counter() - started
 
     print()
-    print(f"batch engine: {format_seconds(batch_seconds)}, per-pair loop: "
+    print(f"session rank: {format_seconds(batch_seconds)}, per-pair loop: "
           f"{format_seconds(loop_seconds)} — "
           f"{loop_seconds / batch_seconds:.1f}x faster in one batch")
 

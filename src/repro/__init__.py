@@ -10,15 +10,30 @@ experiment harness that regenerates every table and figure of the evaluation.
 
 Quickstart
 ----------
->>> from repro import AttributedGraph, measure_tesc
+The single front door is :func:`repro.api.open_session` — snapshot-isolated
+ranking, top-k and streaming commits behind one handle:
+
+>>> from repro import TescConfig, open_session
 >>> from repro.graph.generators import erdos_renyi_graph
 >>> graph = erdos_renyi_graph(500, 0.01, random_state=1)
+>>> session = open_session(graph, TescConfig(random_state=1),
+...                        events={"a": range(0, 50), "b": range(25, 75)})
+>>> session.rank()["epoch"]
+0
+>>> session.commit([("event_attach", "a", 60)])["epoch"]
+1
+>>> session.close()
+
+One-off measurements stay available:
+
+>>> from repro import AttributedGraph, measure_tesc
 >>> attributed = AttributedGraph(graph, {"a": range(0, 50), "b": range(25, 75)})
 >>> result = measure_tesc(attributed, "a", "b", vicinity_level=1, random_state=1)
 >>> result.verdict.value in {"positive", "negative", "independent"}
 True
 """
 
+from repro.api import EpochView, Session, open_session
 from repro.core.batch import BatchTescEngine, PairRanking, RankedPair, rank_pairs
 from repro.core.parallel import ParallelBatchTescEngine, rank_pairs_parallel
 from repro.core.topk import ProgressiveTopKEngine, TopKRanking, top_k_pairs
@@ -33,6 +48,9 @@ from repro.stats.hypothesis import CorrelationVerdict
 __version__ = "1.0.0"
 
 __all__ = [
+    "open_session",
+    "Session",
+    "EpochView",
     "AttributedGraph",
     "BatchTescEngine",
     "EventLayer",

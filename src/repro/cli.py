@@ -54,6 +54,40 @@ from repro.utils.logging import configure_logging
 from repro.utils.tables import TextTable, render_mapping
 
 
+def _shared_engine_parent() -> argparse.ArgumentParser:
+    """The flags every engine-backed subcommand accepts identically.
+
+    ``rank``, ``topk``, ``stream``, ``serve`` and ``experiment`` all take
+    ``--workers``, ``--kendall-kernel``, ``--top-k`` and ``--seed`` with the
+    same spelling and semantics; defining them once on a parent parser keeps
+    the subcommands from drifting apart.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("shared engine options")
+    group.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the workload across N worker processes (0 = one per "
+             "core); results are identical to a serial run",
+    )
+    group.add_argument(
+        "--kendall-kernel", default="auto", choices=list(KERNELS),
+        help="concordance kernel: auto (size-dispatched), naive (O(n^2) "
+             "sign matrices) or fast (O(n log n) merge sort); identical "
+             "rankings either way",
+    )
+    group.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="cap output at the K best-ranked pairs (serve: server-side "
+             "default for rank/topk requests; topk: alias for --k)",
+    )
+    group.add_argument(
+        "--seed", type=int, default=None,
+        help="random seed (TescConfig.random_state; experiment: reseeds "
+             "each experiment's config)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -63,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"tesc {__version__}")
     parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
     subparsers = parser.add_subparsers(dest="command")
+    shared = _shared_engine_parent()
 
     test_parser = subparsers.add_parser("test", help="test one event pair from files")
     test_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
@@ -84,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
     test_parser.add_argument("--seed", type=int, default=None)
 
     rank_parser = subparsers.add_parser(
-        "rank", help="batch-test many event pairs and print them ranked"
+        "rank", parents=[shared],
+        help="batch-test many event pairs and print them ranked",
     )
     rank_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
     rank_parser.add_argument("--events", required=True, help="event file (event<TAB>node)")
@@ -100,23 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="uniform samplers only (importance weights cannot be shared across pairs)",
     )
     rank_parser.add_argument("--alpha", type=float, default=0.05)
-    rank_parser.add_argument("--top-k", type=int, default=None,
-                             help="print only the k best-ranked pairs")
     rank_parser.add_argument("--sort-by", default="score", choices=list(SORT_KEYS))
     rank_parser.add_argument("--markdown", action="store_true",
                              help="render the ranking as markdown")
-    rank_parser.add_argument(
-        "--kendall-kernel", default="auto", choices=list(KERNELS),
-        help="concordance kernel: auto (size-dispatched), naive (O(n^2) "
-             "sign matrices) or fast (O(n log n) merge sort); identical "
-             "rankings either way",
-    )
-    rank_parser.add_argument("--seed", type=int, default=None)
-    rank_parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="shard the pair workload across N worker processes "
-             "(0 = one per core); results are identical to a serial run",
-    )
     rank_parser.add_argument(
         "--no-progressive", action="store_true",
         help="with --top-k and --sort-by score: force the full batch engine "
@@ -124,13 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     topk_parser = subparsers.add_parser(
-        "topk",
+        "topk", parents=[shared],
         help="progressive top-k pair ranking with confidence-bound pruning",
     )
     topk_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
     topk_parser.add_argument("--events", required=True, help="event file (event<TAB>node)")
-    topk_parser.add_argument("--k", type=int, required=True,
-                             help="how many top pairs to return")
+    topk_parser.add_argument("--k", type=int, default=None,
+                             help="how many top pairs to return "
+                                  "(--top-k is accepted as an alias)")
     topk_parser.add_argument(
         "--pair", nargs=2, action="append", metavar=("EVENT_A", "EVENT_B"),
         help="one candidate pair (repeatable); default: all pairs of events in the file",
@@ -169,21 +192,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     topk_parser.add_argument("--markdown", action="store_true",
                              help="render the ranking as markdown")
-    topk_parser.add_argument(
-        "--kendall-kernel", default="auto", choices=list(KERNELS),
-        help="concordance kernel: auto (size-dispatched), naive (O(n^2) "
-             "sign matrices) or fast (O(n log n) merge sort); identical "
-             "rankings either way",
-    )
-    topk_parser.add_argument("--seed", type=int, default=None)
-    topk_parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="shard the final survivor re-score across N worker processes "
-             "(0 = one per core); results are identical to a serial run",
-    )
 
     stream_parser = subparsers.add_parser(
-        "stream",
+        "stream", parents=[shared],
         help="replay a delta file, incrementally re-ranking monitored pairs",
     )
     stream_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
@@ -205,26 +216,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="uniform samplers only (importance weights cannot be shared across pairs)",
     )
     stream_parser.add_argument("--alpha", type=float, default=0.05)
-    stream_parser.add_argument("--top-k", type=int, default=None,
-                               help="print only the k best-ranked pairs")
     stream_parser.add_argument("--sort-by", default="score", choices=list(SORT_KEYS))
     stream_parser.add_argument("--markdown", action="store_true",
                                help="render tables as markdown")
     stream_parser.add_argument(
-        "--kendall-kernel", default="auto", choices=list(KERNELS),
-        help="concordance kernel: auto (size-dispatched), naive (O(n^2) "
-             "sign matrices) or fast (O(n log n) merge sort); identical "
-             "rankings either way",
-    )
-    stream_parser.add_argument("--seed", type=int, default=None)
-    stream_parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="shard pair re-scoring across N worker processes (0 = one per "
-             "core); results are identical to a serial run",
+        "--concurrent-queries", type=int, default=0, metavar="N",
+        help="while the replay commits, run N threads of snapshot-isolated "
+             "rank queries against the same graph through the Session API "
+             "and report their throughput — an HTAP smoke test: readers "
+             "never block commits and each answer carries its epoch",
     )
 
     serve_parser = subparsers.add_parser(
-        "serve",
+        "serve", parents=[shared],
         help="start the correlation service over a local socket",
     )
     serve_parser.add_argument("--edges", required=True, help="edge-list file (u v per line)")
@@ -240,16 +244,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="uniform samplers only (importance weights cannot be shared across pairs)",
     )
     serve_parser.add_argument("--alpha", type=float, default=0.05)
-    serve_parser.add_argument(
-        "--kendall-kernel", default="auto", choices=list(KERNELS),
-        help="concordance kernel: auto (size-dispatched), naive or fast",
-    )
-    serve_parser.add_argument("--seed", type=int, default=None)
-    serve_parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="persistent worker-pool size for density/estimate fan-out "
-             "(0 = one per core, default serial in-process)",
-    )
     serve_parser.add_argument(
         "--static", action="store_true",
         help="serve a read-only graph: reject stream commits with 400",
@@ -268,7 +262,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     experiment_parser = subparsers.add_parser(
-        "experiment", help="reproduce one or more of the paper's tables/figures"
+        "experiment", parents=[shared],
+        help="reproduce one or more of the paper's tables/figures",
     )
     experiment_parser.add_argument(
         "experiment_ids", nargs="+", choices=available_experiments(),
@@ -277,11 +272,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument("--markdown", action="store_true",
                                    help="render tables as markdown")
-    experiment_parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="fan multiple experiments out across N worker processes "
-             "(0 = one per core)",
-    )
 
     dataset_parser = subparsers.add_parser("dataset", help="generate a synthetic dataset")
     dataset_parser.add_argument("name", choices=available_datasets())
@@ -436,6 +426,10 @@ def _print_topk(ranking, workers: int, args: argparse.Namespace) -> int:
 def _command_topk(args: argparse.Namespace) -> int:
     from repro.core.topk import ProgressiveTopKEngine, derive_growth_factor
 
+    k = args.k if args.k is not None else args.top_k
+    if k is None:
+        print("tesc topk: one of --k / --top-k is required", file=sys.stderr)
+        return 2
     graph, labels = read_edge_list(args.edges)
     label_to_id = {label: index for index, label in enumerate(labels)}
     events = read_event_file(args.events, label_to_id=label_to_id)
@@ -467,11 +461,13 @@ def _command_topk(args: argparse.Namespace) -> int:
     pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"
     workers = resolve_workers(args.workers)
     with ProgressiveTopKEngine(attributed, config, workers=workers) as engine:
-        ranking = engine.top_k(args.k, pairs)
+        ranking = engine.top_k(k, pairs)
     return _print_topk(ranking, workers, args)
 
 
 def _command_stream(args: argparse.Namespace) -> int:
+    import threading
+
     from repro.streaming import ContinuousRanker, DeltaLog, DynamicAttributedGraph
 
     graph, labels = read_edge_list(args.edges)
@@ -489,30 +485,81 @@ def _command_stream(args: argparse.Namespace) -> int:
     pairs = [tuple(pair) for pair in args.pair] if args.pair else "all"
     log = DeltaLog.load(args.deltas)
     workers = resolve_workers(args.workers)
-    with ContinuousRanker(
-        dynamic, pairs, config, workers=workers,
-        sort_by=args.sort_by, top_k=args.top_k,
-    ) as ranker:
-        initial = ranker.commit()
-        print("initial ranking:")
-        print(initial.ranking.render(markdown=args.markdown))
-        for number, batch in enumerate(log.replay(), start=1):
-            delta = ranker.commit(batch)
-            stats = delta.stats
-            print()
-            print(
-                f"commit {number}: {len(batch)} deltas, "
-                f"{len(delta.changed)} pairs changed "
-                f"({len(delta.verdict_flips)} verdict flips), "
-                f"columns {stats.columns_recomputed} recomputed / "
-                f"{stats.columns_reused} reused / {stats.columns_patched} patched, "
-                f"pairs {stats.pairs_rescored} re-scored / "
-                f"{stats.pairs_reused} reused"
+
+    # --concurrent-queries: snapshot-isolated readers racing the replay.
+    # Each thread loops rank() through a Session over the *same* dynamic
+    # graph; every query pins an epoch at admission, so the replay's commits
+    # never block it and never tear its view.
+    stop = threading.Event()
+    counts: List[int] = []
+    epochs: set = set()
+    epochs_lock = threading.Lock()
+    query_threads: List[threading.Thread] = []
+    session = None
+    if args.concurrent_queries > 0:
+        from repro.api import Session
+
+        session = Session(dynamic, config=config)
+
+        def _query_loop(slot: int) -> None:
+            done = 0
+            while not stop.is_set():
+                response = session.rank(pairs, top_k=args.top_k)
+                done += 1
+                with epochs_lock:
+                    epochs.add(response["epoch"])
+            counts[slot] = done
+
+        counts.extend(0 for _ in range(args.concurrent_queries))
+        for slot in range(args.concurrent_queries):
+            thread = threading.Thread(
+                target=_query_loop, args=(slot,),
+                name=f"tesc-stream-query-{slot}", daemon=True,
             )
-            print(delta.render(markdown=args.markdown))
+            query_threads.append(thread)
+            thread.start()
+    commits = 0
+    try:
+        with ContinuousRanker(
+            dynamic, pairs, config, workers=workers,
+            sort_by=args.sort_by, top_k=args.top_k,
+        ) as ranker:
+            initial = ranker.commit()
+            print("initial ranking:")
+            print(initial.ranking.render(markdown=args.markdown))
+            for number, batch in enumerate(log.replay(), start=1):
+                delta = ranker.commit(batch)
+                commits = number
+                stats = delta.stats
+                print()
+                print(
+                    f"commit {number}: {len(batch)} deltas, "
+                    f"{len(delta.changed)} pairs changed "
+                    f"({len(delta.verdict_flips)} verdict flips), "
+                    f"columns {stats.columns_recomputed} recomputed / "
+                    f"{stats.columns_reused} reused / {stats.columns_patched} patched, "
+                    f"pairs {stats.pairs_rescored} re-scored / "
+                    f"{stats.pairs_reused} reused"
+                )
+                print(delta.render(markdown=args.markdown))
+    finally:
+        stop.set()
+        for thread in query_threads:
+            thread.join(timeout=60.0)
+        if session is not None:
+            session.close()
     print()
     print("final ranking:")
     print(ranker.ranking.render(markdown=args.markdown))
+    if session is not None:
+        total = sum(counts)
+        spread = f"{min(epochs)}..{max(epochs)}" if epochs else "-"
+        print()
+        print(
+            f"concurrent queries: {total} snapshot-isolated ranks from "
+            f"{args.concurrent_queries} thread(s) across epochs {spread} "
+            f"while {commits} commit(s) replayed"
+        )
     return 0
 
 
@@ -540,6 +587,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_concurrency=args.max_concurrency,
         max_queue=args.max_queue,
         queue_timeout=args.queue_timeout,
+        default_top_k=args.top_k,
     )
     server.start()
     host, port = server.address
@@ -559,7 +607,20 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    results = run_all(args.experiment_ids, workers=args.workers)
+    # The shared flags map onto per-experiment config fields; run_all
+    # filters each override to the experiments whose config defines it
+    # (every experiment has random_state; kernel/top_k apply where present).
+    overrides = {}
+    if args.seed is not None:
+        overrides["random_state"] = args.seed
+    if args.kendall_kernel != "auto":
+        overrides["kendall_kernel"] = args.kendall_kernel
+    if args.top_k is not None:
+        overrides["top_k"] = args.top_k
+    results = run_all(
+        args.experiment_ids, workers=args.workers,
+        config_overrides=overrides or None,
+    )
     for index, result in enumerate(results):
         if index:
             print()

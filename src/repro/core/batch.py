@@ -438,6 +438,11 @@ class BatchTescEngine:
 
     def __init__(self, attributed: AttributedGraph,
                  config: Optional[TescConfig] = None) -> None:
+        from repro.deprecation import warn_deprecated_construction
+
+        warn_deprecated_construction(
+            "BatchTescEngine", "open_session(graph, config).rank(...)"
+        )
         self.attributed = attributed
         self.config = config if config is not None else TescConfig()
         self._density_computer = DensityComputer(attributed.csr)

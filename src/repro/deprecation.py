@@ -1,0 +1,43 @@
+"""Deprecation plumbing for the pre-``Session`` public surface.
+
+PR 7 fronted the five engines with one façade
+(:func:`repro.api.open_session`); the engines stay importable and fully
+functional, but *direct construction from user code* is deprecated so the
+public surface can converge on the Session API.  The helper here emits the
+:class:`DeprecationWarning` only when the constructing frame lives outside
+the ``repro`` package — the façade, the service, the CLI and the experiment
+harness all build engines internally and must stay silent.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+
+def _caller_module(depth: int) -> str:
+    """``__name__`` of the frame ``depth`` levels above this one ('' if gone)."""
+    try:
+        frame = sys._getframe(depth)
+    except ValueError:  # pragma: no cover - stack shallower than depth
+        return ""
+    return frame.f_globals.get("__name__", "") or ""
+
+
+def warn_deprecated_construction(name: str, replacement: str) -> None:
+    """Warn about direct construction of ``name`` from non-``repro`` code.
+
+    Call as the first statement of the deprecated class's ``__init__``; the
+    frame two levels up is then the code that invoked the constructor.
+    Internal callers (``repro`` and every ``repro.*`` module, including the
+    Session façade) are exempt, so library-internal composition never spams.
+    """
+    module = _caller_module(3)
+    if module == "repro" or module.startswith("repro."):
+        return
+    warnings.warn(
+        f"constructing {name} directly is deprecated; use "
+        f"{replacement} instead (see repro.api.open_session)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -81,6 +81,33 @@ class AttributedGraph:
             return str(node)
         return str(self.labels[node])
 
+    def versions(self) -> tuple:
+        """``(structure_version, events_version)`` of the current state.
+
+        The pair uniquely identifies one graph state: dynamic graphs bump
+        ``structure_version`` on every effective structural commit, the
+        event layer bumps its version on every occurrence change.  Static
+        graphs report structure version ``0``.  Snapshot handles pin this
+        pair, and every version-keyed cache (indicator cache, shared-memory
+        dataset publication, service epoch map) derives its key from it.
+        """
+        return (
+            int(getattr(self, "structure_version", 0)),
+            int(self.events.version),
+        )
+
+    def snapshot(self) -> "AttributedGraph":
+        """A static copy of the current state (shared CSR, copied events).
+
+        The CSR is immutable and therefore shared; the event layer is
+        deep-copied (version preserved), so later mutations of this graph
+        leave the returned snapshot untouched.
+        :class:`~repro.streaming.dynamic_graph.DynamicAttributedGraph`
+        overrides this with an epoch-memoised variant backed by the lease
+        table.
+        """
+        return AttributedGraph(self.csr, self.events.copy(), labels=self.labels)
+
     # -- event helpers ---------------------------------------------------------
 
     def event_nodes(self, event: str) -> np.ndarray:

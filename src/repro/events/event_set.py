@@ -183,7 +183,12 @@ class EventLayer:
         """Deep copy of the layer.
 
         Events whose occurrence set has been emptied (e.g. by streaming
-        detach deltas) stay registered in the copy.
+        detach deltas) stay registered in the copy.  The :attr:`version`
+        counter is preserved, so a snapshot's copied layer still identifies
+        the graph state it was taken from — caches keyed by
+        ``(structure_version, events.version)`` (shared-memory dataset
+        publications, indicator caches) must not conflate two snapshots of
+        different states taken at the same structure version.
         """
         clone = EventLayer(self.num_nodes)
         clone._event_to_nodes = {
@@ -192,6 +197,7 @@ class EventLayer:
         clone._node_to_events = {
             node: set(events) for node, events in self._node_to_events.items()
         }
+        clone._version = self._version
         return clone
 
     def __repr__(self) -> str:

@@ -64,5 +64,9 @@ class ConfigurationError(ReproError):
     """An invalid parameter combination was supplied."""
 
 
+class SnapshotExpiredError(ReproError):
+    """The requested epoch's snapshot has been retired (no lease kept it)."""
+
+
 class ExperimentError(ReproError):
     """An experiment harness failed to run or render its results."""

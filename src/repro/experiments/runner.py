@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.exceptions import ExperimentError
 from repro.experiments.base import ExperimentResult
@@ -40,6 +41,25 @@ def available_experiments() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def experiment_config_fields(experiment_id: str) -> frozenset:
+    """Names of the overridable config fields of one experiment.
+
+    Every experiment config is a dataclass; this is the set of keyword
+    overrides :func:`run_experiment` accepts for it (``random_state`` is
+    common to all of them).
+    """
+    entry = _REGISTRY.get(experiment_id)
+    if entry is None:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(available_experiments())}"
+        )
+    config_factory = entry[0]
+    if dataclasses.is_dataclass(config_factory):
+        return frozenset(f.name for f in dataclasses.fields(config_factory))
+    return frozenset()
+
+
 def run_experiment(experiment_id: str, config=None, **config_overrides) -> ExperimentResult:
     """Run one experiment by id.
 
@@ -62,7 +82,8 @@ def run_experiment(experiment_id: str, config=None, **config_overrides) -> Exper
 
 def run_all(experiment_ids: Optional[List[str]] = None,
             progress: Optional[Callable[[str], None]] = None,
-            workers: Optional[int] = None) -> List[ExperimentResult]:
+            workers: Optional[int] = None,
+            config_overrides: Optional[Dict[str, Any]] = None) -> List[ExperimentResult]:
     """Run several (default: all) experiments with their default configs.
 
     ``workers`` > 1 fans the experiments out across a process pool, one
@@ -70,6 +91,12 @@ def run_all(experiment_ids: Optional[List[str]] = None,
     config, so results are identical to a serial run).  Results are returned
     in the requested order either way.  ``workers=0`` or negative means one
     worker per available core.
+
+    ``config_overrides`` are applied to each experiment's default config,
+    filtered per experiment to the fields its config actually defines (see
+    :func:`experiment_config_fields`) — e.g. ``random_state`` reseeds every
+    experiment, while a field only some configs carry silently skips the
+    rest.
     """
     from repro.core.parallel import resolve_workers
 
@@ -80,18 +107,30 @@ def run_all(experiment_ids: Optional[List[str]] = None,
                 f"unknown experiment {experiment_id!r}; available: "
                 f"{', '.join(available_experiments())}"
             )
+    overrides = dict(config_overrides or {})
+    per_id: Dict[str, Dict[str, Any]] = {
+        experiment_id: {
+            key: value for key, value in overrides.items()
+            if key in experiment_config_fields(experiment_id)
+        }
+        for experiment_id in ids
+    }
     worker_count = resolve_workers(workers)
     if worker_count > 1 and len(ids) > 1:
         if progress is not None:
             for experiment_id in ids:
                 progress(experiment_id)
         with ProcessPoolExecutor(max_workers=min(worker_count, len(ids))) as pool:
-            return list(pool.map(run_experiment, ids))
+            futures = [
+                pool.submit(run_experiment, experiment_id, **per_id[experiment_id])
+                for experiment_id in ids
+            ]
+            return [future.result() for future in futures]
     results: List[ExperimentResult] = []
     for experiment_id in ids:
         if progress is not None:
             progress(experiment_id)
-        results.append(run_experiment(experiment_id))
+        results.append(run_experiment(experiment_id, **per_id[experiment_id]))
     return results
 
 

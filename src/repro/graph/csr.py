@@ -26,13 +26,22 @@ class CSRGraph:
     indices:
         ``int32``/``int64`` array of neighbour ids, both directions of each
         undirected edge stored once per endpoint.
+    epoch:
+        Copy-on-write generation tag.  A freshly built graph sits at epoch
+        ``0``; every :meth:`replace_rows` / :meth:`apply_edge_deltas` splice
+        returns a *new* CSR stamped ``epoch + 1`` while this object — and
+        every row buffer it owns — stays untouched, which is what lets
+        snapshot readers keep traversing retired row arrays until their
+        lease drops (see :mod:`repro.streaming.snapshots`).
     """
 
-    __slots__ = ("indptr", "indices", "_num_edges")
+    __slots__ = ("indptr", "indices", "epoch", "_num_edges")
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 epoch: int = 0) -> None:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
+        self.epoch = int(epoch)
         if self.indptr.ndim != 1 or self.indices.ndim != 1:
             raise GraphError("indptr and indices must be 1-D arrays")
         if self.indptr.size == 0 or self.indptr[0] != 0:
@@ -88,6 +97,11 @@ class CSRGraph:
     def num_edges(self) -> int:
         """Number of undirected edges."""
         return self._num_edges
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the row arrays (lease-table retention accounting)."""
+        return int(self.indptr.nbytes + self.indices.nbytes)
 
     def degree(self, node: int) -> int:
         """Degree of ``node``."""
@@ -226,7 +240,7 @@ class CSRGraph:
             previous = node + 1
         if previous < self.num_nodes:
             indices[indptr[previous]:] = self.indices[self.indptr[previous]:]
-        return CSRGraph(indptr, indices)
+        return CSRGraph(indptr, indices, epoch=self.epoch + 1)
 
     def __repr__(self) -> str:
         return f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

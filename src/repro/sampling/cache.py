@@ -156,15 +156,19 @@ class SampleMemo:
     Parameters
     ----------
     factory:
-        Zero-argument callable returning a ready-to-use
-        :class:`~repro.sampling.base.ReferenceSampler` over the *current*
-        graph with a freshly seeded RNG.
+        Callable returning a ready-to-use
+        :class:`~repro.sampling.base.ReferenceSampler` with a freshly seeded
+        RNG.  Called with no arguments for live-graph draws; when a draw is
+        requested at a pinned snapshot (``sample(..., graph=snapshot)``) the
+        snapshot is passed as the single positional argument, so factories
+        serving MVCC readers should accept an optional graph and default to
+        the live one.
     max_entries:
         Older entries are evicted beyond this count (the streaming ranker
         normally needs exactly one live entry per monitored universe).
     """
 
-    def __init__(self, factory: Callable[[], ReferenceSampler],
+    def __init__(self, factory: Callable[..., ReferenceSampler],
                  max_entries: int = 8) -> None:
         self.factory = factory
         self.max_entries = max(1, int(max_entries))
@@ -173,8 +177,13 @@ class SampleMemo:
         self.misses = 0
 
     def sample(self, event_nodes: np.ndarray, level: int, sample_size: int,
-               epoch: int = 0) -> ReferenceSample:
-        """The memoised sample for ``(population, epoch)``, drawing on miss."""
+               epoch: int = 0, graph=None) -> ReferenceSample:
+        """The memoised sample for ``(population, epoch)``, drawing on miss.
+
+        ``graph`` routes the miss-path draw to a pinned snapshot instead of
+        whatever graph the factory would default to; the epoch in the key
+        must identify that snapshot's state for the memo to be coherent.
+        """
         key = (
             event_nodes_fingerprint(event_nodes), int(level), int(sample_size),
             int(epoch),
@@ -184,7 +193,8 @@ class SampleMemo:
             self.hits += 1
             return cached
         self.misses += 1
-        sample = self.factory().sample(event_nodes, level, sample_size)
+        sampler = self.factory() if graph is None else self.factory(graph)
+        sample = sampler.sample(event_nodes, level, sample_size)
         while len(self._cache) >= self.max_entries:
             del self._cache[next(iter(self._cache))]
         self._cache[key] = sample

@@ -7,6 +7,13 @@ exception classes of :mod:`repro.service.protocol` — a 429 raises
 hang.  Safe for concurrent use from multiple threads (requests serialise on
 an internal lock); for true request parallelism open one client per thread —
 connections are cheap, all heavy state is server-side.
+
+Protocol v2 aware: every response's ``proto`` major version is checked (a
+newer-than-supported server raises
+:class:`~repro.service.protocol.RemoteError`), and the epoch stamped on the
+latest successful response is tracked as :attr:`CorrelationClient.last_epoch`
+— the handle for read-your-writes: commit, then ``rank(at_epoch=
+client.last_epoch)`` to read exactly the state that commit produced.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.service.protocol import (
     RemoteError,
+    check_proto,
     decode_line,
     encode,
     raise_for_error,
@@ -42,6 +50,24 @@ class CorrelationClient:
         self._lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+        self._last_epoch: Optional[int] = None
+        self._last_proto: Optional[int] = None
+
+    @property
+    def last_epoch(self) -> Optional[int]:
+        """Epoch stamped on the most recent successful response.
+
+        ``None`` until an epoch-bound response arrives.  After a
+        :meth:`stream` commit this is the commit's epoch; pass it as
+        ``at_epoch`` to :meth:`rank`/:meth:`topk` for read-your-writes
+        semantics regardless of interleaved commits from other clients.
+        """
+        return self._last_epoch
+
+    @property
+    def server_proto(self) -> Optional[int]:
+        """Protocol major version of the most recent response (None = none yet)."""
+        return self._last_proto
 
     # -- plumbing ------------------------------------------------------------
 
@@ -72,7 +98,12 @@ class CorrelationClient:
                     f"response id {response.get('id')!r} does not match "
                     f"request id {request_id!r}"
                 )
-        return raise_for_error(response)
+            result = raise_for_error(response)
+            self._last_proto = check_proto(response)
+            epoch = response.get("epoch")
+            if epoch is not None:
+                self._last_epoch = int(epoch)
+        return result
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -112,10 +143,11 @@ class CorrelationClient:
         sort_by: str = "score",
         config: Optional[Dict[str, Any]] = None,
         on_insufficient: str = "keep",
+        at_epoch: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Rank event pairs; the result's ``"pairs"`` list is bit-identical
         to the serial in-process engine's ``as_records()`` at the answering
-        epoch."""
+        epoch.  ``at_epoch`` pins a still-retained historical snapshot."""
         params: Dict[str, Any] = {
             "pairs": self._wire_pairs(pairs),
             "sort_by": sort_by,
@@ -125,6 +157,8 @@ class CorrelationClient:
             params["top_k"] = int(top_k)
         if config:
             params["config"] = config
+        if at_epoch is not None:
+            params["at_epoch"] = int(at_epoch)
         return self.request("rank", params)
 
     def topk(
@@ -134,8 +168,9 @@ class CorrelationClient:
         sort_by: str = "score",
         config: Optional[Dict[str, Any]] = None,
         on_insufficient: str = "keep",
+        at_epoch: Optional[int] = None,
     ) -> Dict[str, Any]:
-        """Progressive top-k ranking at the current epoch."""
+        """Progressive top-k ranking at the pinned (default: current) epoch."""
         params: Dict[str, Any] = {
             "k": int(k),
             "pairs": self._wire_pairs(pairs),
@@ -144,6 +179,8 @@ class CorrelationClient:
         }
         if config:
             params["config"] = config
+        if at_epoch is not None:
+            params["at_epoch"] = int(at_epoch)
         return self.request("topk", params)
 
     def stream(self, deltas: Sequence[Dict[str, Any]]) -> Dict[str, Any]:

@@ -1,11 +1,20 @@
-"""The epoch-aware request executor behind the correlation server.
+"""The snapshot-isolated (MVCC) request executor behind the correlation server.
 
 :class:`ServiceEngine` answers ``rank``/``topk``/``stream`` requests against
-one (possibly dynamic) attributed graph, with three layers of reuse:
+one (possibly dynamic) attributed graph under **pin-at-admission snapshot
+isolation**: a read request resolves its epoch on entry, pins that epoch's
+copy-on-write snapshot through the graph's lease table
+(:mod:`repro.streaming.snapshots`), and computes entirely against the frozen
+state — so commits never block readers and readers never block commits.
+Every response carries the epoch it was computed at, and ``at_epoch``
+requests re-read any epoch still retained by a lease.
+
+Three layers of reuse keep the hot path cheap:
 
 * **Samples** come from :class:`~repro.sampling.cache.SampleMemo` keyed by
-  the current *epoch*, so every drawn sample is bit-identical to what a
-  freshly constructed in-process engine would draw at that graph state;
+  the epoch and drawn against the pinned snapshot, so every sample is
+  bit-identical to what a freshly constructed in-process engine would draw
+  at that graph state;
 * **Density matrices** (with their estimate batchers) are cached per
   ``(config, universe, events, epoch)`` and computed through the persistent
   worker pool when the engine runs with ``workers > 1``;
@@ -13,18 +22,21 @@ one (possibly dynamic) attributed graph, with three layers of reuse:
   the pair's estimate depends only on the shared sample (a function of the
   request universe, config and epoch) and the pair's two density rows, so
   the key is exact: a cached entry can never be served stale, because any
-  commit that could change the answer bumps the epoch out from under it.
+  commit that could change the answer lands at a different epoch.
 
-The epoch is an internal counter bumped whenever the underlying graph's
-``(structure_version, events.version)`` moves — normally via :meth:`commit`
-(the ``stream`` method), which runs under the writer side of a
-readers-writer lock while ``rank``/``topk`` execute as readers.
+For a dynamic graph the epoch *is* the graph's commit epoch
+(:attr:`~repro.streaming.dynamic_graph.DynamicAttributedGraph.epoch` — one
+bump per effective commit); static graphs keep an internal version-watching
+counter and serve reads from the live object (nothing can move under them).
+Commits serialise on a plain mutex — the old readers-writer lock is gone
+from the request path (:class:`_ReadWriteLock` remains exported for the
+lock-serialised baseline the HTAP benchmark compares against).
 
 Every answer is bit-identical to the serial in-process engines
 (:class:`~repro.core.batch.BatchTescEngine`,
 :class:`~repro.core.topk.ProgressiveTopKEngine`) applied to a snapshot of
 the graph at the same epoch with the same seed — the property the epoch
-cache suite asserts under random commit/query interleavings.
+cache and HTAP suites assert under random commit/query interleavings.
 """
 
 from __future__ import annotations
@@ -51,12 +63,17 @@ from repro.core.density import DensityComputer, DensityMatrix
 from repro.core.estimators import PairEstimateBatcher
 from repro.core.parallel import estimate_matrix_pairs_sharded, resolve_workers
 from repro.events.attributed_graph import AttributedGraph
-from repro.exceptions import ConfigurationError, InsufficientSampleError
+from repro.exceptions import (
+    ConfigurationError,
+    InsufficientSampleError,
+    SnapshotExpiredError,
+)
 from repro.sampling.cache import SampleMemo, event_nodes_fingerprint
 from repro.service.protocol import BadRequestError
 from repro.service.shm import unpublish_dataset
 from repro.streaming.delta import DeltaBatch
 from repro.streaming.dynamic_graph import DynamicAttributedGraph
+from repro.streaming.snapshots import SnapshotLease
 
 
 class _ReadWriteLock:
@@ -64,6 +81,10 @@ class _ReadWriteLock:
 
     Writer-preferring — a waiting commit blocks new readers — so a steady
     rank load cannot starve stream updates.
+
+    No longer on the service request path (snapshot isolation replaced it);
+    kept as the reference lock for the HTAP benchmark's lock-serialised
+    baseline and for callers that want coarse coordination.
     """
 
     def __init__(self) -> None:
@@ -141,18 +162,20 @@ class ServiceStats:
     pair_cache_misses: int = 0
     topk_cache_hits: int = 0
     matrices_computed: int = 0
+    snapshots_pinned: int = 0
 
 
 class ServiceEngine:
-    """Epoch-cached ``rank``/``topk``/``stream`` execution over one graph.
+    """Snapshot-isolated ``rank``/``topk``/``stream`` execution over one graph.
 
     Parameters
     ----------
     graph:
-        The graph to serve.  ``stream`` (delta commits) requires a
+        The graph to serve.  ``stream`` (delta commits) and ``at_epoch``
+        time travel require a
         :class:`~repro.streaming.dynamic_graph.DynamicAttributedGraph`;
         a plain :class:`~repro.events.attributed_graph.AttributedGraph` is
-        served read-only.
+        served read-only from the live object.
     config:
         Default :class:`~repro.core.config.TescConfig`; requests may
         override whitelisted fields per call.
@@ -182,7 +205,8 @@ class ServiceEngine:
         self.max_cached_matrices = max(1, int(max_cached_matrices))
         self.max_cached_topk = max(1, int(max_cached_topk))
 
-        self._lock = _ReadWriteLock()
+        self._dynamic = isinstance(graph, DynamicAttributedGraph)
+        self._commit_lock = threading.Lock()
         self._miss_lock = threading.Lock()
         self._epoch_lock = threading.Lock()
         self._epoch = 0
@@ -194,6 +218,10 @@ class ServiceEngine:
         )
         self._results: "OrderedDict[tuple, RankedPair]" = OrderedDict()
         self._topk_cache: "OrderedDict[tuple, Dict[str, Any]]" = OrderedDict()
+        # epoch -> snapshot whose shared-memory publication this engine may
+        # have triggered; swept once the lease table no longer retains it.
+        self._published: Dict[int, AttributedGraph] = {}
+        self._publish_lock = threading.Lock()
         self.stats = ServiceStats()
 
     # -- epoch plumbing ------------------------------------------------------
@@ -205,18 +233,46 @@ class ServiceEngine:
         )
 
     def current_epoch(self) -> int:
-        """The epoch of the graph's current state (bumps on version change).
+        """The epoch of the graph's current state.
 
-        Monotonic and atomic: any observed epoch uniquely identifies one
+        Dynamic graphs report their own commit epoch (one bump per effective
+        commit, out-of-band mutations healed); static graphs keep an
+        internal counter bumped whenever the version pair moves.  Monotonic
+        and atomic either way: any observed epoch uniquely identifies one
         ``(structure_version, events.version)`` graph state, which is what
         makes the epoch a sound cache-key component.
         """
+        if self._dynamic:
+            return self.graph.epoch
         versions = self._graph_versions()
         with self._epoch_lock:
             if versions != self._seen_versions:
                 self._seen_versions = versions
                 self._epoch += 1
             return self._epoch
+
+    def _pin(
+        self, at_epoch: Optional[int]
+    ) -> Tuple[int, AttributedGraph, Optional[SnapshotLease]]:
+        """Pin-at-admission: resolve the epoch and the graph state to read.
+
+        Dynamic graphs hand back a leased
+        :class:`~repro.streaming.snapshots.GraphSnapshot` (the caller must
+        release the lease when the read completes); static graphs hand back
+        the live object.  ``at_epoch`` on a static graph is accepted only
+        for the current epoch.
+        """
+        if self._dynamic:
+            lease = self.graph.pin(at_epoch)
+            self.stats.snapshots_pinned += 1
+            return lease.epoch, lease.graph, lease
+        epoch = self.current_epoch()
+        if at_epoch is not None and int(at_epoch) != epoch:
+            raise SnapshotExpiredError(
+                f"epoch {int(at_epoch)} is not available on a static graph "
+                f"(current epoch is {epoch})"
+            )
+        return epoch, self.graph, None
 
     # -- config plumbing -----------------------------------------------------
 
@@ -246,8 +302,12 @@ class ServiceEngine:
         )
         memo = self._memos.get(key)
         if memo is None:
-            graph = self.graph
-            memo = SampleMemo(lambda: make_config_sampler(graph, cfg))
+            live = self.graph
+            memo = SampleMemo(
+                lambda graph=None: make_config_sampler(
+                    live if graph is None else graph, cfg
+                )
+            )
             self._memos[key] = memo
         return memo
 
@@ -260,12 +320,17 @@ class ServiceEngine:
         sort_by: str = "score",
         config_overrides: Optional[Dict[str, Any]] = None,
         on_insufficient: str = "keep",
+        at_epoch: Optional[int] = None,
     ) -> Dict[str, Any]:
-        """Rank ``pairs``, serving cached per-pair results where possible.
+        """Rank ``pairs`` at a pinned snapshot, serving cached results.
 
         Bit-identical to ``BatchTescEngine(snapshot, cfg).rank_pairs(...)``
-        at the current epoch: hits and misses alike derive from the memoised
-        fresh-sampler draw over the request universe.
+        at the pinned epoch: hits and misses alike derive from the memoised
+        fresh-sampler draw over the request universe.  ``at_epoch=None``
+        pins the current epoch; an explicit epoch re-reads that state as
+        long as some lease still retains it
+        (:class:`~repro.exceptions.SnapshotExpiredError` otherwise).
+        Commits never block this call and it never blocks commits.
         """
         if sort_by not in SORT_KEYS:
             raise ConfigurationError(
@@ -276,14 +341,14 @@ class ServiceEngine:
                 f'on_insufficient must be "keep" or "raise", got {on_insufficient!r}'
             )
         cfg = self._merge_config(config_overrides or {})
-        with self._lock.read():
+        epoch, graph, lease = self._pin(at_epoch)
+        try:
             self.stats.rank_requests += 1
-            epoch = self.current_epoch()
-            pair_list = resolve_pair_spec(self.graph.event_names(), pairs)
+            pair_list = resolve_pair_spec(graph.event_names(), pairs)
             events = sorted({event for pair in pair_list for event in pair})
             # Surfaces unknown events before any sampling work happens.
-            self.graph.indicator_matrix(events)
-            universe = event_universe(self.graph, events)
+            graph.indicator_matrix(events)
+            universe = event_universe(graph, events)
             universe_fp = event_nodes_fingerprint(universe)
             digest = self._config_digest(cfg)
 
@@ -299,7 +364,7 @@ class ServiceEngine:
             self.stats.pair_cache_hits += hits
             if missing:
                 computed = self._compute_pairs(
-                    cfg, events, universe, universe_fp, digest, epoch,
+                    graph, cfg, events, universe, universe_fp, digest, epoch,
                     missing, on_insufficient,
                 )
                 by_pair.update(computed)
@@ -314,6 +379,9 @@ class ServiceEngine:
                             "shared sample"
                         )
             ranked = finalise_ranking(results, sort_by, top_k)
+        finally:
+            if lease is not None:
+                lease.release()
         return {
             "pairs": [pair_record(pair) for pair in ranked],
             "epoch": epoch,
@@ -326,6 +394,7 @@ class ServiceEngine:
 
     def _compute_pairs(
         self,
+        graph: AttributedGraph,
         cfg: TescConfig,
         events: Sequence[str],
         universe,
@@ -335,11 +404,13 @@ class ServiceEngine:
         missing: List[Tuple[str, str]],
         on_insufficient: str,
     ) -> Dict[Tuple[str, str], RankedPair]:
-        """Estimate the cache-missing pairs and record them.
+        """Estimate the cache-missing pairs against ``graph`` and record them.
 
         Serialised by ``_miss_lock`` so concurrent identical requests
         compute the shared sample/matrix once; the cache is re-checked
-        under the lock for pairs another thread just filled.
+        under the lock for pairs another thread just filled.  ``graph`` is
+        the caller's pinned snapshot (or the live static graph), so a
+        commit landing mid-computation changes nothing here.
         """
         with self._miss_lock:
             computed: Dict[Tuple[str, str], RankedPair] = {}
@@ -354,7 +425,7 @@ class ServiceEngine:
                 return computed
 
             matrix, batcher = self._matrix_for(
-                cfg, tuple(events), universe, universe_fp, epoch
+                graph, cfg, tuple(events), universe, universe_fp, epoch
             )
             row_of = {event: row for row, event in enumerate(events)}
             # Insufficient pairs are cached as insufficient records even in
@@ -381,6 +452,7 @@ class ServiceEngine:
 
     def _matrix_for(
         self,
+        graph: AttributedGraph,
         cfg: TescConfig,
         events: Tuple[str, ...],
         universe,
@@ -401,19 +473,21 @@ class ServiceEngine:
             return cached
         memo = self._memo(cfg)
         sample = memo.sample(
-            universe, cfg.vicinity_level, cfg.sample_size, epoch=epoch
+            universe, cfg.vicinity_level, cfg.sample_size,
+            epoch=epoch, graph=graph,
         )
         ensure_uniform_sample(sample, cfg.sampler)
         if self.workers > 1 and sample.nodes.size > 1:
             from repro.service.pool import global_pool, pooled_density_matrix
 
+            self._note_published(epoch, graph)
             matrix, _bfs = pooled_density_matrix(
-                global_pool(), self.graph, sample.nodes, events,
+                global_pool(), graph, sample.nodes, events,
                 cfg.vicinity_level, self.workers,
             )
         else:
-            computer = DensityComputer(self.graph.csr)
-            indicators = self.graph.indicator_matrix(list(events))
+            computer = DensityComputer(graph.csr)
+            indicators = graph.indicator_matrix(list(events))
             matrix = computer.density_matrix(
                 sample.nodes, indicators, cfg.vicinity_level
             )
@@ -437,20 +511,23 @@ class ServiceEngine:
         sort_by: str = "score",
         config_overrides: Optional[Dict[str, Any]] = None,
         on_insufficient: str = "keep",
+        at_epoch: Optional[int] = None,
     ) -> Dict[str, Any]:
-        """Progressive top-k at the current epoch (whole-response cached).
+        """Progressive top-k at a pinned snapshot (whole-response cached).
 
-        A fresh :class:`~repro.core.topk.ProgressiveTopKEngine` per miss
-        reproduces exactly what an in-process run on a snapshot would
-        return; the response is cached per ``(k, pairs, config, epoch)``.
+        A fresh :class:`~repro.core.topk.ProgressiveTopKEngine` over the
+        pinned snapshot per miss reproduces exactly what an in-process run
+        at that epoch would return; the response is cached per
+        ``(k, pairs, config, epoch)``.  Same epoch semantics as
+        :meth:`rank`.
         """
         from repro.core.topk import ProgressiveTopKEngine
 
         cfg = self._merge_config(config_overrides or {})
-        with self._lock.read():
+        epoch, graph, lease = self._pin(at_epoch)
+        try:
             self.stats.topk_requests += 1
-            epoch = self.current_epoch()
-            pair_list = resolve_pair_spec(self.graph.event_names(), pairs)
+            pair_list = resolve_pair_spec(graph.event_names(), pairs)
             key = (
                 int(k), tuple(pair_list), sort_by,
                 self._config_digest(cfg), epoch,
@@ -464,9 +541,9 @@ class ServiceEngine:
                 if cached is not None:
                     self.stats.topk_cache_hits += 1
                     return cached
-                engine = ProgressiveTopKEngine(
-                    self.graph, cfg, workers=self.workers
-                )
+                if self.workers > 1:
+                    self._note_published(epoch, graph)
+                engine = ProgressiveTopKEngine(graph, cfg, workers=self.workers)
                 try:
                     ranking = engine.top_k(
                         int(k), pair_list, sort_by=sort_by,
@@ -486,18 +563,23 @@ class ServiceEngine:
                 while len(self._topk_cache) > self.max_cached_topk:
                     self._topk_cache.popitem(last=False)
                 return result
+        finally:
+            if lease is not None:
+                lease.release()
 
     # -- stream --------------------------------------------------------------
 
     def commit(self, delta_records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-        """Apply one delta batch (exclusive) and report its net effect.
+        """Apply one delta batch and report its net effect.
 
-        Takes the writer lock, so every in-flight ``rank``/``topk`` drains
-        first and every later one observes the bumped epoch — a cached
-        ``(pair, epoch)`` entry can therefore never be served after a
-        commit that might have invalidated it.
+        Commits serialise on a plain mutex and **never wait for readers**:
+        in-flight ``rank``/``topk`` calls keep computing against their
+        pinned snapshots while the new epoch is published, and every later
+        read admits at the bumped epoch.  A cached ``(pair, epoch)`` entry
+        can therefore never be served stale — the commit that might have
+        invalidated it lives at a different epoch.
         """
-        if not isinstance(self.graph, DynamicAttributedGraph):
+        if not self._dynamic:
             raise BadRequestError(
                 "this server is static: stream commits need a dynamic graph "
                 "(construct the engine over a DynamicAttributedGraph)"
@@ -510,10 +592,11 @@ class ServiceEngine:
             )
         except Exception as exc:
             raise BadRequestError(f"invalid delta batch: {exc}") from exc
-        with self._lock.write():
+        with self._commit_lock:
             self.stats.commits += 1
             applied = self.graph.apply(batch)
-            epoch = self.current_epoch()
+            epoch = applied.epoch
+        self._sweep_publications()
         return {
             "epoch": epoch,
             "structure_version": applied.structure_version,
@@ -524,12 +607,31 @@ class ServiceEngine:
             "changed": applied.changed,
         }
 
+    # -- snapshot publication lifecycle --------------------------------------
+
+    def _note_published(self, epoch: int, graph: AttributedGraph) -> None:
+        """Record that ``graph`` (a pinned snapshot) may gain a shared-memory
+        publication, so its blocks can be unlinked once the epoch retires."""
+        if graph is self.graph:
+            return
+        with self._publish_lock:
+            self._published.setdefault(int(epoch), graph)
+
+    def _sweep_publications(self) -> None:
+        """Unpublish snapshots whose epoch the lease table no longer retains."""
+        if not self._dynamic or not self._published:
+            return
+        retained = set(self.graph.retained_epochs())
+        with self._publish_lock:
+            for epoch in [e for e in self._published if e not in retained]:
+                unpublish_dataset(self._published.pop(epoch))
+
     # -- introspection / lifecycle -------------------------------------------
 
     def describe(self) -> Dict[str, Any]:
         """Status snapshot (epoch, versions, cache occupancy, counters)."""
         structure_version, events_version = self._graph_versions()
-        return {
+        payload = {
             "epoch": self.current_epoch(),
             "structure_version": structure_version,
             "events_version": events_version,
@@ -537,37 +639,47 @@ class ServiceEngine:
             "num_nodes": self.graph.num_nodes,
             "num_edges": self.graph.num_edges,
             "workers": self.workers,
-            "dynamic": isinstance(self.graph, DynamicAttributedGraph),
+            "dynamic": self._dynamic,
+            "mvcc": self._dynamic,
             "cached_pair_results": len(self._results),
             "cached_matrices": len(self._matrices),
             "cached_topk": len(self._topk_cache),
             "stats": asdict(self.stats),
         }
+        if self._dynamic:
+            payload["retained_epochs"] = self.graph.retained_epochs()
+            payload["retained_bytes"] = self.graph.retained_bytes()
+        return payload
 
     def reference_ranking(self, pairs="all", top_k=None, sort_by="score",
-                          config_overrides=None):
-        """A from-scratch serial ranking of the *current* graph state.
+                          config_overrides=None, at_epoch=None):
+        """A from-scratch serial ranking at the pinned graph state.
 
         Test/debug helper: what a fresh
-        :class:`~repro.core.batch.BatchTescEngine` over a snapshot returns
-        right now — the baseline every service answer must match bit for
-        bit.
+        :class:`~repro.core.batch.BatchTescEngine` over the epoch's
+        snapshot returns — the baseline every service answer must match bit
+        for bit.  ``at_epoch`` re-derives the oracle at any still-retained
+        epoch.
         """
         cfg = self._merge_config(config_overrides or {})
-        snapshot = (
-            self.graph.snapshot()
-            if isinstance(self.graph, DynamicAttributedGraph)
-            else self.graph
-        )
-        return BatchTescEngine(snapshot, cfg).rank_pairs(
-            pairs, top_k=top_k, sort_by=sort_by
-        )
+        epoch, graph, lease = self._pin(at_epoch)
+        try:
+            return BatchTescEngine(graph, cfg).rank_pairs(
+                pairs, top_k=top_k, sort_by=sort_by
+            )
+        finally:
+            if lease is not None:
+                lease.release()
 
     def close(self) -> None:
-        """Drop caches and unlink this graph's shared-memory publication."""
+        """Drop caches and unlink this graph's shared-memory publications."""
         with self._miss_lock:
             self._results.clear()
             self._matrices.clear()
             self._topk_cache.clear()
             self._memos.clear()
+        with self._publish_lock:
+            for snapshot in self._published.values():
+                unpublish_dataset(snapshot)
+            self._published.clear()
         unpublish_dataset(self.graph)

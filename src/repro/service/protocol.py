@@ -1,14 +1,23 @@
-"""Wire protocol of the correlation service.
+"""Wire protocol of the correlation service (v2).
 
 Newline-delimited JSON over a local TCP (or Unix) socket: each request is
 one line ``{"id": ..., "method": ..., "params": {...}}``, each response one
-line ``{"id": ..., "ok": true, "result": {...}}`` or ``{"id": ..., "ok":
-false, "error": {"code": ..., "type": ..., "message": ...}}``.  JSON floats
-round-trip Python's float64 exactly (``repr`` shortest-round-trip), which is
-what lets the bit-identity suites compare service answers against in-process
-rankings field by field.
+line ``{"id": ..., "proto": 2, "epoch": ..., "ok": true, "result": {...}}``
+or ``{"id": ..., "proto": 2, "ok": false, "error": {"code": ..., "type":
+..., "message": ...}}``.  JSON floats round-trip Python's float64 exactly
+(``repr`` shortest-round-trip), which is what lets the bit-identity suites
+compare service answers against in-process rankings field by field.
 
 Methods: ``ping``, ``status``, ``rank``, ``topk``, ``stream``, ``shutdown``.
+
+Protocol v2 (the snapshot-isolation release) adds two envelope fields to
+every response: ``proto``, the protocol **major version** — clients must
+reject responses whose major version they do not speak — and ``epoch``, the
+commit epoch the response was computed at (present on every success whose
+result is epoch-bound; mirrored from the result for ``rank``/``topk``/
+``stream``).  Requests may pass ``at_epoch`` in ``rank``/``topk`` params to
+read a pinned historical snapshot.  v1 servers sent no ``proto`` field;
+clients treat a missing ``proto`` as version 1.
 
 Error codes follow the familiar HTTP shape so backpressure is recognisable:
 ``400`` malformed/invalid request, ``408`` queue-wait timeout, ``429``
@@ -20,6 +29,9 @@ from __future__ import annotations
 
 import json
 from typing import Any, Dict, Optional, Tuple
+
+#: The protocol major version this build speaks.
+PROTO_VERSION = 2
 
 #: Config fields a request may override, and the coercions applied to them.
 CONFIG_FIELDS: Dict[str, type] = {
@@ -107,6 +119,7 @@ def error_response(request_id: Any, error: BaseException) -> Dict[str, Any]:
         code, kind = 500, "internal"
     return {
         "id": request_id,
+        "proto": PROTO_VERSION,
         "ok": False,
         "error": {
             "code": code,
@@ -117,13 +130,49 @@ def error_response(request_id: Any, error: BaseException) -> Dict[str, Any]:
     }
 
 
-def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
-    """The success-response message wrapping ``result``."""
-    return {"id": request_id, "ok": True, "result": result}
+def ok_response(request_id: Any, result: Dict[str, Any],
+                epoch: Optional[int] = None) -> Dict[str, Any]:
+    """The success-response message wrapping ``result``.
+
+    ``epoch`` stamps the envelope; when omitted it is mirrored from
+    ``result["epoch"]`` if the result carries one, so every epoch-bound
+    answer advertises its snapshot at the envelope level.
+    """
+    if epoch is None and isinstance(result, dict):
+        epoch = result.get("epoch")
+    response: Dict[str, Any] = {
+        "id": request_id,
+        "proto": PROTO_VERSION,
+        "ok": True,
+        "result": result,
+    }
+    if epoch is not None:
+        response["epoch"] = int(epoch)
+    return response
+
+
+def check_proto(response: Dict[str, Any]) -> int:
+    """Client side: reject responses from an incompatible major version.
+
+    A missing ``proto`` field means a v1 server — accepted, since v1's
+    request/response shapes are a strict subset of v2.  Anything newer than
+    this build raises :class:`RemoteError` (the safe interpretation of a
+    message whose semantics we cannot know).
+    """
+    proto = response.get("proto", 1)
+    if not isinstance(proto, int) or proto < 1:
+        raise RemoteError(f"malformed protocol version {proto!r} in response")
+    if proto > PROTO_VERSION:
+        raise RemoteError(
+            f"server speaks protocol v{proto}, this client only understands "
+            f"up to v{PROTO_VERSION}; upgrade the client"
+        )
+    return proto
 
 
 def raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
     """Client side: unwrap a response, raising the mapped exception."""
+    check_proto(response)
     if response.get("ok"):
         return response.get("result", {})
     error = response.get("error") or {}
@@ -179,6 +228,19 @@ def parse_config_overrides(raw: Any) -> Dict[str, Any]:
                 f"config field {key!r} has invalid value {value!r}: {exc}"
             ) from exc
     return overrides
+
+
+def parse_at_epoch(params: Dict[str, Any]) -> Optional[int]:
+    """Extract the optional ``at_epoch`` pin from request params."""
+    at_epoch = params.get("at_epoch")
+    if at_epoch is None:
+        return None
+    try:
+        return int(at_epoch)
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(
+            f"at_epoch must be an integer, got {at_epoch!r}"
+        ) from exc
 
 
 def parse_sort_and_k(params: Dict[str, Any]) -> Tuple[Optional[int], str]:

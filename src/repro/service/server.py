@@ -37,6 +37,7 @@ from repro.service.protocol import (
     encode,
     error_response,
     ok_response,
+    parse_at_epoch,
     parse_config_overrides,
     parse_pairs,
     parse_sort_and_k,
@@ -70,6 +71,11 @@ class CorrelationServer:
         Optional hook called as ``throttle(method)`` at the start of every
         gated request *while holding its admission slot* — the concurrency
         tests use it to pin requests in flight deterministically.
+    default_top_k:
+        Server-side default result cap: ``rank`` requests without a
+        ``top_k`` are truncated to this many pairs, and ``topk`` requests
+        may omit ``k`` to mean it (``tesc serve --top-k``).  ``None`` (the
+        default) keeps full rankings.
 
     Usable as a context manager::
 
@@ -88,8 +94,10 @@ class CorrelationServer:
         max_queue: int = 16,
         queue_timeout: Optional[float] = 30.0,
         throttle: Optional[Callable[[str], None]] = None,
+        default_top_k: Optional[int] = None,
     ) -> None:
         self.engine = ServiceEngine(graph, config, workers=workers)
+        self.default_top_k = None if default_top_k is None else int(default_top_k)
         self.admission = AdmissionController(
             max_concurrency=max_concurrency,
             max_queue=max_queue,
@@ -267,21 +275,25 @@ class CorrelationServer:
             return {"stopping": True}
         if method == "rank":
             top_k, sort_by = parse_sort_and_k(params)
+            if top_k is None:
+                top_k = self.default_top_k
             return self.engine.rank(
                 pairs=parse_pairs(params.get("pairs")),
                 top_k=top_k,
                 sort_by=sort_by,
                 config_overrides=parse_config_overrides(params.get("config")),
                 on_insufficient=params.get("on_insufficient", "keep"),
+                at_epoch=parse_at_epoch(params),
             )
         if method == "topk":
-            if "k" not in params:
+            raw_k = params.get("k", self.default_top_k)
+            if raw_k is None:
                 raise BadRequestError("topk requires an integer 'k'")
             try:
-                k = int(params["k"])
+                k = int(raw_k)
             except (TypeError, ValueError) as exc:
                 raise BadRequestError(
-                    f"topk 'k' must be an integer, got {params['k']!r}"
+                    f"topk 'k' must be an integer, got {raw_k!r}"
                 ) from exc
             _top_k, sort_by = parse_sort_and_k(params)
             return self.engine.topk(
@@ -290,6 +302,7 @@ class CorrelationServer:
                 sort_by=sort_by,
                 config_overrides=parse_config_overrides(params.get("config")),
                 on_insufficient=params.get("on_insufficient", "keep"),
+                at_epoch=parse_at_epoch(params),
             )
         if method == "stream":
             deltas = params.get("deltas")

@@ -21,8 +21,9 @@ structurally dirty columns from its cache and patches the rest.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -75,13 +76,37 @@ class DirtyTracker:
     ----------
     level:
         The vicinity level ``h`` the downstream ranker scores at.
+    journal_size:
+        Regions computed with an ``epoch`` tag are kept in a bounded
+        per-epoch journal so snapshot-pinned consumers (debugging a commit
+        after the fact, incremental catch-up from a pinned epoch) can
+        re-read what a commit invalidated without replaying its BFS.
     """
 
-    def __init__(self, level: int) -> None:
+    def __init__(self, level: int, journal_size: int = 16) -> None:
         self.level = check_vicinity_level(level)
+        self.journal_size = max(1, int(journal_size))
+        self._journal: "OrderedDict[int, DirtyRegion]" = OrderedDict()
 
-    def region(self, applied: AppliedBatch) -> DirtyRegion:
-        """The dirty region of one applied batch."""
+    def region_at(self, epoch: int) -> Optional[DirtyRegion]:
+        """The journaled region of the commit that produced ``epoch``.
+
+        Returns ``None`` when the epoch was never journaled (no ``epoch``
+        passed to :meth:`region`) or has aged out of the bounded journal.
+        """
+        return self._journal.get(int(epoch))
+
+    def journaled_epochs(self) -> Tuple[int, ...]:
+        """Epochs currently held in the journal, oldest first."""
+        return tuple(self._journal)
+
+    def region(self, applied: AppliedBatch,
+               epoch: Optional[int] = None) -> DirtyRegion:
+        """The dirty region of one applied batch.
+
+        ``epoch`` — normally ``applied.epoch`` — journals the region under
+        that key; omit it to keep the tracker stateless as before.
+        """
         if applied.structure_changed:
             # The vicinity-index rebase may have run the same endpoint BFS
             # already (same radius, same graphs) — reuse it rather than pay
@@ -112,6 +137,11 @@ class DirtyTracker:
                             region=engine.vicinity(node, self.level),
                         )
                     )
-        return DirtyRegion(
+        region = DirtyRegion(
             level=self.level, structure=structure, event_patches=tuple(patches)
         )
+        if epoch is not None:
+            self._journal[int(epoch)] = region
+            while len(self._journal) > self.journal_size:
+                self._journal.popitem(last=False)
+        return region

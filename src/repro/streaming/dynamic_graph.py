@@ -14,6 +14,7 @@ pre-patch CSR alive so the dirty tracker can run old-graph traversals.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -24,6 +25,7 @@ from repro.exceptions import EdgeError, EventError, NodeNotFoundError
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import dirty_vicinity
 from repro.streaming.delta import EDGE_ADD, EVENT_ATTACH, BatchLike, DeltaBatch
+from repro.streaming.snapshots import EpochLeaseTable, GraphSnapshot, SnapshotLease
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,11 @@ class AppliedBatch:
         removals with old-graph traversals.
     structure_version:
         The graph's structure version *after* this batch.
+    epoch:
+        The graph's commit epoch *after* this batch (unchanged when the
+        batch had no effect).  Readers pin this value via
+        :meth:`DynamicAttributedGraph.pin` to query exactly the state this
+        commit produced.
     vicinity_dirty:
         When the vicinity index was rebased during this apply, the
         per-level dirty-node arrays it computed (level ``h`` → nodes within
@@ -64,6 +71,7 @@ class AppliedBatch:
     new_csr: CSRGraph
     structure_version: int
     vicinity_dirty: Optional[Dict[int, np.ndarray]] = None
+    epoch: int = 0
 
     @property
     def structure_changed(self) -> bool:
@@ -100,7 +108,7 @@ class EmptyAppliedBatch(AppliedBatch):
 class DynamicAttributedGraph(AttributedGraph):
     """An attributed graph whose structure and events evolve via delta batches.
 
-    Construction is identical to :class:`AttributedGraph`.  Two additions:
+    Construction is identical to :class:`AttributedGraph`.  Additions:
 
     * :meth:`apply` commits a :class:`~repro.streaming.delta.DeltaBatch`
       (or any iterable of deltas) in place, returning an
@@ -108,21 +116,131 @@ class DynamicAttributedGraph(AttributedGraph):
     * :attr:`structure_version` counts effective structural commits, giving
       downstream caches (sample memos, density-column caches, BFS engines) a
       cheap staleness test — the streaming analogue of
-      :attr:`EventLayer.version <repro.events.event_set.EventLayer.version>`.
+      :attr:`EventLayer.version <repro.events.event_set.EventLayer.version>`;
+    * :attr:`epoch` counts *effective commits of any kind* (structural or
+      event-only), and :meth:`pin` hands out snapshot leases against the
+      per-epoch lease table, which is what lets service readers run against
+      a frozen state while commits keep landing (see
+      :mod:`repro.streaming.snapshots`).
+
+    Thread-safety contract: :meth:`apply` / :meth:`pin` / :meth:`snapshot` /
+    :attr:`epoch` serialise on one internal mutation lock, so concurrent
+    readers pinning snapshots never observe a half-applied batch.  Reading
+    the live graph without pinning remains as unsynchronised as before.
     """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.structure_version = 0
+        self._epoch = 0
+        self._mutate_lock = threading.RLock()
+        self._leases = EpochLeaseTable()
+        self._epoch_versions = self.versions()
+
+    # -- epochs and snapshots -------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The commit epoch: bumped once per effective :meth:`apply`.
+
+        Out-of-band mutations (code poking :attr:`events` directly instead
+        of going through delta batches) are detected by comparing the
+        version pair and healed with an epoch bump, so the epoch never lies
+        about state identity.
+        """
+        with self._mutate_lock:
+            self._heal_out_of_band()
+            return self._epoch
+
+    def mark_mutated(self) -> int:
+        """Declare an out-of-band mutation and return the new epoch.
+
+        Call this after mutating the graph through anything other than
+        :meth:`apply` (direct :class:`~repro.events.event_set.EventLayer`
+        calls, CSR swaps) so pinned readers and epoch-keyed caches see the
+        state change.  Idempotent while the version pair is unchanged.
+        """
+        with self._mutate_lock:
+            self._heal_out_of_band()
+            return self._epoch
+
+    def _heal_out_of_band(self) -> None:
+        """Bump the epoch if versions moved without an apply (lock held)."""
+        if self.versions() != self._epoch_versions:
+            self._epoch += 1
+            self._epoch_versions = self.versions()
+            self._leases.advance(self._epoch)
+
+    def _current_state(self) -> GraphSnapshot:
+        """The (memoised) snapshot of the current epoch (lock held)."""
+        self._heal_out_of_band()
+        state = self._leases.state(self._epoch)
+        if state is None:
+            state = GraphSnapshot(
+                self.csr,
+                self.events.copy(),
+                self.labels,
+                epoch=self._epoch,
+                structure_version=self.structure_version,
+            )
+            self._leases.publish(self._epoch, state)
+        return state
+
+    def pin(self, epoch: Optional[int] = None) -> SnapshotLease:
+        """Pin an epoch's snapshot and return the lease.
+
+        ``epoch=None`` pins the current epoch, building (and memoising) its
+        snapshot on first demand — snapshot publication is lazy, so a
+        write-heavy stream that nobody queries never copies anything.
+        Pinning an older epoch succeeds only while some other lease still
+        retains it; otherwise :class:`~repro.exceptions.SnapshotExpiredError`
+        is raised.  Release the lease (or use it as a context manager) when
+        the read finishes so retired row arrays can be freed.
+
+        ``pin()`` is *wait-free* once the current epoch's snapshot exists:
+        it leases the newest published state straight from the table without
+        touching the mutation lock, so readers admitted while a commit is
+        mid-apply are served the pre-commit epoch instead of waiting out the
+        apply.  (The lock is only taken on the first pin of a new epoch, to
+        build and publish its snapshot.)  Out-of-band mutations bypassing
+        :meth:`apply` are healed by the next locked operation — call
+        :meth:`mark_mutated` after such writes to heal eagerly.
+        """
+        if epoch is None:
+            lease = self._leases.acquire_latest()
+            if lease is not None:
+                return lease
+        with self._mutate_lock:
+            self._heal_out_of_band()
+            if epoch is None or int(epoch) == self._epoch:
+                self._current_state()
+                return self._leases.acquire(self._epoch)
+        # Past epochs need no graph access — the table alone decides.
+        return self._leases.acquire(int(epoch))
+
+    def retained_epochs(self) -> List[int]:
+        """Epochs whose snapshots are still held (current and/or leased)."""
+        return self._leases.retained_epochs()
+
+    def retained_bytes(self) -> int:
+        """CSR row bytes retained across kept snapshots (shared CSRs once)."""
+        return self._leases.retained_bytes()
+
+    def lease_count(self, epoch: int) -> int:
+        """Live leases pinning ``epoch``."""
+        return self._leases.lease_count(epoch)
 
     def empty_batch(self) -> AppliedBatch:
         """An :class:`AppliedBatch` representing "nothing changed"."""
-        return EmptyAppliedBatch(
-            batch=DeltaBatch(deltas=()),
-            added_edges=(), removed_edges=(), attached=(), detached=(),
-            old_csr=self.csr, new_csr=self.csr,
-            structure_version=self.structure_version,
-        )
+        with self._mutate_lock:
+            self._heal_out_of_band()
+            return EmptyAppliedBatch(
+                batch=DeltaBatch(deltas=()),
+                added_edges=(), removed_edges=(), attached=(), detached=(),
+                old_csr=self.csr, new_csr=self.csr,
+                structure_version=self.structure_version,
+                epoch=self._epoch,
+            )
 
     def apply(self, batch: BatchLike) -> AppliedBatch:
         """Commit one delta batch in place and report its net effect.
@@ -136,7 +254,34 @@ class DynamicAttributedGraph(AttributedGraph):
         :class:`~repro.exceptions.NodeNotFoundError` and self-loops
         :class:`~repro.exceptions.EdgeError`; nothing is applied until the
         whole batch validates, so a failed apply leaves the graph untouched.
+
+        Commits serialise on the graph's mutation lock; an effective batch
+        bumps :attr:`epoch` and advances the snapshot lease table, retiring
+        every unleased older snapshot.
         """
+        with self._mutate_lock:
+            self._heal_out_of_band()
+            applied = self._apply_locked(batch)
+            if applied.changed:
+                self._epoch += 1
+                self._epoch_versions = self.versions()
+                self._leases.advance(self._epoch)
+                applied = AppliedBatch(
+                    batch=applied.batch,
+                    added_edges=applied.added_edges,
+                    removed_edges=applied.removed_edges,
+                    attached=applied.attached,
+                    detached=applied.detached,
+                    old_csr=applied.old_csr,
+                    new_csr=applied.new_csr,
+                    structure_version=applied.structure_version,
+                    vicinity_dirty=applied.vicinity_dirty,
+                    epoch=self._epoch,
+                )
+            return applied
+
+    def _apply_locked(self, batch: BatchLike) -> AppliedBatch:
+        """The batch netting + splice body of :meth:`apply` (lock held)."""
         batch = DeltaBatch.coerce(batch)
         old_csr = self.csr
 
@@ -230,6 +375,7 @@ class DynamicAttributedGraph(AttributedGraph):
             new_csr=new_csr,
             structure_version=self.structure_version,
             vicinity_dirty=vicinity_dirty,
+            epoch=self._epoch,
         )
 
     def _rebase_vicinity(
@@ -259,12 +405,17 @@ class DynamicAttributedGraph(AttributedGraph):
         self._vicinity_index = index.rebase(new_csr, dirty)
         return dirty
 
-    def snapshot(self) -> AttributedGraph:
-        """A *static* deep-enough copy of the current state.
+    def snapshot(self) -> GraphSnapshot:
+        """The current epoch's frozen state (memoised per epoch).
 
-        The returned :class:`AttributedGraph` shares the immutable CSR but
-        owns a copied event layer, so ranking it with a fresh
+        The returned :class:`~repro.streaming.snapshots.GraphSnapshot` — an
+        :class:`AttributedGraph` — shares the immutable CSR but owns a
+        copied event layer, so ranking it with a fresh
         :class:`~repro.core.batch.BatchTescEngine` gives the from-scratch
-        baseline the streaming equivalence tests compare against.
+        baseline the streaming equivalence tests compare against.  Repeated
+        calls at the same epoch return the same object; the snapshot stays
+        valid for as long as the caller references it, independent of lease
+        retention (use :meth:`pin` when you need the lease lifecycle).
         """
-        return AttributedGraph(self.csr, self.events.copy(), labels=self.labels)
+        with self._mutate_lock:
+            return self._current_state()

@@ -150,12 +150,19 @@ class CommitStats:
 
 @dataclass(frozen=True)
 class RankingDelta:
-    """The outcome of one commit: what changed, and the full new ranking."""
+    """The outcome of one commit: what changed, and the full new ranking.
+
+    ``epoch`` is the graph's commit epoch after the batch landed — the value
+    a reader passes to
+    :meth:`~repro.streaming.dynamic_graph.DynamicAttributedGraph.pin` (or a
+    service's ``at_epoch``) to query exactly the state this commit produced.
+    """
 
     version: int
     changed: Tuple[PairChange, ...]
     ranking: PairRanking
     stats: CommitStats
+    epoch: int = 0
 
     def __len__(self) -> int:
         return len(self.changed)
@@ -251,6 +258,11 @@ class ContinuousRanker:
         on_insufficient: str = "keep",
         max_cached_columns: int = MAX_CACHED_COLUMNS,
     ) -> None:
+        from repro.deprecation import warn_deprecated_construction
+
+        warn_deprecated_construction(
+            "ContinuousRanker", "open_session(graph, config).commit(...)"
+        )
         if not isinstance(dynamic, DynamicAttributedGraph):
             raise ConfigurationError(
                 "ContinuousRanker needs a DynamicAttributedGraph; wrap your "
@@ -329,14 +341,18 @@ class ContinuousRanker:
 
     # -- internals -----------------------------------------------------------
 
-    def _fresh_sampler(self):
-        """A brand-new sampler over the *current* graph with a fresh RNG.
+    def _fresh_sampler(self, graph=None):
+        """A brand-new sampler with a fresh RNG (over ``graph`` if given).
 
         Goes through the same :func:`~repro.core.batch.make_config_sampler`
         factory as :class:`BatchTescEngine`, which is what makes a memo miss
-        reproduce a from-scratch engine's draw bit for bit.
+        reproduce a from-scratch engine's draw bit for bit.  The optional
+        ``graph`` hook lets the :class:`~repro.sampling.cache.SampleMemo`
+        draw against a pinned snapshot instead of the live graph.
         """
-        return make_config_sampler(self.dynamic, self.config)
+        return make_config_sampler(
+            self.dynamic if graph is None else graph, self.config
+        )
 
     def _engine(self) -> BFSEngine:
         """The BFS engine over the current structure (rebuilt after patches)."""
@@ -591,7 +607,7 @@ class ContinuousRanker:
                 else self.dynamic.empty_batch()
             )
         with timer.lap("dirty"):
-            region = self._tracker.region(applied)
+            region = self._tracker.region(applied, epoch=applied.epoch)
             self._invalidate(region, stats)
         self._graph_version = self.dynamic.structure_version
         self._events_version = self.dynamic.events.version
@@ -685,4 +701,5 @@ class ContinuousRanker:
             changed=tuple(changed),
             ranking=self.ranking,
             stats=stats,
+            epoch=applied.epoch,
         )

@@ -1,0 +1,196 @@
+"""Tests for epoch-pinned copy-on-write snapshots and the lease table."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import SnapshotExpiredError
+from repro.graph.generators import erdos_renyi_graph
+from repro.streaming import Delta, DynamicAttributedGraph
+from repro.streaming.snapshots import EpochLeaseTable, GraphSnapshot
+
+
+def _dynamic(events=None):
+    graph = erdos_renyi_graph(60, 0.08, random_state=5)
+    if events is None:
+        events = {"a": range(0, 20), "b": range(15, 35)}
+    return DynamicAttributedGraph(graph, events)
+
+
+def _absent_edge(dynamic, avoid=()):
+    for x in range(dynamic.num_nodes):
+        for y in range(x + 1, dynamic.num_nodes):
+            if not dynamic.csr.has_edge(x, y) and (x, y) not in avoid:
+                return (x, y)
+    raise AssertionError("graph is complete")
+
+
+class TestEpochs:
+    def test_effective_commit_bumps_epoch(self):
+        dynamic = _dynamic()
+        assert dynamic.epoch == 0
+        applied = dynamic.apply([Delta.edge_add(*_absent_edge(dynamic))])
+        assert applied.changed
+        assert applied.epoch == 1
+        assert dynamic.epoch == 1
+
+    def test_noop_commit_keeps_epoch(self):
+        dynamic = _dynamic()
+        u, v = next(iter(dynamic.csr.edges()))
+        applied = dynamic.apply([Delta.edge_add(u, v)])  # already exists
+        assert not applied.changed
+        assert applied.epoch == 0
+        assert dynamic.epoch == 0
+
+    def test_event_only_commit_bumps_epoch(self):
+        dynamic = _dynamic()
+        applied = dynamic.apply([Delta.event_attach("a", 50)])
+        assert applied.epoch == 1
+        assert dynamic.epoch == 1
+
+    def test_out_of_band_mutation_healed(self):
+        dynamic = _dynamic()
+        # Poking the event layer directly bypasses apply(); the next epoch
+        # read must notice the version change and advance.
+        dynamic.events.add_occurrence("a", 55)
+        assert dynamic.epoch == 1
+
+
+class TestLeases:
+    def test_pin_returns_current_epoch_lease(self):
+        dynamic = _dynamic()
+        lease = dynamic.pin()
+        assert lease.epoch == 0
+        assert isinstance(lease.graph, GraphSnapshot)
+        assert lease.graph.epoch == 0
+        lease.release()
+        assert lease.released
+
+    def test_lease_keeps_retired_epoch_readable(self):
+        dynamic = _dynamic()
+        lease = dynamic.pin()
+        dynamic.apply([Delta.edge_add(*_absent_edge(dynamic))])
+        assert dynamic.epoch == 1
+        assert 0 in dynamic.retained_epochs()
+        # The pinned graph still shows the pre-commit state.
+        assert lease.graph.csr.num_edges == dynamic.csr.num_edges - 1
+        lease.release()
+        assert 0 not in dynamic.retained_epochs()
+
+    def test_unretained_epoch_raises(self):
+        dynamic = _dynamic()
+        dynamic.apply([Delta.event_attach("a", 50)])
+        with pytest.raises(SnapshotExpiredError):
+            dynamic.pin(0)
+        with pytest.raises(SnapshotExpiredError):
+            dynamic.pin(99)
+
+    def test_release_is_idempotent(self):
+        dynamic = _dynamic()
+        lease = dynamic.pin()
+        other = dynamic.pin()
+        lease.release()
+        lease.release()
+        assert dynamic.lease_count(0) == 1
+        other.release()
+        assert dynamic.lease_count(0) == 0
+
+    def test_context_manager_releases(self):
+        dynamic = _dynamic()
+        with dynamic.pin() as lease:
+            assert dynamic.lease_count(0) == 1
+            assert lease.epoch == 0
+        assert dynamic.lease_count(0) == 0
+
+    def test_retired_rows_freed_after_last_lease(self):
+        dynamic = _dynamic()
+        first = dynamic.pin()
+        second = dynamic.pin(0)
+        dynamic.apply([Delta.edge_add(*_absent_edge(dynamic))])
+        dynamic.apply([Delta.event_attach("b", 50)])
+        dynamic.snapshot()  # force the (lazy) current-epoch publication
+        # Epoch 0's CSR predates the COW splice; it stays resident only
+        # while some lease pins it.
+        assert set(dynamic.retained_epochs()) == {0, 2}
+        bytes_with_history = dynamic.retained_bytes()
+        first.release()
+        assert set(dynamic.retained_epochs()) == {0, 2}
+        second.release()
+        assert set(dynamic.retained_epochs()) == {2}
+        assert dynamic.retained_bytes() < bytes_with_history
+
+    def test_pin_is_wait_free_while_commit_in_flight(self):
+        # Once the current epoch is published, pin() leases it straight
+        # from the table without touching the mutation lock — a reader
+        # admitted mid-apply is served the pre-commit epoch immediately.
+        dynamic = _dynamic()
+        dynamic.snapshot()  # publish epoch 0
+        acquired = []
+        with dynamic._mutate_lock:  # a commit is mid-apply indefinitely
+            thread = threading.Thread(
+                target=lambda: acquired.append(dynamic.pin())
+            )
+            thread.start()
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "pin() blocked behind the commit"
+        assert acquired[0].epoch == 0
+        acquired[0].release()
+
+    def test_snapshot_memoised_per_epoch(self):
+        dynamic = _dynamic()
+        assert dynamic.snapshot() is dynamic.snapshot()
+        before = dynamic.snapshot()
+        dynamic.apply([Delta.event_attach("a", 50)])
+        after = dynamic.snapshot()
+        assert after is not before
+        assert after.epoch == 1
+
+    def test_snapshot_is_frozen(self):
+        dynamic = _dynamic()
+        snapshot = dynamic.snapshot()
+        nodes_before = list(snapshot.event_nodes("a"))
+        dynamic.apply([Delta.event_attach("a", 50), Delta.event_detach("b", 20)])
+        assert list(snapshot.event_nodes("a")) == nodes_before
+        assert snapshot.csr is not dynamic.csr or snapshot.events is not dynamic.events
+
+
+class TestLeaseTable:
+    def test_advance_sweeps_unleased_epochs(self):
+        table = EpochLeaseTable()
+        table.publish(0, object())
+        table.advance(1)
+        # Epoch 1's state is built lazily on first pin, so nothing is
+        # retained; the point is that epoch 0's state is gone.
+        assert table.retained_epochs() == []
+        assert table.state(0) is None
+        assert table.current_epoch == 1
+
+    def test_acquire_counts(self):
+        table = EpochLeaseTable()
+        table.publish(0, object())
+        lease_a = table.acquire(0)
+        lease_b = table.acquire(0)
+        assert table.lease_count(0) == 2
+        lease_a.release()
+        lease_b.release()
+        assert table.lease_count(0) == 0
+
+    def test_concurrent_pins_never_lose_counts(self):
+        dynamic = _dynamic()
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    lease = dynamic.pin()
+                    lease.release()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert dynamic.lease_count(dynamic.epoch) == 0

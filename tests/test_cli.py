@@ -339,6 +339,7 @@ class TestStreamCommand:
         assert "final ranking" in output
         assert "re-scored" in output
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_stream_matches_static_rank_after_replay(self, files, capsys):
         """The final streamed ranking equals a static rank of the final graph."""
         from repro.core.batch import BatchTescEngine
@@ -371,3 +372,126 @@ class TestStreamCommand:
         final_block = streamed.split("final ranking:")[1]
         for pair in static:
             assert f"{pair.score:+.4f}" in final_block
+
+
+class TestSharedEngineFlags:
+    """rank/topk/stream/serve/experiment accept the same engine flags."""
+
+    SHARED = ["--workers", "2", "--kendall-kernel", "fast",
+              "--top-k", "3", "--seed", "9"]
+
+    def _parse(self, argv):
+        return build_parser().parse_args(argv)
+
+    def test_every_engine_subcommand_accepts_shared_flags(self):
+        parser_cases = {
+            "rank": ["rank", "--edges", "e", "--events", "v"],
+            "topk": ["topk", "--edges", "e", "--events", "v"],
+            "stream": ["stream", "--edges", "e", "--events", "v",
+                       "--deltas", "d"],
+            "serve": ["serve", "--edges", "e", "--events", "v"],
+            "experiment": ["experiment", "figure5"],
+        }
+        for command, argv in parser_cases.items():
+            args = self._parse(argv + self.SHARED)
+            assert args.command == command
+            assert args.workers == 2
+            assert args.kendall_kernel == "fast"
+            assert args.top_k == 3
+            assert args.seed == 9
+
+    def test_shared_flag_defaults(self):
+        args = self._parse(["serve", "--edges", "e", "--events", "v"])
+        assert args.workers is None
+        assert args.kendall_kernel == "auto"
+        assert args.top_k is None
+        assert args.seed is None
+
+    def test_stream_concurrent_queries_flag(self):
+        args = self._parse(
+            ["stream", "--edges", "e", "--events", "v", "--deltas", "d",
+             "--concurrent-queries", "4"]
+        )
+        assert args.concurrent_queries == 4
+
+    def test_topk_without_k_or_top_k_errors(self, tmp_path, capsys):
+        graph = community_ring_graph(6, 30, 5.0, 8, random_state=2)
+        edges_path = tmp_path / "graph.txt"
+        events_path = tmp_path / "events.txt"
+        write_edge_list(graph, str(edges_path))
+        write_event_file({"a": list(range(0, 30))}, str(events_path))
+        exit_code = main(
+            ["topk", "--edges", str(edges_path), "--events", str(events_path)]
+        )
+        assert exit_code == 2
+        assert "--k / --top-k" in capsys.readouterr().err
+
+
+class TestTopkAlias:
+    @pytest.fixture
+    def files(self, tmp_path):
+        graph = community_ring_graph(6, 30, 5.0, 8, random_state=2)
+        edges_path = tmp_path / "graph.txt"
+        events_path = tmp_path / "events.txt"
+        write_edge_list(graph, str(edges_path))
+        write_event_file(
+            {
+                "a": list(range(0, 30)),
+                "b": list(range(10, 40)),
+                "c": list(range(90, 120)),
+            },
+            str(events_path),
+        )
+        return str(edges_path), str(events_path)
+
+    def test_top_k_is_an_alias_for_k(self, files, capsys):
+        edges_path, events_path = files
+        base = ["topk", "--edges", edges_path, "--events", events_path,
+                "--sample-size", "80", "--seed", "3"]
+        assert main(base + ["--k", "2"]) == 0
+        via_k = capsys.readouterr().out
+        assert main(base + ["--top-k", "2"]) == 0
+        via_alias = capsys.readouterr().out
+        assert via_k == via_alias
+
+
+class TestStreamConcurrentQueries:
+    @pytest.fixture
+    def files(self, tmp_path):
+        from repro.streaming import DeltaLog
+
+        graph = community_ring_graph(6, 30, 5.0, 8, random_state=2)
+        edges_path = tmp_path / "graph.txt"
+        events_path = tmp_path / "events.txt"
+        deltas_path = tmp_path / "deltas.jsonl"
+        write_edge_list(graph, str(edges_path))
+        write_event_file(
+            {"a": list(range(0, 30)), "b": list(range(10, 40))},
+            str(events_path),
+        )
+        log = DeltaLog()
+        log.attach_event("a", 95)
+        log.seal()
+        log.attach_event("b", 100)
+        log.seal()
+        log.save(str(deltas_path))
+        return str(edges_path), str(events_path), str(deltas_path)
+
+    def test_concurrent_queries_report_epoch_spread(self, files, capsys):
+        edges_path, events_path, deltas_path = files
+        exit_code = main(
+            [
+                "stream",
+                "--edges", edges_path,
+                "--events", events_path,
+                "--deltas", deltas_path,
+                "--sample-size", "80",
+                "--seed", "3",
+                "--concurrent-queries", "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "final ranking" in output
+        assert "snapshot-isolated ranks from 2 thread(s)" in output
+        assert "while 2 commit(s) replayed" in output
