@@ -277,9 +277,14 @@ class Session:
         return self.engine.describe()
 
     @property
-    def stats(self):
-        """Lifetime counters (:class:`~repro.service.engine.ServiceStats`)."""
-        return self.engine.stats
+    def metrics(self):
+        """The session engine's :class:`~repro.obs.MetricsRegistry`.
+
+        Lifetime counters (requests, cache hits/misses, snapshot pins) live
+        here; ``session.metrics.snapshot()`` returns them as a plain dict
+        and ``session.metrics.value(name)`` reads one.
+        """
+        return self.engine.metrics
 
     def close(self) -> None:
         """Release engine caches and shared-memory publications."""

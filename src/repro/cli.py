@@ -21,7 +21,12 @@ Subcommands
 ``tesc serve``
     Start the correlation service: a persistent server answering
     ``rank``/``topk``/``stream`` requests over a local socket, with a
-    long-lived shared-memory worker pool and epoch-keyed result caching.
+    long-lived shared-memory worker pool and epoch-keyed result caching
+    (``--metrics-port`` adds a Prometheus HTTP endpoint,
+    ``--slow-request-seconds`` a JSON-lines slow-request log).
+``tesc status``
+    Summarise a running server's status and metrics once, or as a live
+    terminal dashboard with ``--watch``.
 ``tesc experiment``
     Run one of the paper's experiments (figure5 ... table5) and print the
     regenerated tables.
@@ -35,7 +40,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import Any, Dict, List, Optional
 
 from repro import __version__
 from repro.core.batch import SORT_KEYS
@@ -259,6 +265,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--queue-timeout", type=float, default=30.0,
         help="seconds a queued request may wait before a 408 timeout",
+    )
+    serve_parser.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also serve Prometheus text metrics over HTTP on this port "
+             "(0 picks a free one, printed at startup); the metrics "
+             "protocol verb works regardless",
+    )
+    serve_parser.add_argument(
+        "--slow-request-seconds", type=float, default=None,
+        help="log requests slower than this as JSON lines (span tree "
+             "included) through the repro.obs.slowlog logger",
+    )
+
+    status_parser = subparsers.add_parser(
+        "status",
+        help="summarise a running server's status and metrics",
+    )
+    status_parser.add_argument("--host", default="127.0.0.1")
+    status_parser.add_argument("--port", type=int, required=True,
+                               help="port of the running tesc serve instance")
+    status_parser.add_argument(
+        "--watch", action="store_true",
+        help="refresh the summary every --interval seconds until Ctrl-C",
+    )
+    status_parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period for --watch, in seconds",
+    )
+    status_parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop --watch after this many refreshes (mainly for tests)",
     )
 
     experiment_parser = subparsers.add_parser(
@@ -580,6 +617,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         kendall_kernel=args.kendall_kernel,
         random_state=args.seed,
     )
+    if args.slow_request_seconds is not None:
+        # Route the slow-request JSON lines to stderr so they interleave
+        # cleanly with the startup banner on stdout.
+        from repro.obs.slowlog import SLOWLOG_LOGGER_NAME
+        from repro.utils.logging import configure_json_logging
+
+        configure_json_logging(SLOWLOG_LOGGER_NAME, stream=sys.stderr)
     server = CorrelationServer(
         attributed, config,
         workers=args.workers,
@@ -588,12 +632,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         queue_timeout=args.queue_timeout,
         default_top_k=args.top_k,
+        metrics_port=args.metrics_port,
+        slow_request_seconds=args.slow_request_seconds,
     )
     server.start()
     host, port = server.address
     mode = "static" if args.static else "dynamic"
     print(f"tesc serve: listening on {host}:{port} "
           f"({mode} graph, {server.engine.workers} worker(s))", flush=True)
+    if args.metrics_port is not None:
+        metrics_host, metrics_port = server.metrics_address
+        print(f"tesc serve: metrics on http://{metrics_host}:{metrics_port}/metrics",
+              flush=True)
     try:
         # The accept loop runs on a daemon thread; park the main thread
         # until the client-issued shutdown (or Ctrl-C) stops the server.
@@ -604,6 +654,69 @@ def _command_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
     return 0
+
+
+def _render_status(status: Dict[str, Any]) -> str:
+    """One terminal-friendly summary of a server's status payload."""
+    overview = {
+        key: status.get(key)
+        for key in (
+            "epoch", "dynamic", "workers", "num_events", "num_nodes",
+            "num_edges", "cached_pair_results", "cached_matrices",
+            "cached_topk",
+        )
+    }
+    if "retained_epochs" in status:
+        overview["retained_epochs"] = len(status["retained_epochs"])
+        overview["retained_bytes"] = status.get("retained_bytes")
+    admission = status.get("admission", {})
+    sections = [
+        render_mapping(overview, title="server"),
+        render_mapping(admission, title="admission"),
+    ]
+    metrics = status.get("metrics") or {}
+    if metrics:
+        table = TextTable(["metric", "value"])
+        for name, family in sorted(metrics.items()):
+            for entry in family.get("values", []):
+                labels = entry.get("labels") or {}
+                suffix = (
+                    "{" + ",".join(
+                        f"{k}={v}" for k, v in sorted(labels.items())
+                    ) + "}"
+                    if labels else ""
+                )
+                if family.get("type") == "histogram":
+                    count, total = entry.get("count", 0), entry.get("sum", 0.0)
+                    mean = total / count if count else 0.0
+                    value = f"n={count} mean={mean:.4f}s"
+                else:
+                    value = entry.get("value")
+                table.add_row([name + suffix, value])
+        sections.append("metrics\n" + table.render())
+    return "\n\n".join(sections)
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    from repro.service import CorrelationClient
+
+    refreshes = 0
+    try:
+        while True:
+            with CorrelationClient(args.host, args.port) as client:
+                status = client.status()
+            if args.watch:
+                # Clear and re-home the terminal for a live dashboard feel.
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_status(status), flush=True)
+            refreshes += 1
+            if not args.watch:
+                return 0
+            if args.iterations is not None and refreshes >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -704,6 +817,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_stream(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "status":
+        return _command_status(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "dataset":

@@ -52,6 +52,7 @@ from repro.core.estimators import (
 )
 from repro.events.attributed_graph import AttributedGraph
 from repro.exceptions import ConfigurationError, InsufficientSampleError
+from repro.obs.trace import stage
 from repro.sampling.base import ReferenceSample
 from repro.sampling.cache import CachingSampler, event_nodes_fingerprint
 from repro.sampling.registry import create_sampler
@@ -586,13 +587,17 @@ class BatchTescEngine:
         self.attributed.indicator_matrix(events)
 
         universe = self._universe(events)
-        sample, matrix_key = self._shared_sample(cfg, universe, timer, call_stats)
-        matrix = self._density_matrix(
-            cfg, events, sample, matrix_key, timer, call_stats
-        )
-        batcher = self._batcher(matrix, matrix_key + (tuple(events),), cfg)
+        with stage("sampling"):
+            sample, matrix_key = self._shared_sample(
+                cfg, universe, timer, call_stats
+            )
+        with stage("density"):
+            matrix = self._density_matrix(
+                cfg, events, sample, matrix_key, timer, call_stats
+            )
+            batcher = self._batcher(matrix, matrix_key + (tuple(events),), cfg)
 
-        with timer.lap("estimates"):
+        with timer.lap("estimates"), stage("estimate", pairs=len(pair_list)):
             results = self._estimate_pair_list(
                 pair_list, row_of, matrix, batcher, cfg, on_insufficient
             )

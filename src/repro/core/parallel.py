@@ -59,6 +59,7 @@ from repro.core.config import TescConfig
 from repro.core.density import DensityMatrix
 from repro.events.attributed_graph import AttributedGraph
 from repro.exceptions import ConfigurationError
+from repro.obs.trace import attach_remote, propagation, stage
 from repro.utils.timing import Timer
 
 
@@ -170,11 +171,12 @@ def estimate_matrix_pairs_sharded(
     base_kwargs = asdict(cfg)
     base_kwargs["random_state"] = None
     matrix_ref = publish_matrix(matrix)
+    span_ctx = propagation()
     try:
-        shard_results = pool.run_tasks(
+        shard_outputs = pool.run_tasks(
             _estimate_shard_task,
             [
-                (matrix_ref, row_of, shard, base_kwargs, on_insufficient)
+                (matrix_ref, row_of, shard, base_kwargs, on_insufficient, span_ctx)
                 for shard in shards
             ],
             workers=num_shards,
@@ -182,8 +184,9 @@ def estimate_matrix_pairs_sharded(
     finally:
         release_matrix(matrix_ref)
     results: List[RankedPair] = []
-    for shard_result in shard_results:
+    for shard_result, record in shard_outputs:
         results.extend(shard_result)
+        attach_remote(record)
     return results
 
 
@@ -330,16 +333,18 @@ class ParallelBatchTescEngine:
         # parent before any worker is involved.
         self.attributed.indicator_matrix(events)
         universe = self._serial._universe(events)
-        sample, matrix_key = self._serial._shared_sample(
-            cfg, universe, timer, call_stats
-        )
+        with stage("sampling"):
+            sample, matrix_key = self._serial._shared_sample(
+                cfg, universe, timer, call_stats
+            )
 
         pool = self._pool()
-        matrix = self._matrix(
-            matrix_key + (tuple(events),), pool, sample.nodes, events, cfg,
-            worker_count, timer, call_stats,
-        )
-        with timer.lap("estimates"):
+        with stage("density", workers=worker_count):
+            matrix = self._matrix(
+                matrix_key + (tuple(events),), pool, sample.nodes, events, cfg,
+                worker_count, timer, call_stats,
+            )
+        with timer.lap("estimates"), stage("estimate", workers=worker_count):
             results = estimate_matrix_pairs_sharded(
                 pool, matrix, row_of, pair_list, cfg, on_insufficient,
                 worker_count,

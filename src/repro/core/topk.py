@@ -69,6 +69,8 @@ from repro.core.estimators import PairEstimateBatcher, variance_upper_bound
 from repro.core.parallel import estimate_matrix_pairs_sharded, resolve_workers
 from repro.events.attributed_graph import AttributedGraph
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import NULL_REGISTRY
+from repro.obs.trace import stage
 from repro.sampling.cache import CachingSampler
 from repro.stats.normal import critical_z
 from repro.utils.timing import Timer
@@ -266,6 +268,7 @@ class ProgressiveTopKEngine:
         config: Optional[TescConfig] = None,
         workers: Optional[int] = None,
         mp_context: Optional[str] = None,
+        metrics=None,
     ) -> None:
         self.attributed = attributed
         self.config = config if config is not None else TescConfig()
@@ -275,6 +278,27 @@ class ProgressiveTopKEngine:
         self._samplers: Dict[tuple, CachingSampler] = {}
         self._private_pool = None
         self.stats = TopKStats(workers=self.workers)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_rounds = self.metrics.counter(
+            "tesc_topk_rounds_total",
+            "Progressive rounds executed (screening and final).",
+        )
+        self._m_pruned = self.metrics.counter(
+            "tesc_topk_pairs_pruned_total",
+            "Pairs eliminated by confidence-bound pruning.",
+        )
+        self._m_survived = self.metrics.counter(
+            "tesc_topk_pairs_survived_total",
+            "Pairs that reached the full-budget final estimate.",
+        )
+        self._m_screens = self.metrics.counter(
+            "tesc_topk_screen_estimates_total",
+            "Cheap screening estimates computed across rounds.",
+        )
+        self._m_finals = self.metrics.counter(
+            "tesc_topk_final_estimates_total",
+            "Full-budget estimates computed for surviving pairs.",
+        )
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -322,7 +346,9 @@ class ProgressiveTopKEngine:
         key = (cfg.sampler, cfg.batch_per_vicinity, seed_token)
         cached = self._samplers.get(key)
         if cached is None:
-            cached = CachingSampler(make_config_sampler(self.attributed, cfg))
+            cached = CachingSampler(
+                make_config_sampler(self.attributed, cfg), metrics=self.metrics
+            )
             self._samplers[key] = cached
         return cached
 
@@ -389,7 +415,7 @@ class ProgressiveTopKEngine:
 
         sampler = self._sampler(cfg)
         misses_before = sampler.misses
-        with timer.lap("sampling"):
+        with timer.lap("sampling"), stage("sampling"):
             growth = sampler.growable(
                 universe, cfg.vicinity_level, cfg.sample_size
             )
@@ -416,9 +442,10 @@ class ProgressiveTopKEngine:
         while pending:
             target = pending.pop(0)
             final_round = not pending
-            with timer.lap("sampling"):
+            self._m_rounds.inc()
+            with timer.lap("sampling"), stage("sampling", target=int(target)):
                 order_nodes = growth.grow_to(target)
-            with timer.lap("densities"):
+            with timer.lap("densities"), stage("density"):
                 if matrix is None:
                     new_count = order_nodes.size
                     matrix = self._density_computer.density_matrix(
@@ -444,7 +471,7 @@ class ProgressiveTopKEngine:
                 break
 
             entering = len(active)
-            with timer.lap("screening"):
+            with timer.lap("screening"), stage("screening", pairs=entering):
                 screened: List[Tuple[Tuple[str, str], float, float]] = []
                 for pair in active:
                     columns = matrix.pair_rows(row_of[pair[0]], row_of[pair[1]])
@@ -502,14 +529,16 @@ class ProgressiveTopKEngine:
                 # pruned nothing); jump straight to the full budget.
                 pending = pending[-1:]
 
-        with timer.lap("sampling"):
+        with timer.lap("sampling"), stage("sampling"):
             sample = growth.full_sample()
         ensure_uniform_sample(sample, cfg.sampler)
 
         # Final full-budget estimates for the survivors — the exact
         # rank_pairs arithmetic (shared density matrix, rank vectors,
         # size-dispatched kernels), optionally sharded across workers.
-        with timer.lap("estimates"):
+        with timer.lap("estimates"), stage(
+            "estimate", pairs=len(active), workers=worker_count
+        ):
             if worker_count > 1 and len(active) > 1:
                 results = estimate_matrix_pairs_sharded(
                     self._pool(), matrix, row_of, active, cfg, on_insufficient,
@@ -569,6 +598,10 @@ class ProgressiveTopKEngine:
 
     def _accumulate(self, call_stats: TopKStats) -> None:
         """Fold one call's counters into the engine-lifetime :attr:`stats`."""
+        self._m_pruned.inc(call_stats.pairs_pruned)
+        self._m_survived.inc(call_stats.pairs_survived)
+        self._m_screens.inc(call_stats.screen_estimates)
+        self._m_finals.inc(call_stats.final_estimates)
         self.stats.num_events = call_stats.num_events
         self.stats.num_pairs += call_stats.num_pairs
         self.stats.pairs_pruned += call_stats.pairs_pruned

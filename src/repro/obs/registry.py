@@ -1,0 +1,462 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+Every long-lived component of the service stack (the engine, the admission
+controller, the lease table, the samplers, the progressive top-k engine)
+hangs its lifetime counters off one :class:`MetricsRegistry`.  The registry
+is deliberately tiny and self-contained — no client library, no background
+threads — because the service must stay importable in the bare scientific
+toolchain the repo targets:
+
+* **Counters** only go up.  Increments take a per-metric lock, so totals
+  reconcile *exactly* with the number of calls even under thread hammering
+  (asserted by the concurrency reconciliation suite — a bare ``+=`` can
+  drop increments at bytecode boundaries).
+* **Gauges** hold a point-in-time value; :meth:`Gauge.set_function` binds a
+  pull callback instead (cache occupancy, lease retention), evaluated at
+  snapshot time so the gauge can never go stale.
+* **Histograms** bucket observations into monotonic upper bounds (plus a
+  ``+Inf`` overflow), keeping cumulative bucket counts, the running sum and
+  the observation count — the exact shape Prometheus expects.
+
+Families may declare label names; :meth:`MetricFamily.labels` returns the
+per-label-values child metric, created on first use.  The whole registry
+snapshots to a plain dict (:meth:`MetricsRegistry.snapshot` — JSON-safe,
+served by the ``metrics`` protocol verb) and renders to the Prometheus text
+exposition format (:meth:`MetricsRegistry.exposition`, served over HTTP by
+``tesc serve --metrics-port``).
+
+A registry constructed with ``enabled=False`` hands out shared no-op
+metrics: every instrument call is a constant-time method on a singleton,
+which is what the ``bench_micro`` overhead guard compares the instrumented
+path against.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets, in seconds (sub-millisecond to tens of seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """A float in Prometheus text form (integers without the trailing .0)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+class Counter:
+    """A monotonically increasing counter (exact under concurrency)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value, settable directly or bound to a callback."""
+
+    __slots__ = ("_fn", "_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._fn = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Bind a pull callback; the gauge reads it at snapshot time."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                # A callback bound to torn-down state must never break a
+                # metrics scrape; report an impossible-but-harmless value.
+                return float("nan")
+        return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram over monotonic upper bounds."""
+
+    __slots__ = ("_bucket_counts", "_count", "_lock", "_sum", "bounds")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing, got {bounds}"
+            )
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            # Per-bucket (non-cumulative) counts; cumulative_buckets() sums.
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+                    break
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> Dict[str, int]:
+        """``{upper_bound: cumulative_count}`` including the ``+Inf`` bucket."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+            total = self._count
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            cumulative[_format_value(bound)] = running
+        cumulative["+Inf"] = total
+        return cumulative
+
+
+class _NullMetric:
+    """Shared no-op stand-in for every metric kind (disabled registries)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **_labels: str) -> "_NullMetric":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    def cumulative_buckets(self) -> Dict[str, int]:
+        return {}
+
+
+#: The process-wide no-op metric every disabled registry hands out.
+NULL_METRIC = _NullMetric()
+
+
+class MetricFamily:
+    """One named metric plus its per-label-values children.
+
+    Families without label names proxy the instrument methods straight to
+    their single anonymous child, so ``registry.counter("x").inc()`` works
+    without a ``labels()`` hop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not self.label_names:
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self._buckets)
+
+    def labels(self, **labels: str):
+        """The child metric for these label values (created on first use)."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    def _default_child(self):
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} is labelled {self.label_names}; "
+                "call .labels(...) first"
+            )
+        return self._children[()]
+
+    # Convenience passthroughs for label-less families.
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._default_child().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+    @property
+    def count(self) -> int:
+        return self._default_child().count
+
+    @property
+    def sum(self) -> float:
+        return self._default_child().sum
+
+    def cumulative_buckets(self) -> Dict[str, int]:
+        return self._default_child().cumulative_buckets()
+
+    def children(self) -> List[Tuple[Dict[str, str], object]]:
+        """``(labels_dict, metric)`` pairs, label-sorted for stable output."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.label_names, key)), metric)
+            for key, metric in items
+        ]
+
+
+class MetricsRegistry:
+    """A named collection of metric families, snapshot-able two ways.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every registration into the shared no-op metric —
+        the zero-overhead build the instrumentation benchmark compares
+        against.  Disabled registries snapshot to ``{}``.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._families: "Dict[str, MetricFamily]" = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        if not self.enabled:
+            return NULL_METRIC
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != tuple(label_names):
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{family.kind} with labels {family.label_names}"
+                    )
+                return family
+            family = MetricFamily(name, kind, help_text, label_names, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()):
+        """Register (or fetch) a counter family."""
+        return self._register(name, "counter", help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()):
+        """Register (or fetch) a gauge family."""
+        return self._register(name, "gauge", help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS):
+        """Register (or fetch) a histogram family."""
+        return self._register(name, "histogram", help_text, labels, buckets)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every family as a plain (JSON-safe) dict, name-sorted."""
+        result: Dict[str, Dict[str, object]] = {}
+        for family in self.families():
+            values: List[Dict[str, object]] = []
+            for labels, metric in family.children():
+                if family.kind == "histogram":
+                    values.append({
+                        "labels": labels,
+                        "count": metric.count,
+                        "sum": metric.sum,
+                        "buckets": metric.cumulative_buckets(),
+                    })
+                else:
+                    values.append({"labels": labels, "value": metric.value})
+            result[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "values": values,
+            }
+        return result
+
+    def value(self, name: str, **labels: str) -> float:
+        """One metric's current value (histograms report their count)."""
+        with self._lock:
+            family = self._families.get(name)
+        if family is None:
+            raise KeyError(f"no metric named {name!r}")
+        metric = family.labels(**labels) if labels else family._default_child()
+        if family.kind == "histogram":
+            return float(metric.count)
+        return float(metric.value)
+
+    def exposition(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                escaped = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {family.name} {escaped}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, metric in family.children():
+                base = _render_labels(labels)
+                if family.kind == "histogram":
+                    for bound, count in metric.cumulative_buckets().items():
+                        bucket_labels = _render_labels({**labels, "le": bound})
+                        lines.append(
+                            f"{family.name}_bucket{bucket_labels} {count}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{base} {_format_value(metric.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{base} {metric.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{base} {_format_value(metric.value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels.items()
+    )
+    return "{" + parts + "}"
+
+
+#: Shared always-disabled registry for "no metrics, zero overhead" callers.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,71 @@
+"""Structured slow-request logging: JSON lines carrying the span tree.
+
+Any root request span whose duration crosses the configured threshold is
+emitted as **one JSON document per line** through the library's logging
+namespace (``repro.obs.slowlog``) — machine-parseable, stage-attributed,
+and wired to a bare-``message`` handler by
+:func:`repro.utils.logging.configure_json_logging` so the line *is* the
+document.  The engine calls :meth:`SlowRequestLog.maybe_log` from its
+trace sink; a threshold of ``None`` disables the log entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Optional
+
+from repro.obs.trace import Span
+from repro.utils.logging import get_logger
+
+SLOWLOG_LOGGER_NAME = "obs.slowlog"
+
+
+class SlowRequestLog:
+    """Emit requests slower than ``threshold_seconds`` as JSON lines.
+
+    Parameters
+    ----------
+    threshold_seconds:
+        Requests at or above this duration are logged; ``None`` logs
+        nothing (the default service configuration).
+    logger:
+        Override the destination logger (tests pass a capturing one).
+    """
+
+    def __init__(
+        self,
+        threshold_seconds: Optional[float] = None,
+        logger: Optional[logging.Logger] = None,
+    ) -> None:
+        self.threshold_seconds = (
+            None if threshold_seconds is None else float(threshold_seconds)
+        )
+        self._logger = logger if logger is not None else get_logger(
+            SLOWLOG_LOGGER_NAME
+        )
+        self.emitted = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_seconds is not None
+
+    def maybe_log(self, span: Span) -> bool:
+        """Log ``span`` if it crossed the threshold; returns whether it did."""
+        if (
+            self.threshold_seconds is None
+            or span.duration is None
+            or span.duration < self.threshold_seconds
+        ):
+            return False
+        document = {
+            "event": "slow_request",
+            "request": span.name,
+            "seconds": span.duration,
+            "threshold_seconds": self.threshold_seconds,
+            "trace_id": span.trace_id,
+            "span_tree": span.to_dict(),
+        }
+        self._logger.warning(json.dumps(document, sort_keys=True, default=str))
+        self.emitted += 1
+        return True

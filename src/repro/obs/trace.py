@@ -1,0 +1,266 @@
+"""Per-request span trees: stage timings that survive the fork boundary.
+
+A *span* is one timed region of a request — ``rank`` → ``sampling`` →
+``density`` → ``estimate`` — held in a tree rooted at the request span.
+Nesting is implicit through a :mod:`contextvars` variable: :func:`trace`
+pushes a span for the ``with`` body and attaches it to whatever span was
+current, so instrumented library code composes without threading a context
+object through every call.
+
+Two entry points with different zero-state behaviour:
+
+* :func:`trace` always records; roots call ``sink(span)`` on completion
+  (the engine's sink feeds its :class:`TraceBuffer` and slow-request log).
+* :func:`stage` records **only when a request span is already open** —
+  library hot paths (the batch engine, the top-k round loop) call it
+  unconditionally and pay one contextvar read when nobody is tracing.
+
+**Fork propagation.**  Worker-pool tasks cannot share the parent's
+contextvars, so the boundary is crossed by value: the parent passes
+:func:`propagation` (a small picklable dict naming the current span), the
+worker times itself and returns :func:`remote_record`, and the parent
+grafts it back with :func:`attach_remote` — a pre-measured child span
+marked ``remote`` whose duration is the worker's own wall clock.  Worker
+CPU is thereby attributed to the exact request (and stage) that dispatched
+it, while shard spans stay bounded by their enclosing stage's wall time.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+_CURRENT: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_TRACE_COUNTER = itertools.count(1)
+_SPAN_COUNTER = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"t{os.getpid():x}-{next(_TRACE_COUNTER):x}"
+
+
+def _new_span_id() -> str:
+    return f"s{next(_SPAN_COUNTER):x}"
+
+
+class Span:
+    """One timed region; durations in seconds, children in start order."""
+
+    __slots__ = (
+        "children", "duration", "name", "parent_id", "remote", "span_id",
+        "started_at", "tags", "trace_id", "_t0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id if trace_id is not None else _new_trace_id()
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.tags: Dict[str, Any] = dict(tags or {})
+        self.children: List["Span"] = []
+        self.remote = False
+        self.started_at = time.time()
+        self._t0: Optional[float] = time.perf_counter()
+        self.duration: Optional[float] = None
+
+    def end(self) -> None:
+        """Stamp the duration (idempotent)."""
+        if self.duration is None and self._t0 is not None:
+            self.duration = time.perf_counter() - self._t0
+
+    def child_seconds(self) -> float:
+        """Wall time covered by direct children (ended ones)."""
+        return sum(c.duration or 0.0 for c in self.children)
+
+    def find(self, name: str) -> List["Span"]:
+        """Every descendant (and self) named ``name``, preorder."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span tree as a JSON-safe nested dict."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "seconds": self.duration,
+            "remote": self.remote,
+            "tags": dict(self.tags),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        seconds = "open" if self.duration is None else f"{self.duration:.6f}s"
+        return f"Span({self.name!r}, {seconds}, children={len(self.children)})"
+
+
+def current_span() -> Optional[Span]:
+    """The innermost span open on this thread/context (None outside one)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def trace(
+    name: str,
+    sink: Optional[Callable[[Span], None]] = None,
+    **tags: Any,
+) -> Iterator[Span]:
+    """Open a span named ``name`` for the ``with`` body.
+
+    Nested calls build the tree automatically.  When the span is a root
+    (no enclosing span), ``sink`` is called with the finished span —
+    errors raised by the body still reach the sink, so slow *failing*
+    requests are logged too.
+    """
+    parent = _CURRENT.get()
+    span = Span(
+        name,
+        trace_id=parent.trace_id if parent is not None else None,
+        parent_id=parent.span_id if parent is not None else None,
+        tags=tags,
+    )
+    token = _CURRENT.set(span)
+    try:
+        yield span
+    finally:
+        span.end()
+        _CURRENT.reset(token)
+        if parent is not None:
+            parent.children.append(span)
+        elif sink is not None:
+            try:
+                sink(span)
+            except Exception:
+                pass  # observability must never fail the request
+
+
+@contextmanager
+def stage(name: str, **tags: Any) -> Iterator[Optional[Span]]:
+    """A child span — recorded only if a request span is already open.
+
+    Library code calls this on every hot path; when nothing is tracing
+    (serial engines outside the service) the cost is one contextvar read.
+    """
+    if _CURRENT.get() is None:
+        yield None
+        return
+    with trace(name, **tags) as span:
+        yield span
+
+
+# -- fork-boundary propagation -------------------------------------------------
+
+
+def propagation() -> Optional[Dict[str, str]]:
+    """The current span as a picklable wire context (None when not tracing).
+
+    Pass this into a worker-pool task; the worker hands it to
+    :func:`remote_record` so its timing can be grafted back.
+    """
+    span = _CURRENT.get()
+    if span is None:
+        return None
+    return {"trace_id": span.trace_id, "span_id": span.span_id}
+
+
+def remote_record(
+    name: str,
+    seconds: float,
+    context: Optional[Dict[str, str]],
+    **tags: Any,
+) -> Optional[Dict[str, Any]]:
+    """Worker-side: package a self-measured duration for the parent.
+
+    Returns ``None`` when no context was propagated (nobody is tracing),
+    so tasks can pass the result straight back unconditionally.
+    """
+    if context is None:
+        return None
+    return {
+        "name": name,
+        "seconds": float(seconds),
+        "trace_id": context.get("trace_id"),
+        "parent_id": context.get("span_id"),
+        "tags": {**tags, "pid": os.getpid()},
+    }
+
+
+def attach_remote(record: Optional[Dict[str, Any]]) -> Optional[Span]:
+    """Parent-side: graft a worker's :func:`remote_record` onto the current
+    span as a pre-measured remote child.  No-op outside a trace or for
+    ``None`` records."""
+    parent = _CURRENT.get()
+    if parent is None or not record:
+        return None
+    span = Span(
+        str(record.get("name", "remote")),
+        trace_id=parent.trace_id,
+        parent_id=parent.span_id,
+        tags=record.get("tags") or {},
+    )
+    span.remote = True
+    span._t0 = None
+    span.duration = float(record.get("seconds", 0.0))
+    parent.children.append(span)
+    return span
+
+
+# -- root-span retention -------------------------------------------------------
+
+
+class TraceBuffer:
+    """A bounded ring of recent root spans (request span trees).
+
+    The engine keeps one per server so ``status``/tests can inspect the
+    stage breakdown of recent requests without any external collector.
+    """
+
+    def __init__(self, maxlen: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._spans: Deque[Span] = deque(maxlen=max(1, int(maxlen)))
+        self.recorded = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self.recorded += 1
+
+    def spans(self) -> List[Span]:
+        """Retained root spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Retained span trees as JSON-safe dicts, newest last."""
+        spans = self.spans()
+        if limit is not None:
+            limit = int(limit)
+            spans = spans[-limit:] if limit > 0 else []
+        return [span.to_dict() for span in spans]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)

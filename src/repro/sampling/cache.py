@@ -19,6 +19,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
+from repro.obs.registry import NULL_REGISTRY
 from repro.sampling.base import (
     EagerSampleGrowth,
     ReferenceSample,
@@ -45,6 +46,11 @@ class CachingSampler(ReferenceSampler):
     inner:
         The sampler that actually draws samples on a cache miss.
 
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; when given, hit/miss
+        totals are mirrored into ``tesc_sampler_cache_{hits,misses}_total``
+        so the service's hit ratios are scrapeable.
+
     Notes
     -----
     Reuse changes the statistics only in the sense that repeated queries see
@@ -55,12 +61,21 @@ class CachingSampler(ReferenceSampler):
 
     name = "caching"
 
-    def __init__(self, inner: ReferenceSampler) -> None:
+    def __init__(self, inner: ReferenceSampler, metrics=None) -> None:
         super().__init__(inner.graph, random_state=inner.rng)
         self.inner = inner
         self._cache: Dict[Tuple[str, int, int], ReferenceSample] = {}
         self.hits = 0
         self.misses = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_hits = registry.counter(
+            "tesc_sampler_cache_hits_total",
+            "Reference samples served from the sampler memo.",
+        )
+        self._m_misses = registry.counter(
+            "tesc_sampler_cache_misses_total",
+            "Reference samples drawn fresh on sampler-memo misses.",
+        )
 
     def sample(self, event_nodes: np.ndarray, level: int,
                sample_size: int) -> ReferenceSample:
@@ -68,8 +83,10 @@ class CachingSampler(ReferenceSampler):
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            self._m_hits.inc()
             return cached
         self.misses += 1
+        self._m_misses.inc()
         sample = self.inner.sample(event_nodes, level, sample_size)
         self._cache[key] = sample
         return sample
@@ -91,11 +108,13 @@ class CachingSampler(ReferenceSampler):
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            self._m_hits.inc()
             return EagerSampleGrowth(cached)
         if not self.inner.incremental_growth:
             # One eager draw through sample() (memoising it as usual).
             return EagerSampleGrowth(self.sample(event_nodes, level, budget))
         self.misses += 1
+        self._m_misses.inc()
         return _RegisteringGrowth(
             self.inner.growable(event_nodes, level, budget), self._cache, key
         )
@@ -166,15 +185,27 @@ class SampleMemo:
     max_entries:
         Older entries are evicted beyond this count (the streaming ranker
         normally needs exactly one live entry per monitored universe).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; hit/miss totals are
+        mirrored into ``tesc_sample_memo_{hits,misses}_total``.
     """
 
     def __init__(self, factory: Callable[..., ReferenceSampler],
-                 max_entries: int = 8) -> None:
+                 max_entries: int = 8, metrics=None) -> None:
         self.factory = factory
         self.max_entries = max(1, int(max_entries))
         self._cache: Dict[Tuple[str, int, int, int], ReferenceSample] = {}
         self.hits = 0
         self.misses = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_hits = registry.counter(
+            "tesc_sample_memo_hits_total",
+            "Epoch-keyed sample draws served from the memo.",
+        )
+        self._m_misses = registry.counter(
+            "tesc_sample_memo_misses_total",
+            "Epoch-keyed sample draws taken fresh through the factory.",
+        )
 
     def sample(self, event_nodes: np.ndarray, level: int, sample_size: int,
                epoch: int = 0, graph=None) -> ReferenceSample:
@@ -191,8 +222,10 @@ class SampleMemo:
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
+            self._m_hits.inc()
             return cached
         self.misses += 1
+        self._m_misses.inc()
         sampler = self.factory() if graph is None else self.factory(graph)
         sample = sampler.sample(event_nodes, level, sample_size)
         while len(self._cache) >= self.max_entries:

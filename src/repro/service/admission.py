@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.registry import NULL_REGISTRY
 from repro.service.protocol import OverloadedError, RequestTimeoutError
 
 
@@ -50,6 +51,10 @@ class AdmissionController:
     queue_timeout:
         Longest a request may wait for a slot, in seconds (``None`` waits
         indefinitely — only sensible in tests).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; mirrors the lifetime
+        counters into ``tesc_admission_*_total`` and exposes live queue
+        depth through pull gauges.
 
     Use as a context manager around request execution::
 
@@ -62,6 +67,7 @@ class AdmissionController:
         max_concurrency: int = 4,
         max_queue: int = 16,
         queue_timeout: Optional[float] = 30.0,
+        metrics=None,
     ) -> None:
         self.max_concurrency = max(1, int(max_concurrency))
         self.max_queue = max(0, int(max_queue))
@@ -70,6 +76,27 @@ class AdmissionController:
         self._running = 0
         self._waiting = 0
         self.stats = AdmissionStats()
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_admitted = registry.counter(
+            "tesc_admission_admitted_total",
+            "Gated requests that claimed an execution slot.",
+        )
+        self._m_rejected = registry.counter(
+            "tesc_admission_rejected_total",
+            "Gated requests rejected outright with 429 (queue full).",
+        )
+        self._m_timed_out = registry.counter(
+            "tesc_admission_timed_out_total",
+            "Queued requests that gave up with 408 before a slot freed.",
+        )
+        registry.gauge(
+            "tesc_admission_running",
+            "Requests currently holding an execution slot.",
+        ).set_function(lambda: self._running)
+        registry.gauge(
+            "tesc_admission_queue_depth",
+            "Requests currently queued for an execution slot.",
+        ).set_function(lambda: self._waiting)
 
     def admit(self) -> "_Admission":
         """Claim an execution slot (or raise), released by context exit."""
@@ -81,6 +108,7 @@ class AdmissionController:
             if self._running >= self.max_concurrency:
                 if self._waiting >= self.max_queue:
                     self.stats.rejected += 1
+                    self._m_rejected.inc()
                     raise OverloadedError(
                         f"server overloaded: {self._running} running, "
                         f"{self._waiting} queued (limits: "
@@ -96,6 +124,7 @@ class AdmissionController:
                         )
                         if remaining is not None and remaining <= 0:
                             self.stats.timed_out += 1
+                            self._m_timed_out.inc()
                             raise RequestTimeoutError(
                                 "request timed out after waiting "
                                 f"{self.queue_timeout:.3g}s for an execution slot"
@@ -105,6 +134,7 @@ class AdmissionController:
                     self._waiting -= 1
             self._running += 1
             self.stats.admitted += 1
+            self._m_admitted.inc()
             self.stats.peak_running = max(self.stats.peak_running, self._running)
         return _Admission(self)
 

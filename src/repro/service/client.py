@@ -187,6 +187,16 @@ class CorrelationClient:
         """Commit one batch of delta records; returns the new epoch."""
         return self.request("stream", {"deltas": list(deltas)})
 
+    def metrics(self, traces: int = 0) -> Dict[str, Any]:
+        """The server's metrics registry: snapshot dict + Prometheus text.
+
+        Ungated like ``ping``/``status``, so it answers under overload.
+        ``traces`` > 0 additionally returns that many recent request span
+        trees from the server's trace buffer.
+        """
+        params = {"traces": int(traces)} if traces else None
+        return self.request("metrics", params)
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server to stop (acknowledged before it tears down)."""
         return self.request("shutdown")

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import asdict, dataclass
+from dataclasses import asdict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.batch import (
@@ -67,6 +67,14 @@ from repro.exceptions import (
     ConfigurationError,
     InsufficientSampleError,
     SnapshotExpiredError,
+)
+from repro.obs import (
+    MetricsRegistry,
+    SlowRequestLog,
+    Span,
+    TraceBuffer,
+    stage,
+    trace,
 )
 from repro.sampling.cache import SampleMemo, event_nodes_fingerprint
 from repro.service.protocol import BadRequestError
@@ -151,20 +159,6 @@ def pair_record(pair: RankedPair) -> Dict[str, Any]:
     }
 
 
-@dataclass
-class ServiceStats:
-    """Lifetime counters of one :class:`ServiceEngine`."""
-
-    rank_requests: int = 0
-    topk_requests: int = 0
-    commits: int = 0
-    pair_cache_hits: int = 0
-    pair_cache_misses: int = 0
-    topk_cache_hits: int = 0
-    matrices_computed: int = 0
-    snapshots_pinned: int = 0
-
-
 class ServiceEngine:
     """Snapshot-isolated ``rank``/``topk``/``stream`` execution over one graph.
 
@@ -186,6 +180,19 @@ class ServiceEngine:
     max_cached_results / max_cached_matrices / max_cached_topk:
         LRU bounds of the per-pair result cache, the density-matrix cache
         and the whole-response top-k cache.
+    metrics:
+        The :class:`~repro.obs.MetricsRegistry` to instrument into.  The
+        default is a fresh enabled registry owned by this engine, so one
+        server's counters reconcile exactly with its own request history;
+        pass :data:`~repro.obs.NULL_REGISTRY` for a no-op build (the
+        overhead benchmark's baseline).
+    trace_buffer_size:
+        How many recent request span trees to retain in
+        :attr:`trace_buffer` for introspection.
+    slow_request_seconds:
+        Requests slower than this are emitted as JSON lines through the
+        ``repro.obs.slowlog`` logger, span tree included (``None``
+        disables the slow-request log).
     """
 
     def __init__(
@@ -196,6 +203,9 @@ class ServiceEngine:
         max_cached_results: int = 65536,
         max_cached_matrices: int = 8,
         max_cached_topk: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
+        trace_buffer_size: int = 64,
+        slow_request_seconds: Optional[float] = None,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else TescConfig()
@@ -222,7 +232,86 @@ class ServiceEngine:
         # have triggered; swept once the lease table no longer retains it.
         self._published: Dict[int, AttributedGraph] = {}
         self._publish_lock = threading.Lock()
-        self.stats = ServiceStats()
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_buffer = TraceBuffer(trace_buffer_size)
+        self.slow_log = SlowRequestLog(slow_request_seconds)
+        self._instrument()
+
+    def _instrument(self) -> None:
+        """Register this engine's metric families on :attr:`metrics`."""
+        m = self.metrics
+        self._m_requests = m.counter(
+            "tesc_requests_total", "Requests the engine executed, by method.",
+            labels=("method",),
+        )
+        self._m_request_seconds = m.histogram(
+            "tesc_request_seconds", "Request latency in seconds, by method.",
+            labels=("method",),
+        )
+        self._m_pair_hits = m.counter(
+            "tesc_pair_cache_hits_total",
+            "Per-pair results served from the epoch-keyed cache.",
+        )
+        self._m_pair_misses = m.counter(
+            "tesc_pair_cache_misses_total",
+            "Per-pair results computed on epoch-keyed cache misses.",
+        )
+        self._m_coalesced = m.counter(
+            "tesc_singleflight_coalesced_total",
+            "Pair results adopted from a concurrent identical computation "
+            "instead of being recomputed (single-flight re-check hits).",
+        )
+        self._m_topk_hits = m.counter(
+            "tesc_topk_cache_hits_total",
+            "Whole top-k responses served from the epoch-keyed cache.",
+        )
+        self._m_matrices = m.counter(
+            "tesc_matrices_computed_total",
+            "Shared density matrices computed (cache misses).",
+        )
+        self._m_pins = m.counter(
+            "tesc_snapshots_pinned_total",
+            "Snapshot leases taken by reads (pin-at-admission).",
+        )
+        self._m_active_pins = m.gauge(
+            "tesc_reader_pins",
+            "Snapshot leases currently held by in-flight reads.",
+        )
+        self._m_commits = m.counter(
+            "tesc_commits_total", "Delta batches committed."
+        )
+        self._m_commit_seconds = m.histogram(
+            "tesc_commit_seconds",
+            "Commit latency in seconds (apply + epoch publication).",
+        )
+        m.gauge(
+            "tesc_cached_pair_results", "Entries in the per-pair result cache."
+        ).set_function(lambda: len(self._results))
+        m.gauge(
+            "tesc_cached_matrices", "Entries in the density-matrix cache."
+        ).set_function(lambda: len(self._matrices))
+        m.gauge(
+            "tesc_cached_topk", "Entries in the whole-response top-k cache."
+        ).set_function(lambda: len(self._topk_cache))
+        if self._dynamic:
+            m.gauge(
+                "tesc_retained_epochs",
+                "Epochs whose snapshots the lease table still holds.",
+            ).set_function(lambda: len(self.graph.retained_epochs()))
+            m.gauge(
+                "tesc_retained_bytes",
+                "CSR row bytes retained across kept snapshots.",
+            ).set_function(self.graph.retained_bytes)
+            m.gauge(
+                "tesc_lease_sweeps",
+                "Snapshot states the lease table has retired (lifetime).",
+            ).set_function(lambda: self.graph.lease_sweeps)
+
+    def _finish_trace(self, span: Span) -> None:
+        """Root-span sink: retain the tree, emit the slow-request log."""
+        self.trace_buffer.record(span)
+        self.slow_log.maybe_log(span)
 
     # -- epoch plumbing ------------------------------------------------------
 
@@ -264,7 +353,8 @@ class ServiceEngine:
         """
         if self._dynamic:
             lease = self.graph.pin(at_epoch)
-            self.stats.snapshots_pinned += 1
+            self._m_pins.inc()
+            self._m_active_pins.inc()
             return lease.epoch, lease.graph, lease
         epoch = self.current_epoch()
         if at_epoch is not None and int(at_epoch) != epoch:
@@ -306,7 +396,8 @@ class ServiceEngine:
             memo = SampleMemo(
                 lambda graph=None: make_config_sampler(
                     live if graph is None else graph, cfg
-                )
+                ),
+                metrics=self.metrics,
             )
             self._memos[key] = memo
         return memo
@@ -341,47 +432,52 @@ class ServiceEngine:
                 f'on_insufficient must be "keep" or "raise", got {on_insufficient!r}'
             )
         cfg = self._merge_config(config_overrides or {})
-        epoch, graph, lease = self._pin(at_epoch)
-        try:
-            self.stats.rank_requests += 1
-            pair_list = resolve_pair_spec(graph.event_names(), pairs)
-            events = sorted({event for pair in pair_list for event in pair})
-            # Surfaces unknown events before any sampling work happens.
-            graph.indicator_matrix(events)
-            universe = event_universe(graph, events)
-            universe_fp = event_nodes_fingerprint(universe)
-            digest = self._config_digest(cfg)
+        self._m_requests.labels(method="rank").inc()
+        with trace("rank", sink=self._finish_trace) as span:
+            epoch, graph, lease = self._pin(at_epoch)
+            try:
+                pair_list = resolve_pair_spec(graph.event_names(), pairs)
+                events = sorted({event for pair in pair_list for event in pair})
+                # Surfaces unknown events before any sampling work happens.
+                graph.indicator_matrix(events)
+                universe = event_universe(graph, events)
+                universe_fp = event_nodes_fingerprint(universe)
+                digest = self._config_digest(cfg)
 
-            by_pair: Dict[Tuple[str, str], RankedPair] = {}
-            missing: List[Tuple[str, str]] = []
-            for pair in pair_list:
-                cached = self._results.get((pair, digest, universe_fp, epoch))
-                if cached is not None:
-                    by_pair[pair] = cached
-                else:
-                    missing.append(pair)
-            hits = len(pair_list) - len(missing)
-            self.stats.pair_cache_hits += hits
-            if missing:
-                computed = self._compute_pairs(
-                    graph, cfg, events, universe, universe_fp, digest, epoch,
-                    missing, on_insufficient,
-                )
-                by_pair.update(computed)
-                self.stats.pair_cache_misses += len(missing)
-            results = [by_pair[pair] for pair in pair_list]
-            if on_insufficient == "raise":
-                for pair in results:
-                    if pair.insufficient:
-                        raise InsufficientSampleError(
-                            f"pair ({pair.event_a!r}, {pair.event_b!r}) has only "
-                            f"{pair.num_reference_nodes} reference nodes in the "
-                            "shared sample"
-                        )
-            ranked = finalise_ranking(results, sort_by, top_k)
-        finally:
-            if lease is not None:
-                lease.release()
+                by_pair: Dict[Tuple[str, str], RankedPair] = {}
+                missing: List[Tuple[str, str]] = []
+                for pair in pair_list:
+                    cached = self._results.get((pair, digest, universe_fp, epoch))
+                    if cached is not None:
+                        by_pair[pair] = cached
+                    else:
+                        missing.append(pair)
+                hits = len(pair_list) - len(missing)
+                self._m_pair_hits.inc(hits)
+                if missing:
+                    computed = self._compute_pairs(
+                        graph, cfg, events, universe, universe_fp, digest, epoch,
+                        missing, on_insufficient,
+                    )
+                    by_pair.update(computed)
+                    self._m_pair_misses.inc(len(missing))
+                results = [by_pair[pair] for pair in pair_list]
+                if on_insufficient == "raise":
+                    for pair in results:
+                        if pair.insufficient:
+                            raise InsufficientSampleError(
+                                f"pair ({pair.event_a!r}, {pair.event_b!r}) has only "
+                                f"{pair.num_reference_nodes} reference nodes in the "
+                                "shared sample"
+                            )
+                ranked = finalise_ranking(results, sort_by, top_k)
+            finally:
+                if lease is not None:
+                    lease.release()
+                    self._m_active_pins.dec()
+            span.tags["pairs"] = len(pair_list)
+            span.tags["epoch"] = epoch
+        self._m_request_seconds.labels(method="rank").observe(span.duration)
         return {
             "pairs": [pair_record(pair) for pair in ranked],
             "epoch": epoch,
@@ -421,6 +517,8 @@ class ServiceEngine:
                     computed[pair] = cached
                 else:
                     still_missing.append(pair)
+            if computed:
+                self._m_coalesced.inc(len(computed))
             if not still_missing:
                 return computed
 
@@ -431,17 +529,18 @@ class ServiceEngine:
             # Insufficient pairs are cached as insufficient records even in
             # "raise" mode; the caller raises after assembly, and "keep"
             # requests for the same pair still hit the cache.
-            if self.workers > 1 and len(still_missing) > 1:
-                from repro.service.pool import global_pool
+            with stage("estimate", pairs=len(still_missing)):
+                if self.workers > 1 and len(still_missing) > 1:
+                    from repro.service.pool import global_pool
 
-                fresh = estimate_matrix_pairs_sharded(
-                    global_pool(), matrix, row_of, still_missing, cfg,
-                    "keep", self.workers,
-                )
-            else:
-                fresh = estimate_pair_list(
-                    still_missing, row_of, matrix, batcher, cfg, "keep"
-                )
+                    fresh = estimate_matrix_pairs_sharded(
+                        global_pool(), matrix, row_of, still_missing, cfg,
+                        "keep", self.workers,
+                    )
+                else:
+                    fresh = estimate_pair_list(
+                        still_missing, row_of, matrix, batcher, cfg, "keep"
+                    )
             for pair_result in fresh:
                 pair = pair_result.events
                 computed[pair] = pair_result
@@ -472,25 +571,27 @@ class ServiceEngine:
             self._matrices.move_to_end(key)
             return cached
         memo = self._memo(cfg)
-        sample = memo.sample(
-            universe, cfg.vicinity_level, cfg.sample_size,
-            epoch=epoch, graph=graph,
-        )
+        with stage("sampling"):
+            sample = memo.sample(
+                universe, cfg.vicinity_level, cfg.sample_size,
+                epoch=epoch, graph=graph,
+            )
         ensure_uniform_sample(sample, cfg.sampler)
-        if self.workers > 1 and sample.nodes.size > 1:
-            from repro.service.pool import global_pool, pooled_density_matrix
+        with stage("density", workers=self.workers):
+            if self.workers > 1 and sample.nodes.size > 1:
+                from repro.service.pool import global_pool, pooled_density_matrix
 
-            self._note_published(epoch, graph)
-            matrix, _bfs = pooled_density_matrix(
-                global_pool(), graph, sample.nodes, events,
-                cfg.vicinity_level, self.workers,
-            )
-        else:
-            computer = DensityComputer(graph.csr)
-            indicators = graph.indicator_matrix(list(events))
-            matrix = computer.density_matrix(
-                sample.nodes, indicators, cfg.vicinity_level
-            )
+                self._note_published(epoch, graph)
+                matrix, _bfs = pooled_density_matrix(
+                    global_pool(), graph, sample.nodes, events,
+                    cfg.vicinity_level, self.workers,
+                )
+            else:
+                computer = DensityComputer(graph.csr)
+                indicators = graph.indicator_matrix(list(events))
+                matrix = computer.density_matrix(
+                    sample.nodes, indicators, cfg.vicinity_level
+                )
         batcher = PairEstimateBatcher(
             matrix.densities,
             kernel=cfg.kendall_kernel,
@@ -499,7 +600,7 @@ class ServiceEngine:
         while len(self._matrices) >= self.max_cached_matrices:
             self._matrices.popitem(last=False)
         self._matrices[key] = (matrix, batcher)
-        self.stats.matrices_computed += 1
+        self._m_matrices.inc()
         return matrix, batcher
 
     # -- topk ----------------------------------------------------------------
@@ -524,48 +625,76 @@ class ServiceEngine:
         from repro.core.topk import ProgressiveTopKEngine
 
         cfg = self._merge_config(config_overrides or {})
-        epoch, graph, lease = self._pin(at_epoch)
+        self._m_requests.labels(method="topk").inc()
+        with trace("topk", sink=self._finish_trace, k=int(k)) as span:
+            epoch, graph, lease = self._pin(at_epoch)
+            try:
+                span.tags["epoch"] = epoch
+                pair_list = resolve_pair_spec(graph.event_names(), pairs)
+                key = (
+                    int(k), tuple(pair_list), sort_by,
+                    self._config_digest(cfg), epoch,
+                )
+                result = self._topk_cache.get(key)
+                if result is not None:
+                    self._m_topk_hits.inc()
+                else:
+                    with self._miss_lock:
+                        result = self._topk_cache.get(key)
+                        if result is not None:
+                            self._m_topk_hits.inc()
+                        else:
+                            result = self._topk_miss(
+                                graph, cfg, epoch, int(k), pair_list,
+                                sort_by, on_insufficient, key,
+                            )
+            finally:
+                if lease is not None:
+                    lease.release()
+                    self._m_active_pins.dec()
+        self._m_request_seconds.labels(method="topk").observe(span.duration)
+        return result
+
+    def _topk_miss(
+        self,
+        graph: AttributedGraph,
+        cfg: TescConfig,
+        epoch: int,
+        k: int,
+        pair_list: List[Tuple[str, str]],
+        sort_by: str,
+        on_insufficient: str,
+        key: tuple,
+    ) -> Dict[str, Any]:
+        """Run the progressive engine for one cache-missing top-k request.
+
+        Caller holds ``_miss_lock`` and has re-checked the cache."""
+        from repro.core.topk import ProgressiveTopKEngine
+
+        if self.workers > 1:
+            self._note_published(epoch, graph)
+        engine = ProgressiveTopKEngine(
+            graph, cfg, workers=self.workers, metrics=self.metrics
+        )
         try:
-            self.stats.topk_requests += 1
-            pair_list = resolve_pair_spec(graph.event_names(), pairs)
-            key = (
-                int(k), tuple(pair_list), sort_by,
-                self._config_digest(cfg), epoch,
+            ranking = engine.top_k(
+                k, pair_list, sort_by=sort_by,
+                on_insufficient=on_insufficient,
             )
-            cached = self._topk_cache.get(key)
-            if cached is not None:
-                self.stats.topk_cache_hits += 1
-                return cached
-            with self._miss_lock:
-                cached = self._topk_cache.get(key)
-                if cached is not None:
-                    self.stats.topk_cache_hits += 1
-                    return cached
-                if self.workers > 1:
-                    self._note_published(epoch, graph)
-                engine = ProgressiveTopKEngine(graph, cfg, workers=self.workers)
-                try:
-                    ranking = engine.top_k(
-                        int(k), pair_list, sort_by=sort_by,
-                        on_insufficient=on_insufficient,
-                    )
-                finally:
-                    engine.close()
-                result = {
-                    "pairs": [pair_record(pair) for pair in ranking],
-                    "epoch": epoch,
-                    "k": int(k),
-                    "sort_by": sort_by,
-                    "pairs_pruned": ranking.topk_stats.pairs_pruned,
-                    "pairs_survived": ranking.topk_stats.pairs_survived,
-                }
-                self._topk_cache[key] = result
-                while len(self._topk_cache) > self.max_cached_topk:
-                    self._topk_cache.popitem(last=False)
-                return result
         finally:
-            if lease is not None:
-                lease.release()
+            engine.close()
+        result = {
+            "pairs": [pair_record(pair) for pair in ranking],
+            "epoch": epoch,
+            "k": k,
+            "sort_by": sort_by,
+            "pairs_pruned": ranking.topk_stats.pairs_pruned,
+            "pairs_survived": ranking.topk_stats.pairs_survived,
+        }
+        self._topk_cache[key] = result
+        while len(self._topk_cache) > self.max_cached_topk:
+            self._topk_cache.popitem(last=False)
+        return result
 
     # -- stream --------------------------------------------------------------
 
@@ -592,11 +721,18 @@ class ServiceEngine:
             )
         except Exception as exc:
             raise BadRequestError(f"invalid delta batch: {exc}") from exc
-        with self._commit_lock:
-            self.stats.commits += 1
-            applied = self.graph.apply(batch)
-            epoch = applied.epoch
-        self._sweep_publications()
+        self._m_requests.labels(method="commit").inc()
+        with trace("commit", sink=self._finish_trace,
+                   deltas=len(batch.deltas)) as span:
+            with self._commit_lock:
+                self._m_commits.inc()
+                with stage("apply"):
+                    applied = self.graph.apply(batch)
+                epoch = applied.epoch
+            with stage("sweep"):
+                self._sweep_publications()
+        self._m_commit_seconds.observe(span.duration)
+        self._m_request_seconds.labels(method="commit").observe(span.duration)
         return {
             "epoch": epoch,
             "structure_version": applied.structure_version,
@@ -644,7 +780,7 @@ class ServiceEngine:
             "cached_pair_results": len(self._results),
             "cached_matrices": len(self._matrices),
             "cached_topk": len(self._topk_cache),
-            "stats": asdict(self.stats),
+            "metrics": self.metrics.snapshot(),
         }
         if self._dynamic:
             payload["retained_epochs"] = self.graph.retained_epochs()
@@ -670,6 +806,7 @@ class ServiceEngine:
         finally:
             if lease is not None:
                 lease.release()
+                self._m_active_pins.dec()
 
     def close(self) -> None:
         """Drop caches and unlink this graph's shared-memory publications."""

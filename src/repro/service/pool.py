@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -40,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.density import DensityMatrix, densities_from_counts
+from repro.obs.trace import attach_remote, propagation, remote_record
 from repro.service.shm import (
     ArrayRef,
     DatasetRef,
@@ -80,12 +82,16 @@ def _density_columns_task(
     level: int,
     counts_ref: ArrayRef,
     sizes_ref: ArrayRef,
-) -> int:
+    span_ctx: Optional[Dict[str, str]] = None,
+) -> Tuple[int, Optional[Dict[str, object]]]:
     """Compute density counts for reference-node columns ``[start, stop)``.
 
     The shard's counts/vicinity-sizes land directly in the parent-created
-    shared blocks; only the BFS-call count travels back through the future.
+    shared blocks; the future carries back only the BFS-call count and —
+    when the parent request is traced — a self-measured remote span record
+    so the shard's wall time is attributed to the dispatching request.
     """
+    t0 = time.perf_counter()
     attributed, engine = materialise_dataset(dataset_ref)
     indicators = attributed.indicator_matrix(list(events))
     nodes = read_array(sample_ref)[start:stop]
@@ -94,7 +100,12 @@ def _density_columns_task(
     with WriteSlot(counts_ref) as counts_slot, WriteSlot(sizes_ref) as sizes_slot:
         counts_slot.array[:, start:stop] = counts
         sizes_slot.array[start:stop] = sizes
-    return engine.bfs_calls - calls_before
+    bfs_calls = engine.bfs_calls - calls_before
+    record = remote_record(
+        "worker:density_shard", time.perf_counter() - t0, span_ctx,
+        columns=int(stop - start), bfs_calls=int(bfs_calls),
+    )
+    return bfs_calls, record
 
 
 def _estimate_shard_task(
@@ -103,17 +114,21 @@ def _estimate_shard_task(
     shard: List[Tuple[str, str]],
     config_kwargs: Dict[str, object],
     on_insufficient: str,
+    span_ctx: Optional[Dict[str, str]] = None,
 ):
     """Estimate one pair shard against a shared-memory density matrix.
 
     Runs the plain restricted-vector path (``batcher=None``), which is
     numerically identical to the serial engine's shared-rank-vector path
     (asserted in the estimator tests) and perfectly partitionable: total
-    CPU across shards equals the serial estimate cost.
+    CPU across shards equals the serial estimate cost.  Returns the
+    shard's ranked pairs plus an optional remote span record (see
+    :func:`_density_columns_task`).
     """
     from repro.core.batch import estimate_pair_list
     from repro.core.config import TescConfig
 
+    t0 = time.perf_counter()
     matrix = DensityMatrix(
         reference_nodes=read_array(matrix_ref.nodes),
         densities=read_array(matrix_ref.densities),
@@ -122,7 +137,12 @@ def _estimate_shard_task(
         level=matrix_ref.level,
     )
     cfg = TescConfig(**config_kwargs)
-    return estimate_pair_list(shard, row_of, matrix, None, cfg, on_insufficient)
+    results = estimate_pair_list(shard, row_of, matrix, None, cfg, on_insufficient)
+    record = remote_record(
+        "worker:estimate_shard", time.perf_counter() - t0, span_ctx,
+        pairs=len(shard),
+    )
+    return results, record
 
 
 # -- the pool -----------------------------------------------------------------
@@ -315,16 +335,21 @@ def pooled_density_matrix(
     try:
         shards = max(1, min(int(workers), nodes.size))
         bounds = np.linspace(0, nodes.size, shards + 1, dtype=np.int64)
+        span_ctx = propagation()
         tasks = [
             (
                 dataset_ref, tuple(events), sample_ref,
                 int(bounds[i]), int(bounds[i + 1]), int(level),
-                counts_ref, sizes_ref,
+                counts_ref, sizes_ref, span_ctx,
             )
             for i in range(shards)
             if bounds[i] < bounds[i + 1]
         ]
-        bfs_calls = sum(pool.run_tasks(_density_columns_task, tasks, workers=workers))
+        shard_outputs = pool.run_tasks(_density_columns_task, tasks, workers=workers)
+        bfs_calls = 0
+        for shard_calls, record in shard_outputs:
+            bfs_calls += shard_calls
+            attach_remote(record)
         counts = read_array(counts_ref)
         sizes = read_array(sizes_ref)
     finally:

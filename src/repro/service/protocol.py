@@ -8,7 +8,11 @@ or ``{"id": ..., "proto": 2, "ok": false, "error": {"code": ..., "type":
 (``repr`` shortest-round-trip), which is what lets the bit-identity suites
 compare service answers against in-process rankings field by field.
 
-Methods: ``ping``, ``status``, ``rank``, ``topk``, ``stream``, ``shutdown``.
+Methods: ``ping``, ``status``, ``metrics``, ``rank``, ``topk``, ``stream``,
+``shutdown``.  ``metrics`` is ungated (like ``ping``/``status``) and returns
+the server's metrics registry as a plain snapshot dict plus its Prometheus
+text exposition; ``params: {"traces": N}`` additionally returns the last
+``N`` request span trees from the server's trace buffer.
 
 Protocol v2 (the snapshot-isolation release) adds two envelope fields to
 every response: ``proto``, the protocol **major version** — clients must

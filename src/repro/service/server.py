@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.core.config import TescConfig
 from repro.events.attributed_graph import AttributedGraph
 from repro.exceptions import ReproError
+from repro.obs import MetricsHTTPServer, stage, trace
 from repro.service.admission import AdmissionController
 from repro.service.engine import ServiceEngine
 from repro.service.protocol import (
@@ -44,7 +45,7 @@ from repro.service.protocol import (
 )
 
 #: Methods that skip admission control (cheap, must answer under overload).
-_UNGATED_METHODS = frozenset({"ping", "status", "shutdown"})
+_UNGATED_METHODS = frozenset({"ping", "status", "metrics", "shutdown"})
 
 
 class CorrelationServer:
@@ -76,6 +77,16 @@ class CorrelationServer:
         ``top_k`` are truncated to this many pairs, and ``topk`` requests
         may omit ``k`` to mean it (``tesc serve --top-k``).  ``None`` (the
         default) keeps full rankings.
+    metrics_port:
+        When not ``None``, :meth:`start` also serves the engine's metrics
+        registry in Prometheus text exposition over HTTP on this port
+        (``0`` picks a free one — see :attr:`metrics_address`).  The same
+        data is always available through the ungated ``metrics`` protocol
+        verb regardless of this setting.
+    slow_request_seconds:
+        Requests slower than this are emitted as JSON lines (span tree
+        included) through the ``repro.obs.slowlog`` logger; ``None``
+        disables the slow-request log.
 
     Usable as a context manager::
 
@@ -95,17 +106,25 @@ class CorrelationServer:
         queue_timeout: Optional[float] = 30.0,
         throttle: Optional[Callable[[str], None]] = None,
         default_top_k: Optional[int] = None,
+        metrics_port: Optional[int] = None,
+        slow_request_seconds: Optional[float] = None,
     ) -> None:
-        self.engine = ServiceEngine(graph, config, workers=workers)
+        self.engine = ServiceEngine(
+            graph, config, workers=workers,
+            slow_request_seconds=slow_request_seconds,
+        )
         self.default_top_k = None if default_top_k is None else int(default_top_k)
         self.admission = AdmissionController(
             max_concurrency=max_concurrency,
             max_queue=max_queue,
             queue_timeout=queue_timeout,
+            metrics=self.engine.metrics,
         )
         self._host = host
         self._requested_port = port
         self._throttle = throttle
+        self._metrics_port = metrics_port
+        self._metrics_server: Optional[MetricsHTTPServer] = None
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._connections: set = set()
@@ -121,6 +140,16 @@ class CorrelationServer:
         if self._listener is None:
             raise RuntimeError("server is not started")
         return self._listener.getsockname()[:2]
+
+    @property
+    def metrics_address(self) -> Tuple[str, int]:
+        """``(host, port)`` of the Prometheus endpoint (needs metrics_port)."""
+        if self._metrics_server is None:
+            raise RuntimeError(
+                "metrics endpoint is not running (start the server with "
+                "metrics_port=...)"
+            )
+        return self._metrics_server.address
 
     def start(self) -> "CorrelationServer":
         """Bind, pre-spawn the worker pool, and begin accepting requests."""
@@ -138,6 +167,10 @@ class CorrelationServer:
         listener.bind((self._host, self._requested_port))
         listener.listen(64)
         self._listener = listener
+        if self._metrics_port is not None:
+            self._metrics_server = MetricsHTTPServer(
+                self.engine.metrics, host=self._host, port=self._metrics_port
+            ).start()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="tesc-serve-accept", daemon=True
         )
@@ -170,6 +203,9 @@ class CorrelationServer:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
         self.engine.close()
 
     def __enter__(self) -> "CorrelationServer":
@@ -239,10 +275,18 @@ class CorrelationServer:
             if method in _UNGATED_METHODS:
                 result = self._dispatch(method, params)
             else:
-                with self.admission.admit():
-                    if self._throttle is not None:
-                        self._throttle(method)
-                    result = self._dispatch(method, params)
+                # One root span per gated request: the engine's own
+                # rank/topk/commit span nests under it, so the recorded tree
+                # also shows time spent waiting for an admission slot.
+                with trace(
+                    "request", sink=self.engine._finish_trace, method=method
+                ):
+                    with stage("admission"):
+                        slot = self.admission.admit()
+                    with slot:
+                        if self._throttle is not None:
+                            self._throttle(method)
+                        result = self._dispatch(method, params)
             response = ok_response(request_id, result)
             if method == "shutdown":
                 response["_shutdown"] = True
@@ -271,6 +315,16 @@ class CorrelationServer:
                 "timed_out": self.admission.stats.timed_out,
             }
             return status
+        if method == "metrics":
+            traces = int(params.get("traces", 0) or 0)
+            return {
+                "metrics": self.engine.metrics.snapshot(),
+                "exposition": self.engine.metrics.exposition(),
+                "traces": (
+                    self.engine.trace_buffer.snapshot(limit=traces)
+                    if traces > 0 else []
+                ),
+            }
         if method == "shutdown":
             return {"stopping": True}
         if method == "rank":

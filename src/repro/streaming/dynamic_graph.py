@@ -230,6 +230,11 @@ class DynamicAttributedGraph(AttributedGraph):
         """Live leases pinning ``epoch``."""
         return self._leases.lease_count(epoch)
 
+    @property
+    def lease_sweeps(self) -> int:
+        """Lifetime count of snapshot states the lease table has retired."""
+        return self._leases.sweeps
+
     def empty_batch(self) -> AppliedBatch:
         """An :class:`AppliedBatch` representing "nothing changed"."""
         with self._mutate_lock:

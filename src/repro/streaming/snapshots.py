@@ -147,6 +147,9 @@ class EpochLeaseTable:
         self._states: Dict[int, GraphSnapshot] = {}
         self._counts: Dict[int, int] = {}
         self._current = 0
+        #: Lifetime count of snapshot states the table has retired —
+        #: whether by a commit-driven sweep or by the last lease dropping.
+        self.sweeps = 0
 
     # -- writer side ---------------------------------------------------------
 
@@ -213,8 +216,8 @@ class EpochLeaseTable:
                 self._counts[epoch] = count
                 return
             self._counts.pop(epoch, None)
-            if epoch != self._current:
-                self._states.pop(epoch, None)
+            if epoch != self._current and self._states.pop(epoch, None) is not None:
+                self.sweeps += 1
 
     # -- introspection -------------------------------------------------------
 
@@ -253,6 +256,7 @@ class EpochLeaseTable:
             if epoch != self._current and not self._counts.get(epoch)
         ]:
             del self._states[epoch]
+            self.sweeps += 1
 
     def __repr__(self) -> str:
         with self._lock:

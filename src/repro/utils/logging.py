@@ -47,3 +47,27 @@ def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
     logger.addHandler(handler)
     logger.setLevel(level)
     return logger
+
+
+def configure_json_logging(
+    name: str, level: int = logging.INFO, stream=None
+) -> logging.Logger:
+    """Route one sub-logger's records to ``stream`` as bare message lines.
+
+    Used for machine-readable logs whose *message already is* a JSON
+    document (the slow-request log): the handler emits ``%(message)s``
+    only, so each record lands as exactly one parseable line, and
+    ``propagate`` is switched off so the console handler never wraps the
+    same document in a human-format prefix.  Calling it twice replaces
+    the previous handler.
+    """
+    logger = get_logger(name)
+    for handler in list(logger.handlers):
+        if isinstance(handler, logging.StreamHandler):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -71,7 +71,17 @@ class Timer:
         return float(sum(self.laps.get(name, [])))
 
     def summary(self) -> Dict[str, float]:
-        """Per-lap-name totals, plus overall elapsed time."""
+        """Per-lap-name totals, plus overall elapsed time under ``"elapsed"``.
+
+        A lap literally named ``"elapsed"`` would collide with (and used to
+        be silently clobbered by) the overall key; that is now an error —
+        rename the lap.
+        """
+        if "elapsed" in self.laps:
+            raise ValueError(
+                'a lap named "elapsed" collides with Timer.summary()\'s '
+                "overall-elapsed key; rename the lap"
+            )
         result = {name: self.total(name) for name in self.laps}
         result["elapsed"] = self.elapsed
         return result

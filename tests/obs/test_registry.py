@@ -1,0 +1,200 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import math
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsHTTPServer,
+    MetricsRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_counts_and_reads_back(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help text")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("c_total") == 5.0
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_exact_under_thread_hammering(self):
+        # A bare += drops increments at bytecode boundaries; the locked
+        # counter must reconcile exactly with the number of calls.
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered_total")
+        per_thread, num_threads = 5000, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.value("hammered_total") == per_thread * num_threads
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+    def test_pull_callback_read_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.gauge("live").set_function(lambda: state["n"])
+        assert registry.value("live") == 1
+        state["n"] = 7
+        assert registry.value("live") == 7
+
+    def test_broken_callback_reports_nan_not_raise(self):
+        registry = MetricsRegistry()
+        registry.gauge("broken").set_function(lambda: 1 / 0)
+        assert math.isnan(registry.value("broken"))
+        assert "broken" in registry.exposition()
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        buckets = hist.cumulative_buckets()
+        assert buckets == {"0.1": 1, "1": 3, "+Inf": 4}
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(6.05)
+
+    def test_rejects_non_monotonic_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("bad", buckets=(1.0, 0.5))
+
+
+class TestLabels:
+    def test_children_created_on_first_use(self):
+        registry = MetricsRegistry()
+        family = registry.counter("req_total", labels=("method",))
+        family.labels(method="rank").inc(3)
+        family.labels(method="topk").inc()
+        assert registry.value("req_total", method="rank") == 3
+        assert registry.value("req_total", method="topk") == 1
+
+    def test_wrong_label_names_raise(self):
+        family = MetricsRegistry().counter("req_total", labels=("method",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(verb="rank")
+
+    def test_labelled_family_rejects_bare_inc(self):
+        family = MetricsRegistry().counter("req_total", labels=("method",))
+        with pytest.raises(ValueError, match="labels"):
+            family.inc()
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total")
+        assert first is second
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("name")
+
+    def test_invalid_metric_name_raises(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("bad name")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter").inc(2)
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c_total"]["type"] == "counter"
+        assert snap["c_total"]["values"] == [{"labels": {}, "value": 2.0}]
+        hist = snap["h_seconds"]["values"][0]
+        assert hist["count"] == 1 and hist["buckets"]["+Inf"] == 1
+
+    def test_value_of_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().value("nope")
+
+
+class TestExpositionFormat:
+    def test_counter_gauge_histogram_render(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "the counter").inc(2)
+        registry.gauge("g").set(1.5)
+        family = registry.counter("req_total", labels=("method",))
+        family.labels(method="rank").inc()
+        registry.histogram("h_seconds", buckets=(0.5,)).observe(0.1)
+        text = registry.exposition()
+        assert "# HELP c_total the counter" in text
+        assert "# TYPE c_total counter" in text
+        assert "c_total 2" in text
+        assert "g 1.5" in text
+        assert 'req_total{method="rank"} 1' in text
+        assert 'h_seconds_bucket{le="0.5"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 1' in text
+        assert "h_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labels=("path",))
+        family.labels(path='a"b\\c\nd').inc()
+        assert 'path="a\\"b\\\\c\\nd"' in registry.exposition()
+
+
+class TestNullRegistry:
+    def test_disabled_registry_hands_out_null_metric(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("anything")
+        assert counter is NULL_METRIC
+        counter.inc()
+        counter.labels(method="x").observe(1.0)
+        assert registry.snapshot() == {}
+        assert registry.exposition() == ""
+
+    def test_shared_null_registry_is_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+        assert NULL_REGISTRY.gauge("g") is NULL_METRIC
+
+
+class TestHTTPEndpoint:
+    def test_serves_exposition_and_404(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "served").inc(3)
+        with MetricsHTTPServer(registry, port=0) as server:
+            host, port = server.address
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics"
+            ) as response:
+                assert response.status == 200
+                assert "version=0.0.4" in response.headers["Content-Type"]
+                body = response.read().decode("utf-8")
+            assert "c_total 3" in body
+            with urllib.request.urlopen(f"http://{host}:{port}/") as response:
+                assert b"/metrics" in response.read()
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"http://{host}:{port}/nope")
+        # Closed server is torn down; close() is idempotent.
+        server.close()

@@ -129,7 +129,9 @@ class TestInterleavedClients:
             with CorrelationClient(host, port) as client:
                 # Racing identical requests shared one matrix computation
                 # (the loser of the miss-lock race is filled by re-check).
-                assert client.status()["stats"]["matrices_computed"] == 1
+                metrics = client.status()["metrics"]
+                computed = metrics["tesc_matrices_computed_total"]["values"]
+                assert computed[0]["value"] == 1
                 # And a later identical request is a pure cache hit.
                 third = client.rank(list(pairs))
             assert third["cached_pairs"] == len(pairs)

@@ -77,7 +77,7 @@ class TestEpochCacheProperty:
                 queries += 1
         assert queries > 0
         # The interleaving must actually have exercised the cache.
-        assert engine.stats.pair_cache_misses > 0
+        assert engine.metrics.value("tesc_pair_cache_misses_total") > 0
         engine.close()
 
     def test_same_epoch_queries_hit_the_cache(self, dynamic_graph, service_dataset):
@@ -153,7 +153,7 @@ class TestEpochCacheProperty:
         first = engine.topk(3)
         again = engine.topk(3)
         assert again is first or again == first
-        assert engine.stats.topk_cache_hits == 1
+        assert engine.metrics.value("tesc_topk_cache_hits_total") == 1
         reference = engine.reference_ranking("all", top_k=3)
         assert first["pairs"] == [pair_record(pair) for pair in reference]
         occupied = set(dynamic_graph.event_nodes(names[0]).tolist())

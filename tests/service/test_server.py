@@ -95,7 +95,11 @@ class TestStatusAndLifecycle:
             client.rank([("bg_0", "bg_1")])
             status = client.status()
             assert status["admission"]["admitted"] == 1
-            assert status["stats"]["rank_requests"] == 1
+            requests = status["metrics"]["tesc_requests_total"]["values"]
+            assert [
+                entry["value"] for entry in requests
+                if entry["labels"] == {"method": "rank"}
+            ] == [1]
             assert status["cached_pair_results"] == 1
 
     def test_shutdown_stops_accepting(self, service_dataset):

@@ -49,6 +49,16 @@ class TestTimer:
         assert summary["x"] == 0.5
         assert "elapsed" in summary
 
+    def test_summary_rejects_lap_named_elapsed(self):
+        # A lap called "elapsed" would silently clobber (or be clobbered
+        # by) the overall-elapsed key; summary() must refuse instead.
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        timer.record("elapsed", 0.25)
+        with pytest.raises(ValueError, match="elapsed"):
+            timer.summary()
+
     def test_multiple_start_stop_cycles_accumulate(self):
         timer = Timer()
         timer.start()
