@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""CI smoke test for ``tesc serve --wal``: kill -9 and recover.
+
+Boots a real ``tesc serve --wal`` subprocess on a generated graph, commits
+a scripted sequence of delta batches through the protocol client, records
+the post-commit epoch and a full rank answer, then SIGKILLs the server —
+no shutdown hook, no flush, exactly the crash the log exists for.  A
+second server is booted on the same ``--wal`` and the script fails loudly
+if
+
+* the replay banner does not report every committed batch,
+* the recovered epoch differs from the epoch at the moment of the kill,
+* the recovered rank answer is not bit-identical to the pre-kill answer,
+* or a torn tail (garbage appended to the log between the runs) breaks
+  any of the above — torn bytes must be truncated, never replayed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.graph.generators import community_ring_graph  # noqa: E402
+from repro.graph.io import write_edge_list, write_event_file  # noqa: E402
+from repro.service import CorrelationClient  # noqa: E402
+
+BANNER_RE = re.compile(r"listening on ([\d.]+):(\d+)")
+WAL_RE = re.compile(
+    r"write-ahead log at .* \((\d+) committed batch\(es\) replayed, "
+    r"epoch (\d+)\)"
+)
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(f"wal smoke: FAIL — {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_server(edges_path, events_path, wal_path, startup_timeout):
+    """Boot ``tesc serve --wal`` and parse (process, host, port, replayed,
+    epoch) out of the startup banner."""
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--edges", edges_path, "--events", events_path,
+            "--port", "0", "--wal", wal_path,
+            "--sample-size", "150", "--seed", "3", "--workers", "1",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src"),
+             os.environ.get("PYTHONPATH", "")]
+        )},
+    )
+    lines = []
+    deadline = time.monotonic() + startup_timeout
+    address = replay = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            if process.poll() is not None:
+                fail(f"server exited early with {process.returncode}: {lines}")
+            continue
+        lines.append(line.strip())
+        address = address or BANNER_RE.search(line)
+        replay = replay or WAL_RE.search(line)
+        if address and replay:
+            host, port = address.groups()
+            replayed, epoch = (int(group) for group in replay.groups())
+            return process, host, int(port), replayed, epoch
+    fail(f"startup banner never appeared; saw {lines}")
+
+
+def sigkill(process: subprocess.Popen) -> None:
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait(timeout=15.0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batches", type=int, default=3,
+                        help="delta batches to commit before the kill")
+    parser.add_argument("--startup-timeout", type=float, default=60.0)
+    args = parser.parse_args()
+
+    graph = community_ring_graph(6, 30, 5.0, 8, random_state=3)
+    connected = sorted(
+        node for node in range(graph.num_nodes) if graph.degree(node) > 0
+    )
+    third = len(connected) // 3
+    events = {
+        "alpha": connected[:2 * third],
+        "beta": connected[third:],
+        "gamma": connected[::2],
+        "delta": connected[1::2],
+    }
+    workdir = tempfile.mkdtemp(prefix="tesc_wal_smoke_")
+    edges_path = os.path.join(workdir, "graph.txt")
+    events_path = os.path.join(workdir, "events.txt")
+    wal_path = os.path.join(workdir, "deltas.wal")
+    write_edge_list(graph, edges_path)
+    write_event_file(events, events_path)
+
+    # -- run 1: commit, record, kill -9 ----------------------------------
+    process, host, port, replayed, epoch = start_server(
+        edges_path, events_path, wal_path, args.startup_timeout
+    )
+    try:
+        if replayed != 0 or epoch != 0:
+            fail(f"fresh log replayed {replayed} batches at epoch {epoch}")
+        with CorrelationClient(host, port, timeout=60.0) as client:
+            # The server relabels file nodes to 0..n-1 in ``connected``
+            # order: low ids are alpha members, high ids are not.  Each
+            # batch therefore attaches a non-member and detaches a member
+            # — two real mutations, observable in the rank answer.
+            for index in range(args.batches):
+                result = client.stream([
+                    {"op": "event_attach", "event": "alpha",
+                     "node": len(connected) - 1 - index},
+                    {"op": "event_detach", "event": "alpha",
+                     "node": index},
+                ])
+            killed_epoch = result["epoch"]
+            answer = client.rank([("alpha", "beta"), ("gamma", "delta")])
+        if killed_epoch != args.batches:
+            fail(f"epoch {killed_epoch} after {args.batches} commits")
+        print(f"wal smoke: committed {args.batches} batches, "
+              f"epoch {killed_epoch}, killing -9")
+    finally:
+        if process.poll() is None:
+            sigkill(process)
+
+    # A torn tail: the crash interleaves with a write that never reached
+    # its commit record.  Recovery must truncate it, not replay it.
+    with open(wal_path, "ab") as handle:
+        handle.write(b'deadbeef {"torn": tr')
+    print("wal smoke: appended torn tail to the log")
+
+    # -- run 2: recover from the log -------------------------------------
+    process, host, port, replayed, epoch = start_server(
+        edges_path, events_path, wal_path, args.startup_timeout
+    )
+    try:
+        if replayed != args.batches:
+            fail(f"recovery replayed {replayed} batches, "
+                 f"committed {args.batches}")
+        if epoch != killed_epoch:
+            fail(f"recovered epoch {epoch}, killed at {killed_epoch}")
+        with CorrelationClient(host, port, timeout=60.0) as client:
+            status_epoch = client.status()["epoch"]
+            recovered = client.rank([("alpha", "beta"), ("gamma", "delta")])
+            client.shutdown()
+        if status_epoch != killed_epoch:
+            fail(f"status epoch {status_epoch} != {killed_epoch}")
+        if recovered["pairs"] != answer["pairs"]:
+            fail("recovered rank answer diverged from the pre-kill answer")
+        print(f"wal smoke: {replayed} batches replayed, epoch {epoch}, "
+              "rank answer bit-identical across kill -9")
+        return 0
+    finally:
+        if process.poll() is None:
+            sigkill(process)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -277,6 +277,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="log requests slower than this as JSON lines (span tree "
              "included) through the repro.obs.slowlog logger",
     )
+    serve_parser.add_argument(
+        "--wal", metavar="PATH", default=None,
+        help="durable write-ahead log for stream commits: batches already "
+             "committed to PATH are replayed into the graph on boot, so a "
+             "killed server restarts at its last committed epoch "
+             "(incompatible with --static)",
+    )
 
     status_parser = subparsers.add_parser(
         "status",
@@ -556,6 +563,7 @@ def _command_stream(args: argparse.Namespace) -> int:
             query_threads.append(thread)
             thread.start()
     commits = 0
+    hung_readers: List[str] = []
     try:
         with ContinuousRanker(
             dynamic, pairs, config, workers=workers,
@@ -583,8 +591,23 @@ def _command_stream(args: argparse.Namespace) -> int:
         stop.set()
         for thread in query_threads:
             thread.join(timeout=60.0)
-        if session is not None:
+            if thread.is_alive():
+                hung_readers.append(thread.name)
+        if session is not None and not hung_readers:
             session.close()
+    if hung_readers:
+        # A reader that outlived its join window is wedged (deadlocked or
+        # stuck in a query that should have returned within a minute).
+        # Report and fail rather than exiting 0 over a silent hang; the
+        # session is deliberately left open — closing it underneath a live
+        # thread would only mask the hang with a second failure.
+        print(
+            "tesc stream: ERROR: "
+            f"{len(hung_readers)} concurrent query thread(s) failed to stop "
+            f"within 60s: {', '.join(hung_readers)}",
+            file=sys.stderr, flush=True,
+        )
+        return 3
     print()
     print("final ranking:")
     print(ranker.ranking.render(markdown=args.markdown))
@@ -604,6 +627,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import CorrelationServer
     from repro.streaming import DynamicAttributedGraph
 
+    if args.wal and args.static:
+        print("tesc serve: --wal needs a dynamic graph; drop --static",
+              file=sys.stderr, flush=True)
+        return 2
     graph, labels = read_edge_list(args.edges)
     label_to_id = {label: index for index, label in enumerate(labels)}
     events = read_event_file(args.events, label_to_id=label_to_id)
@@ -634,12 +661,17 @@ def _command_serve(args: argparse.Namespace) -> int:
         default_top_k=args.top_k,
         metrics_port=args.metrics_port,
         slow_request_seconds=args.slow_request_seconds,
+        wal=args.wal,
     )
     server.start()
     host, port = server.address
     mode = "static" if args.static else "dynamic"
     print(f"tesc serve: listening on {host}:{port} "
           f"({mode} graph, {server.engine.workers} worker(s))", flush=True)
+    if args.wal:
+        print(f"tesc serve: write-ahead log at {args.wal} "
+              f"({server.replayed_batches} committed batch(es) replayed, "
+              f"epoch {server.engine.current_epoch()})", flush=True)
     if args.metrics_port is not None:
         metrics_host, metrics_port = server.metrics_address
         print(f"tesc serve: metrics on http://{metrics_host}:{metrics_port}/metrics",

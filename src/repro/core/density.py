@@ -16,6 +16,7 @@ import numpy as np
 from repro.events.attributed_graph import AttributedGraph
 from repro.graph.csr import CSRGraph
 from repro.graph.traversal import BFSEngine
+from repro.utils import deadlines
 from repro.utils.validation import check_vicinity_level
 
 
@@ -161,6 +162,7 @@ class DensityComputer:
             The vicinity level ``h``.
         """
         check_vicinity_level(level)
+        deadlines.checkpoint()
         indicators = np.asarray(indicator_matrix)
         if indicators.ndim != 2 or indicators.shape[1] != self.graph.num_nodes:
             raise ValueError(
@@ -217,6 +219,7 @@ class DensityComputer:
             pair; dead events' new columns are left at count 0 (their rows
             are never read again — their pairs were pruned).
         """
+        deadlines.checkpoint()
         indicators = np.asarray(indicator_matrix)
         if indicators.ndim != 2 or indicators.shape[1] != self.graph.num_nodes:
             raise ValueError(

@@ -73,6 +73,7 @@ from repro.obs.registry import NULL_REGISTRY
 from repro.obs.trace import stage
 from repro.sampling.cache import CachingSampler
 from repro.stats.normal import critical_z
+from repro.utils import deadlines
 from repro.utils.timing import Timer
 
 
@@ -440,6 +441,9 @@ class ProgressiveTopKEngine:
         final_new_count = 0
 
         while pending:
+            # Cooperative cancellation between rounds: a request whose
+            # deadline expired stops before paying for another sample grow.
+            deadlines.checkpoint()
             target = pending.pop(0)
             final_round = not pending
             self._m_rounds.inc()

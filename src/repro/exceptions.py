@@ -68,5 +68,15 @@ class SnapshotExpiredError(ReproError):
     """The requested epoch's snapshot has been retired (no lease kept it)."""
 
 
+class DeadlineExceededError(ReproError):
+    """A cooperative cancellation checkpoint found the deadline expired.
+
+    Raised by :func:`repro.utils.deadlines.checkpoint` inside the density
+    pass and the progressive top-k round loop when the caller-supplied
+    deadline (propagated by the service layer) has passed.  The server maps
+    it to a retryable 408.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness failed to run or render its results."""

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.exceptions import NodeNotFoundError
 from repro.graph.csr import CSRGraph
+from repro.utils import deadlines
 from repro.utils.validation import check_non_negative_int
 
 
@@ -210,6 +211,9 @@ class BFSEngine:
 
         visited: Optional[np.ndarray] = None
         for index, offset in enumerate(range(0, source_array.size, block_size)):
+            # Each block is the grouped pass's natural cancellation grain:
+            # one cheap contextvar read per block, no per-node cost.
+            deadlines.checkpoint()
             block = source_array[offset:offset + block_size]
             if visited is None:
                 visited = np.zeros(

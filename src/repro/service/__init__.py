@@ -6,7 +6,9 @@ long-lived *service*:
 
 * :mod:`repro.service.pool` — a process-wide persistent worker pool, spawned
   once and reused by every parallel call (replacing the fork-per-call pools
-  that BENCH_pr5 showed losing to serial execution);
+  that BENCH_pr5 showed losing to serial execution), plus the
+  :class:`~repro.service.pool.CircuitBreaker`/:class:`~repro.service.pool.PoolSupervisor`
+  pair that trips the engine into serial fallback when workers keep dying;
 * :mod:`repro.service.shm` — :mod:`multiprocessing.shared_memory` plumbing
   so datasets, reference samples and density matrices cross the process
   boundary as shared blocks instead of per-call pickles;
@@ -14,30 +16,40 @@ long-lived *service*:
   the epoch-aware request executor with per-``(pair, epoch)`` result caching
   layered on :class:`~repro.sampling.cache.SampleMemo`;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a local socket
-  server speaking newline-delimited JSON and its thin client;
+  server speaking newline-delimited JSON and its retrying, reconnecting
+  client;
 * :mod:`repro.service.admission` — bounded-queue admission control
-  (429-style rejection, queue timeouts) so many concurrent clients degrade
-  gracefully.
+  (429-style rejection, queue timeouts, request deadlines) so many
+  concurrent clients degrade gracefully;
+* :mod:`repro.service.faults` — the deterministic fault-injection registry
+  the chaos suite arms to rehearse worker kills, dropped sockets, failed
+  allocations and fsync errors on demand.
 
 Every answer the service produces is bit-identical to the serial in-process
-engines for the same seed — asserted throughout :mod:`tests.service`.
+engines for the same seed — asserted throughout :mod:`tests.service` and,
+under injected faults, :mod:`tests.chaos`.
 """
 
 from repro.service.admission import AdmissionController, AdmissionStats
-from repro.service.client import CorrelationClient
+from repro.service.client import CorrelationClient, RetryStats
 from repro.service.engine import ServiceEngine
 from repro.service.pool import (
+    CircuitBreaker,
     PersistentWorkerPool,
+    PoolHealth,
+    PoolSupervisor,
     WorkerCrashedError,
     global_pool,
     shutdown_global_pool,
 )
 from repro.service.protocol import (
     BadRequestError,
+    ConnectionLostError,
     OverloadedError,
     RemoteError,
     RequestTimeoutError,
     ServiceError,
+    UnavailableError,
 )
 from repro.service.server import CorrelationServer
 
@@ -45,14 +57,20 @@ __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "BadRequestError",
+    "CircuitBreaker",
+    "ConnectionLostError",
     "CorrelationClient",
     "CorrelationServer",
     "OverloadedError",
     "PersistentWorkerPool",
+    "PoolHealth",
+    "PoolSupervisor",
     "RemoteError",
     "RequestTimeoutError",
+    "RetryStats",
     "ServiceEngine",
     "ServiceError",
+    "UnavailableError",
     "WorkerCrashedError",
     "global_pool",
     "shutdown_global_pool",

@@ -67,11 +67,14 @@ class AdmissionController:
         max_concurrency: int = 4,
         max_queue: int = 16,
         queue_timeout: Optional[float] = 30.0,
+        retry_after: Optional[float] = 0.05,
         metrics=None,
     ) -> None:
         self.max_concurrency = max(1, int(max_concurrency))
         self.max_queue = max(0, int(max_queue))
         self.queue_timeout = queue_timeout
+        #: Backoff hint stamped on every 429 (``None`` sends no hint).
+        self.retry_after = retry_after
         self._condition = threading.Condition()
         self._running = 0
         self._waiting = 0
@@ -98,22 +101,32 @@ class AdmissionController:
             "Requests currently queued for an execution slot.",
         ).set_function(lambda: self._waiting)
 
-    def admit(self) -> "_Admission":
-        """Claim an execution slot (or raise), released by context exit."""
+    def admit(self, deadline_at: Optional[float] = None) -> "_Admission":
+        """Claim an execution slot (or raise), released by context exit.
+
+        ``deadline_at`` is the request's absolute monotonic deadline; when
+        set it caps the queue wait below ``queue_timeout``, so a request
+        whose budget expires while queued fails fast with a retryable 408
+        instead of holding a queue slot it can no longer use.
+        """
         deadline = (
             None if self.queue_timeout is None
             else time.monotonic() + self.queue_timeout
         )
+        if deadline_at is not None:
+            deadline = deadline_at if deadline is None else min(deadline, deadline_at)
         with self._condition:
             if self._running >= self.max_concurrency:
                 if self._waiting >= self.max_queue:
                     self.stats.rejected += 1
                     self._m_rejected.inc()
-                    raise OverloadedError(
+                    error = OverloadedError(
                         f"server overloaded: {self._running} running, "
                         f"{self._waiting} queued (limits: "
                         f"{self.max_concurrency} running, {self.max_queue} queued)"
                     )
+                    error.retry_after = self.retry_after
+                    raise error
                 self._waiting += 1
                 self.stats.peak_waiting = max(self.stats.peak_waiting, self._waiting)
                 try:
@@ -126,8 +139,8 @@ class AdmissionController:
                             self.stats.timed_out += 1
                             self._m_timed_out.inc()
                             raise RequestTimeoutError(
-                                "request timed out after waiting "
-                                f"{self.queue_timeout:.3g}s for an execution slot"
+                                "request timed out waiting for an execution "
+                                "slot (queue timeout or request deadline)"
                             )
                         self._condition.wait(remaining)
                 finally:

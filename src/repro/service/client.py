@@ -8,27 +8,51 @@ hang.  Safe for concurrent use from multiple threads (requests serialise on
 an internal lock); for true request parallelism open one client per thread —
 connections are cheap, all heavy state is server-side.
 
-Protocol v2 aware: every response's ``proto`` major version is checked (a
-newer-than-supported server raises
-:class:`~repro.service.protocol.RemoteError`), and the epoch stamped on the
-latest successful response is tracked as :attr:`CorrelationClient.last_epoch`
-— the handle for read-your-writes: commit, then ``rank(at_epoch=
-client.last_epoch)`` to read exactly the state that commit produced.
+Protocol v3 aware: every request carries a client-generated idempotency key
+(``rid``) and, when the caller budgets one, a relative ``deadline`` the
+server enforces end to end.  With ``max_retries > 0`` the client becomes
+self-healing: retryable failures (429/408/503 and lost connections — never
+400 or 500) are retried with exponential backoff and jitter, reconnecting
+transparently when the socket dies.  Because the *same* rid is re-sent on
+every attempt of one logical request, a retried commit whose first response
+was lost in flight is deduplicated server-side instead of applied twice.
+
+The epoch stamped on the latest successful response is tracked as
+:attr:`CorrelationClient.last_epoch` — the handle for read-your-writes:
+commit, then ``rank(at_epoch=client.last_epoch)`` to read exactly the state
+that commit produced.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
+import time
+import uuid
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.service.protocol import (
+    ConnectionLostError,
     RemoteError,
+    RequestTimeoutError,
+    ServiceError,
     check_proto,
     decode_line,
     encode,
     raise_for_error,
 )
+
+
+@dataclass
+class RetryStats:
+    """Lifetime retry counters of one :class:`CorrelationClient`."""
+
+    attempts: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    backoff_seconds: float = 0.0
 
 
 class CorrelationClient:
@@ -40,18 +64,51 @@ class CorrelationClient:
         The server address (``*server.address`` after ``server.start()``).
     timeout:
         Socket timeout in seconds for connect and for each response.
+    max_retries:
+        How many times a *retryable* failure may be retried per logical
+        request (0 — the default — preserves the classic raise-on-first-error
+        behaviour).  Only errors the server marks retryable (429, 408, 503)
+        and lost connections are retried; a 400 or 500 always surfaces on
+        the first attempt.
+    backoff_base / backoff_max:
+        Exponential backoff schedule: retry ``n`` sleeps
+        ``min(backoff_max, backoff_base * 2**(n-1))`` scaled by jitter.  A
+        server-supplied ``retry_after`` hint raises the floor of a sleep.
+    retry_seed:
+        Seed for the jitter PRNG (deterministic backoff in tests).
 
-    Usable as a context manager; :meth:`close` is idempotent.
+    Usable as a context manager; :meth:`close` is idempotent and tolerates a
+    connection that already died under it.
     """
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._reader = self._socket.makefile("rb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 60.0,
+        max_retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        retry_seed: Optional[int] = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self._random = random.Random(retry_seed)
         self._lock = threading.Lock()
         self._next_id = 0
         self._closed = False
         self._last_epoch: Optional[int] = None
         self._last_proto: Optional[int] = None
+        self._rid_prefix = uuid.uuid4().hex[:12]
+        self._rid_counter = 0
+        self.retry_stats = RetryStats()
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
+        self._connect()
 
     @property
     def last_epoch(self) -> Optional[int]:
@@ -71,54 +128,181 @@ class CorrelationClient:
 
     # -- plumbing ------------------------------------------------------------
 
-    def request(self, method: str, params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """One round-trip: send ``method``/``params``, return the result.
+    def _connect(self) -> None:
+        """(Re)establish the connection.  Caller holds the lock (or is __init__)."""
+        self._teardown_socket()
+        self._socket = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._reader = self._socket.makefile("rb")
 
-        Raises the mapped :class:`~repro.service.protocol.ServiceError`
-        subclass on error responses, :class:`RemoteError` on a dead or
-        mismatched connection.
+    def _teardown_socket(self) -> None:
+        for closer in (self._reader, self._socket):
+            if closer is None:
+                continue
+            try:
+                closer.close()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
+        self._reader = None
+        self._socket = None
+
+    def _next_rid(self) -> str:
+        self._rid_counter += 1
+        return f"{self._rid_prefix}-{self._rid_counter}"
+
+    def _round_trip(
+        self,
+        method: str,
+        params: Dict[str, Any],
+        rid: str,
+        deadline_at: Optional[float],
+        timeout: Optional[float],
+    ) -> Dict[str, Any]:
+        """One wire attempt.  Caller holds the lock.
+
+        Any transport-level failure (send/recv error, EOF, socket timeout)
+        is normalised to :class:`ConnectionLostError` and the socket is torn
+        down, so the next attempt reconnects.
         """
+        if self._socket is None:
+            self.retry_stats.reconnects += 1
+            self._connect()
+        self._next_id += 1
+        request_id = self._next_id
+        envelope: Dict[str, Any] = {
+            "id": request_id,
+            "method": method,
+            "params": params,
+            "rid": rid,
+        }
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise RequestTimeoutError(
+                    f"request deadline expired before sending {method!r}"
+                )
+            envelope["deadline"] = remaining
+        restore_timeout = False
+        try:
+            if timeout is not None:
+                # Per-call override; the client default is restored in the
+                # finally (after a transport error the teardown closes the
+                # socket anyway, so a missed restore cannot leak).
+                self._socket.settimeout(timeout)
+                restore_timeout = True
+            self._socket.sendall(encode(envelope))
+            line = self._reader.readline()
+        except socket.timeout as exc:
+            self._teardown_socket()
+            raise ConnectionLostError(
+                f"timed out waiting for a response to {method!r}: {exc}"
+            ) from exc
+        except OSError as exc:
+            self._teardown_socket()
+            raise ConnectionLostError(f"connection to server lost: {exc}") from exc
+        finally:
+            if restore_timeout and self._socket is not None:
+                try:
+                    self._socket.settimeout(self._timeout)
+                except OSError:  # pragma: no cover - socket died mid-restore
+                    pass
+        if not line:
+            self._teardown_socket()
+            raise ConnectionLostError("server closed the connection")
+        response = decode_line(line)
+        if response.get("id") != request_id:
+            self._teardown_socket()
+            raise ConnectionLostError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        result = raise_for_error(response)
+        self._last_proto = check_proto(response)
+        epoch = response.get("epoch")
+        if epoch is not None:
+            self._last_epoch = int(epoch)
+        return result
+
+    def _backoff_for(self, retry_number: int, error: Exception) -> float:
+        """Sleep duration before retry ``retry_number`` (1-based)."""
+        sleep = min(self.backoff_max, self.backoff_base * (2 ** (retry_number - 1)))
+        sleep *= 0.5 + self._random.random()  # jitter in [0.5x, 1.5x)
+        hint = getattr(error, "retry_after", None)
+        if hint is not None:
+            sleep = max(sleep, float(hint))
+        return sleep
+
+    def request(
+        self,
+        method: str,
+        params: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One logical request: send ``method``/``params``, return the result.
+
+        Parameters
+        ----------
+        timeout:
+            Per-call socket timeout override, in seconds; the client default
+            is restored afterwards.
+        deadline:
+            End-to-end budget for the logical request, in seconds.  It is
+            forwarded to the server (which aborts work past it with a 408)
+            and bounds the retry loop client-side: retries stop, and backoff
+            sleeps are clipped, once the budget is spent.
+        max_retries:
+            Per-call override of the client-wide retry allowance.
+
+        All attempts of one logical request share one ``rid``, so the server
+        deduplicates a commit whose first response was lost in flight.
+        Raises the mapped :class:`~repro.service.protocol.ServiceError`
+        subclass on error responses; :class:`ConnectionLostError` on a dead
+        connection once retries (if any) are exhausted.
+        """
+        retries_allowed = (
+            self.max_retries if max_retries is None else max(0, int(max_retries))
+        )
+        deadline_at = None if deadline is None else time.monotonic() + deadline
         with self._lock:
             if self._closed:
                 raise RemoteError("client is closed")
-            self._next_id += 1
-            request_id = self._next_id
-            try:
-                self._socket.sendall(
-                    encode({"id": request_id, "method": method, "params": params or {}})
-                )
-                line = self._reader.readline()
-            except OSError as exc:
-                raise RemoteError(f"connection to server lost: {exc}") from exc
-            if not line:
-                raise RemoteError("server closed the connection")
-            response = decode_line(line)
-            if response.get("id") != request_id:
-                raise RemoteError(
-                    f"response id {response.get('id')!r} does not match "
-                    f"request id {request_id!r}"
-                )
-            result = raise_for_error(response)
-            self._last_proto = check_proto(response)
-            epoch = response.get("epoch")
-            if epoch is not None:
-                self._last_epoch = int(epoch)
-        return result
+            rid = self._next_rid()
+            wire_params = params or {}
+            failures = 0
+            while True:
+                self.retry_stats.attempts += 1
+                try:
+                    return self._round_trip(
+                        method, wire_params, rid, deadline_at, timeout
+                    )
+                except ServiceError as exc:
+                    retryable = isinstance(exc, ConnectionLostError) or getattr(
+                        exc, "retryable", False
+                    )
+                    failures += 1
+                    if not retryable or failures > retries_allowed:
+                        raise
+                    sleep = self._backoff_for(failures, exc)
+                    if deadline_at is not None:
+                        remaining = deadline_at - time.monotonic()
+                        if remaining <= 0:
+                            raise
+                        sleep = min(sleep, remaining)
+                    self.retry_stats.retries += 1
+                    self.retry_stats.backoff_seconds += sleep
+                    if sleep > 0:
+                        time.sleep(sleep)
 
     def close(self) -> None:
-        """Close the connection (idempotent)."""
+        """Close the connection (idempotent, tolerant of a dead socket)."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            try:
-                self._reader.close()
-            except OSError:  # pragma: no cover - already gone
-                pass
-            try:
-                self._socket.close()
-            except OSError:  # pragma: no cover - already gone
-                pass
+            self._teardown_socket()
 
     def __enter__(self) -> "CorrelationClient":
         return self
@@ -144,6 +328,8 @@ class CorrelationClient:
         config: Optional[Dict[str, Any]] = None,
         on_insufficient: str = "keep",
         at_epoch: Optional[int] = None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Rank event pairs; the result's ``"pairs"`` list is bit-identical
         to the serial in-process engine's ``as_records()`` at the answering
@@ -159,7 +345,7 @@ class CorrelationClient:
             params["config"] = config
         if at_epoch is not None:
             params["at_epoch"] = int(at_epoch)
-        return self.request("rank", params)
+        return self.request("rank", params, timeout=timeout, deadline=deadline)
 
     def topk(
         self,
@@ -169,6 +355,8 @@ class CorrelationClient:
         config: Optional[Dict[str, Any]] = None,
         on_insufficient: str = "keep",
         at_epoch: Optional[int] = None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Progressive top-k ranking at the pinned (default: current) epoch."""
         params: Dict[str, Any] = {
@@ -181,11 +369,22 @@ class CorrelationClient:
             params["config"] = config
         if at_epoch is not None:
             params["at_epoch"] = int(at_epoch)
-        return self.request("topk", params)
+        return self.request("topk", params, timeout=timeout, deadline=deadline)
 
-    def stream(self, deltas: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
-        """Commit one batch of delta records; returns the new epoch."""
-        return self.request("stream", {"deltas": list(deltas)})
+    def stream(
+        self,
+        deltas: Sequence[Dict[str, Any]],
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Commit one batch of delta records; returns the new epoch.
+
+        Safe to retry: the batch's rid deduplicates a re-sent commit whose
+        first response was dropped, so the epoch advances exactly once.
+        """
+        return self.request(
+            "stream", {"deltas": list(deltas)}, timeout=timeout, deadline=deadline
+        )
 
     def metrics(self, traces: int = 0) -> Dict[str, Any]:
         """The server's metrics registry: snapshot dict + Prometheus text.

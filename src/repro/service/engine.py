@@ -65,7 +65,10 @@ from repro.core.parallel import estimate_matrix_pairs_sharded, resolve_workers
 from repro.events.attributed_graph import AttributedGraph
 from repro.exceptions import (
     ConfigurationError,
+    EdgeError,
+    EventError,
     InsufficientSampleError,
+    NodeNotFoundError,
     SnapshotExpiredError,
 )
 from repro.obs import (
@@ -77,11 +80,18 @@ from repro.obs import (
     trace,
 )
 from repro.sampling.cache import SampleMemo, event_nodes_fingerprint
-from repro.service.protocol import BadRequestError
+from repro.service.pool import (
+    CircuitBreaker,
+    PoolSupervisor,
+    WorkerCrashedError,
+    global_pool,
+)
+from repro.service.protocol import BadRequestError, UnavailableError
 from repro.service.shm import unpublish_dataset
-from repro.streaming.delta import DeltaBatch
+from repro.streaming.delta import DeltaBatch, WriteAheadLog
 from repro.streaming.dynamic_graph import DynamicAttributedGraph
 from repro.streaming.snapshots import SnapshotLease
+from repro.utils import deadlines
 
 
 class _ReadWriteLock:
@@ -193,6 +203,18 @@ class ServiceEngine:
         Requests slower than this are emitted as JSON lines through the
         ``repro.obs.slowlog`` logger, span tree included (``None``
         disables the slow-request log).
+    wal:
+        Optional :class:`~repro.streaming.delta.WriteAheadLog` (or a path
+        to open one at).  When set, ``stream`` commits are appended — CRC'd
+        and fsynced — *before* they apply, so a killed process restarted
+        with the same WAL replays back to the last committed epoch.  The
+        engine does **not** replay on construction (callers replay before
+        serving; see ``tesc serve --wal``).
+    breaker:
+        Optional :class:`~repro.service.pool.CircuitBreaker` guarding the
+        pooled compute paths (a default one is built when ``workers > 1``).
+        When the pool keeps crashing, the breaker opens and requests run
+        the bit-identical serial path instead of erroring.
     """
 
     def __init__(
@@ -206,6 +228,8 @@ class ServiceEngine:
         metrics: Optional[MetricsRegistry] = None,
         trace_buffer_size: int = 64,
         slow_request_seconds: Optional[float] = None,
+        wal: Optional[Any] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else TescConfig()
@@ -221,6 +245,22 @@ class ServiceEngine:
         self._epoch_lock = threading.Lock()
         self._epoch = 0
         self._seen_versions = self._graph_versions()
+
+        if wal is not None and not self._dynamic:
+            raise ConfigurationError(
+                "a write-ahead log needs a dynamic graph (commits are what "
+                "it records); construct the engine over a "
+                "DynamicAttributedGraph or drop wal="
+            )
+        self._wal: Optional[WriteAheadLog] = (
+            wal if wal is None or isinstance(wal, WriteAheadLog)
+            else WriteAheadLog(wal)
+        )
+        self.supervisor = PoolSupervisor(global_pool(), breaker)
+        # rid -> cached commit result: makes retried stream commits
+        # idempotent (a lost response must not re-apply the batch).
+        self._commit_rids: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._max_commit_rids = 1024
 
         self._memos: Dict[tuple, SampleMemo] = {}
         self._matrices: "OrderedDict[tuple, Tuple[DensityMatrix, PairEstimateBatcher]]" = (
@@ -285,6 +325,39 @@ class ServiceEngine:
             "tesc_commit_seconds",
             "Commit latency in seconds (apply + epoch publication).",
         )
+        self._m_commit_replays = m.counter(
+            "tesc_commit_replays_total",
+            "Stream commits answered from the rid dedup table (idempotent "
+            "retries of a batch that already applied).",
+        )
+        self._m_wal_commits = m.counter(
+            "tesc_wal_commits_total",
+            "Delta batches durably appended to the write-ahead log.",
+        )
+        self._m_wal_failures = m.counter(
+            "tesc_wal_failures_total",
+            "Write-ahead appends that failed (commit rejected with 503, "
+            "graph untouched).",
+        )
+        self._m_pool_fallbacks = m.counter(
+            "tesc_pool_fallbacks_total",
+            "Pooled compute phases that failed mid-request and were "
+            "recomputed on the bit-identical serial path.",
+        )
+        self._m_degraded_requests = m.counter(
+            "tesc_degraded_requests_total",
+            "rank/topk requests served while the pool circuit breaker "
+            "distrusted the pool (serial degraded mode).",
+        )
+        m.gauge(
+            "tesc_degraded_mode",
+            "1 while the pool circuit breaker is open or half-open "
+            "(requests run the serial fallback), else 0.",
+        ).set_function(lambda: 1.0 if self.supervisor.degraded else 0.0)
+        m.gauge(
+            "tesc_breaker_transitions",
+            "Circuit-breaker state transitions (lifetime).",
+        ).set_function(lambda: float(self.supervisor.breaker.transitions))
         m.gauge(
             "tesc_cached_pair_results", "Entries in the per-pair result cache."
         ).set_function(lambda: len(self._results))
@@ -433,9 +506,12 @@ class ServiceEngine:
             )
         cfg = self._merge_config(config_overrides or {})
         self._m_requests.labels(method="rank").inc()
+        if self.workers > 1 and self.supervisor.degraded:
+            self._m_degraded_requests.inc()
         with trace("rank", sink=self._finish_trace) as span:
             epoch, graph, lease = self._pin(at_epoch)
             try:
+                deadlines.checkpoint()
                 pair_list = resolve_pair_spec(graph.event_names(), pairs)
                 events = sorted({event for pair in pair_list for event in pair})
                 # Surfaces unknown events before any sampling work happens.
@@ -530,14 +606,24 @@ class ServiceEngine:
             # "raise" mode; the caller raises after assembly, and "keep"
             # requests for the same pair still hit the cache.
             with stage("estimate", pairs=len(still_missing)):
-                if self.workers > 1 and len(still_missing) > 1:
-                    from repro.service.pool import global_pool
-
-                    fresh = estimate_matrix_pairs_sharded(
-                        global_pool(), matrix, row_of, still_missing, cfg,
-                        "keep", self.workers,
-                    )
-                else:
+                deadlines.checkpoint()
+                fresh = None
+                if (
+                    self.workers > 1
+                    and len(still_missing) > 1
+                    and self.supervisor.allow()
+                ):
+                    try:
+                        fresh = estimate_matrix_pairs_sharded(
+                            global_pool(), matrix, row_of, still_missing, cfg,
+                            "keep", self.workers,
+                        )
+                    except (WorkerCrashedError, OSError) as exc:
+                        self.supervisor.record_failure(exc)
+                        self._m_pool_fallbacks.inc()
+                    else:
+                        self.supervisor.record_success()
+                if fresh is None:
                     fresh = estimate_pair_list(
                         still_missing, row_of, matrix, batcher, cfg, "keep"
                     )
@@ -578,15 +664,26 @@ class ServiceEngine:
             )
         ensure_uniform_sample(sample, cfg.sampler)
         with stage("density", workers=self.workers):
-            if self.workers > 1 and sample.nodes.size > 1:
-                from repro.service.pool import global_pool, pooled_density_matrix
+            matrix = None
+            if (
+                self.workers > 1
+                and sample.nodes.size > 1
+                and self.supervisor.allow()
+            ):
+                from repro.service.pool import pooled_density_matrix
 
                 self._note_published(epoch, graph)
-                matrix, _bfs = pooled_density_matrix(
-                    global_pool(), graph, sample.nodes, events,
-                    cfg.vicinity_level, self.workers,
-                )
-            else:
+                try:
+                    matrix, _bfs = pooled_density_matrix(
+                        global_pool(), graph, sample.nodes, events,
+                        cfg.vicinity_level, self.workers,
+                    )
+                except (WorkerCrashedError, OSError) as exc:
+                    self.supervisor.record_failure(exc)
+                    self._m_pool_fallbacks.inc()
+                else:
+                    self.supervisor.record_success()
+            if matrix is None:
                 computer = DensityComputer(graph.csr)
                 indicators = graph.indicator_matrix(list(events))
                 matrix = computer.density_matrix(
@@ -626,6 +723,8 @@ class ServiceEngine:
 
         cfg = self._merge_config(config_overrides or {})
         self._m_requests.labels(method="topk").inc()
+        if self.workers > 1 and self.supervisor.degraded:
+            self._m_degraded_requests.inc()
         with trace("topk", sink=self._finish_trace, k=int(k)) as span:
             epoch, graph, lease = self._pin(at_epoch)
             try:
@@ -671,16 +770,38 @@ class ServiceEngine:
         Caller holds ``_miss_lock`` and has re-checked the cache."""
         from repro.core.topk import ProgressiveTopKEngine
 
-        if self.workers > 1:
+        workers = self.workers
+        if workers > 1 and not self.supervisor.allow():
+            workers = 1
+        if workers > 1:
             self._note_published(epoch, graph)
         engine = ProgressiveTopKEngine(
-            graph, cfg, workers=self.workers, metrics=self.metrics
+            graph, cfg, workers=workers, metrics=self.metrics
         )
         try:
-            ranking = engine.top_k(
-                k, pair_list, sort_by=sort_by,
-                on_insufficient=on_insufficient,
-            )
+            try:
+                ranking = engine.top_k(
+                    k, pair_list, sort_by=sort_by,
+                    on_insufficient=on_insufficient,
+                )
+            except (WorkerCrashedError, OSError) as exc:
+                if workers == 1:
+                    raise
+                # A fresh serial engine reseeds every round from the config,
+                # so the retry is bit-identical to an untroubled run.
+                self.supervisor.record_failure(exc)
+                self._m_pool_fallbacks.inc()
+                engine.close()
+                engine = ProgressiveTopKEngine(
+                    graph, cfg, workers=1, metrics=self.metrics
+                )
+                ranking = engine.top_k(
+                    k, pair_list, sort_by=sort_by,
+                    on_insufficient=on_insufficient,
+                )
+            else:
+                if workers > 1:
+                    self.supervisor.record_success()
         finally:
             engine.close()
         result = {
@@ -698,7 +819,31 @@ class ServiceEngine:
 
     # -- stream --------------------------------------------------------------
 
-    def commit(self, delta_records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    def _validate_batch(self, batch: DeltaBatch) -> None:
+        """The same checks :meth:`DynamicAttributedGraph.apply` runs, early.
+
+        Commit runs them *before* the write-ahead append so the WAL can
+        never durably record a batch the graph would then reject — replay
+        of a recovered log is therefore always clean.
+        """
+        num_nodes = self.graph.num_nodes
+        for delta in batch.edge_deltas():
+            if not (0 <= delta.u < num_nodes):
+                raise NodeNotFoundError(delta.u)
+            if not (0 <= delta.v < num_nodes):
+                raise NodeNotFoundError(delta.v)
+            if delta.u == delta.v:
+                raise EdgeError(f"self-loop ({delta.u}, {delta.v}) is not allowed")
+        for delta in batch.event_deltas():
+            if not isinstance(delta.event, str) or not delta.event:
+                raise EventError(
+                    f"event name must be a non-empty string, got {delta.event!r}"
+                )
+            if not (0 <= delta.node < num_nodes):
+                raise NodeNotFoundError(delta.node)
+
+    def commit(self, delta_records: Sequence[Dict[str, Any]],
+               rid: Optional[str] = None) -> Dict[str, Any]:
         """Apply one delta batch and report its net effect.
 
         Commits serialise on a plain mutex and **never wait for readers**:
@@ -707,6 +852,14 @@ class ServiceEngine:
         read admits at the bumped epoch.  A cached ``(pair, epoch)`` entry
         can therefore never be served stale — the commit that might have
         invalidated it lives at a different epoch.
+
+        ``rid`` makes the commit idempotent: a rid already in the dedup
+        table returns the recorded result (marked ``"replayed": true``)
+        without touching the graph, which is what lets a client whose
+        response was lost in flight retry a ``stream`` safely.  With a WAL
+        attached, the batch is durably appended — CRC'd and fsynced —
+        before it applies; an append failure rejects the commit with a
+        retryable 503 and leaves both the log and the graph unchanged.
         """
         if not self._dynamic:
             raise BadRequestError(
@@ -725,23 +878,47 @@ class ServiceEngine:
         with trace("commit", sink=self._finish_trace,
                    deltas=len(batch.deltas)) as span:
             with self._commit_lock:
+                if rid is not None:
+                    replayed = self._commit_rids.get(rid)
+                    if replayed is not None:
+                        self._m_commit_replays.inc()
+                        result = dict(replayed)
+                        result["replayed"] = True
+                        span.tags["replayed"] = True
+                        return result
+                self._validate_batch(batch)
+                if self._wal is not None:
+                    with stage("wal"):
+                        try:
+                            self._wal.append_batch(batch)
+                        except OSError as exc:
+                            self._m_wal_failures.inc()
+                            raise UnavailableError(
+                                f"write-ahead log append failed: {exc}"
+                            ) from exc
+                    self._m_wal_commits.inc()
                 self._m_commits.inc()
                 with stage("apply"):
                     applied = self.graph.apply(batch)
                 epoch = applied.epoch
+                result = {
+                    "epoch": epoch,
+                    "structure_version": applied.structure_version,
+                    "added_edges": len(applied.added_edges),
+                    "removed_edges": len(applied.removed_edges),
+                    "attached": len(applied.attached),
+                    "detached": len(applied.detached),
+                    "changed": applied.changed,
+                }
+                if rid is not None:
+                    self._commit_rids[rid] = dict(result)
+                    while len(self._commit_rids) > self._max_commit_rids:
+                        self._commit_rids.popitem(last=False)
             with stage("sweep"):
                 self._sweep_publications()
         self._m_commit_seconds.observe(span.duration)
         self._m_request_seconds.labels(method="commit").observe(span.duration)
-        return {
-            "epoch": epoch,
-            "structure_version": applied.structure_version,
-            "added_edges": len(applied.added_edges),
-            "removed_edges": len(applied.removed_edges),
-            "attached": len(applied.attached),
-            "detached": len(applied.detached),
-            "changed": applied.changed,
-        }
+        return result
 
     # -- snapshot publication lifecycle --------------------------------------
 
@@ -780,8 +957,17 @@ class ServiceEngine:
             "cached_pair_results": len(self._results),
             "cached_matrices": len(self._matrices),
             "cached_topk": len(self._topk_cache),
+            "degraded": self.supervisor.degraded,
+            "breaker": self.supervisor.describe(),
             "metrics": self.metrics.snapshot(),
         }
+        if self._wal is not None:
+            payload["wal"] = {
+                "path": self._wal.path,
+                "batches": len(self._wal.batches),
+                "recovered_batches": self._wal.recovered_batches,
+                "truncated_bytes": self._wal.truncated_bytes,
+            }
         if self._dynamic:
             payload["retained_epochs"] = self.graph.retained_epochs()
             payload["retained_bytes"] = self.graph.retained_bytes()
@@ -820,3 +1006,5 @@ class ServiceEngine:
                 unpublish_dataset(snapshot)
             self._published.clear()
         unpublish_dataset(self.graph)
+        if self._wal is not None:
+            self._wal.close()

@@ -26,11 +26,22 @@ the pool once and resubmits the whole task batch, so in-flight requests
 complete instead of wedging.  A second consecutive break surfaces as
 :class:`WorkerCrashedError` — a clean error, with the pool rebuilt and ready
 for the next caller.
+
+Supervision (PR 9): the pool accepts a bounded *respawn budget* so a
+crash-looping workload cannot fork-bomb the host, exposes a :meth:`probe`
+health check, and this module provides the :class:`CircuitBreaker` +
+:class:`PoolSupervisor` pair the engine uses to trip into bit-identical
+serial fallback when the pool keeps dying.  The
+:data:`~repro.service.faults.WORKER_DISPATCH` fault seam fires once per
+submitted task, so chaos plans like "kill worker 2 on task 7" replay
+deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -42,6 +53,7 @@ import numpy as np
 
 from repro.core.density import DensityMatrix, densities_from_counts
 from repro.obs.trace import attach_remote, propagation, remote_record
+from repro.service import faults
 from repro.service.shm import (
     ArrayRef,
     DatasetRef,
@@ -145,6 +157,11 @@ def _estimate_shard_task(
     return results, record
 
 
+def _probe_task() -> int:
+    """Health-probe entry point: prove a worker can run code at all."""
+    return os.getpid()
+
+
 # -- the pool -----------------------------------------------------------------
 
 
@@ -156,6 +173,16 @@ class PoolStats:
     tasks_dispatched: int = 0
     batches_dispatched: int = 0
     crashes_recovered: int = 0
+    respawns_denied: int = 0
+
+
+@dataclass(frozen=True)
+class PoolHealth:
+    """One :meth:`PersistentWorkerPool.probe` result."""
+
+    ok: bool
+    pids: Tuple[int, ...] = ()
+    error: str = ""
 
 
 class PersistentWorkerPool:
@@ -170,12 +197,15 @@ class PersistentWorkerPool:
     break.
     """
 
-    def __init__(self, mp_context: Optional[str] = None) -> None:
+    def __init__(self, mp_context: Optional[str] = None,
+                 respawn_budget: Optional[int] = None) -> None:
         self._mp_context = mp_context
         self._executor: Optional[ProcessPoolExecutor] = None
         self._workers = 0
         self._generation = 0
         self._lock = threading.Lock()
+        self._respawns_left = respawn_budget
+        self._budget_exhausted = False
         self.stats = PoolStats()
 
     # -- lifecycle ----------------------------------------------------------
@@ -207,6 +237,11 @@ class PersistentWorkerPool:
 
     def _acquire(self, workers: int) -> Tuple[ProcessPoolExecutor, int]:
         with self._lock:
+            if self._budget_exhausted:
+                raise WorkerCrashedError(
+                    "worker pool respawn budget exhausted; refusing to "
+                    "respawn (set_respawn_budget resets the allowance)"
+                )
             if self._executor is None or self._workers < workers:
                 if self._executor is not None:
                     self._executor.shutdown(wait=False, cancel_futures=True)
@@ -221,8 +256,32 @@ class PersistentWorkerPool:
             workers = self._workers
             if self._executor is not None:
                 self._executor.shutdown(wait=False, cancel_futures=True)
+            if self._respawns_left is not None and self._respawns_left <= 0:
+                # Crash-looping workload: stop forking replacements.  The
+                # pool stays down until the budget is reset, and callers see
+                # WorkerCrashedError immediately (the breaker's cue to go
+                # serial for good).
+                self._executor = None
+                self._workers = 0
+                self._budget_exhausted = True
+                self.stats.respawns_denied += 1
+                return
+            if self._respawns_left is not None:
+                self._respawns_left -= 1
             self._spawn_locked(workers)
             self.stats.crashes_recovered += 1
+
+    def set_respawn_budget(self, budget: Optional[int]) -> None:
+        """Reset the crash-respawn allowance (``None`` = unlimited)."""
+        with self._lock:
+            self._respawns_left = budget
+            self._budget_exhausted = False
+
+    @property
+    def respawns_left(self) -> Optional[int]:
+        """Remaining crash-respawn allowance (``None`` = unlimited)."""
+        with self._lock:
+            return self._respawns_left
 
     def shutdown(self) -> None:
         """Tear the pool down (it respawns lazily on the next task batch)."""
@@ -255,10 +314,16 @@ class PersistentWorkerPool:
         if not task_args:
             return []
         needed = workers if workers is not None else len(task_args)
+        task_name = getattr(fn, "__name__", str(fn))
         for attempt in range(2):
             executor, generation = self._acquire(needed)
             try:
-                futures = [executor.submit(fn, *args) for args in task_args]
+                futures = []
+                for args in task_args:
+                    rule = faults.inject(faults.WORKER_DISPATCH, task=task_name)
+                    if rule is not None and rule.action == "kill_worker":
+                        self._kill_worker(executor, rule.worker)
+                    futures.append(executor.submit(fn, *args))
                 results = [future.result() for future in futures]
             except BrokenProcessPool:
                 self._recover(generation)
@@ -272,6 +337,35 @@ class PersistentWorkerPool:
             self.stats.tasks_dispatched += len(task_args)
             return results
         raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _kill_worker(executor: ProcessPoolExecutor, index: int) -> bool:
+        """SIGKILL one live worker (chaos only; selected by sorted-pid index)."""
+        processes = getattr(executor, "_processes", None) or {}
+        pids = sorted(processes.keys())
+        if not pids:
+            return False
+        try:
+            os.kill(pids[index % len(pids)], signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            return False
+        return True
+
+    # -- health -------------------------------------------------------------
+
+    def probe(self) -> PoolHealth:
+        """Round-trip a trivial task through the pool.
+
+        ``ok`` means the pool can currently execute work; a probe of a
+        downed pool (respawn budget exhausted, or workers dying faster than
+        the single transparent respawn) reports the failure instead of
+        raising.
+        """
+        try:
+            pids = self.run_tasks(_probe_task, [()], workers=self._workers or 1)
+        except WorkerCrashedError as exc:
+            return PoolHealth(ok=False, error=str(exc))
+        return PoolHealth(ok=True, pids=tuple(int(pid) for pid in pids))
 
 
 # -- the process-wide singleton ----------------------------------------------
@@ -301,6 +395,140 @@ def shutdown_global_pool() -> None:
         pool = _GLOBAL_POOL
     if pool is not None:
         pool.shutdown()
+
+
+# -- supervision ---------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """A classic closed → open → half-open breaker guarding the pool path.
+
+    ``record_failure`` counts consecutive failures; at ``failure_threshold``
+    the breaker *opens* and :meth:`allow` answers ``False`` (the engine runs
+    the bit-identical serial path instead of touching the pool).  After
+    ``cooldown_seconds`` the next :meth:`allow` admits exactly one trial
+    (*half-open*); its success closes the breaker, its failure re-opens it
+    for another cooldown.  ``clock`` is injectable so chaos tests step time
+    deterministically.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 2, cooldown_seconds: float = 5.0,
+                 clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+        self.transitions = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def open(self) -> bool:
+        """Whether the protected path is currently distrusted (not closed)."""
+        with self._lock:
+            return self._state != self.CLOSED
+
+    def _transition_locked(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self.transitions += 1
+
+    def allow(self) -> bool:
+        """Whether the caller may take the protected (pooled) path now."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at < self.cooldown_seconds:
+                    return False
+                self._transition_locked(self.HALF_OPEN)
+                self._trial_in_flight = True
+                return True
+            if not self._trial_in_flight:
+                self._trial_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._trial_in_flight = False
+            self._transition_locked(self.CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            trial_failed = self._state == self.HALF_OPEN
+            self._trial_in_flight = False
+            if trial_failed or self._failures >= self.failure_threshold:
+                self._transition_locked(self.OPEN)
+                self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._trial_in_flight = False
+            self._transition_locked(self.CLOSED)
+
+
+class PoolSupervisor:
+    """The engine's view of pool health: breaker + probe + failure ledger.
+
+    One supervisor guards every pooled call site of one engine.  Call
+    :meth:`allow` before dispatching to the pool, then exactly one of
+    :meth:`record_success` / :meth:`record_failure`; once the breaker
+    opens, the engine serves the serial path (bit-identical by the pool's
+    own determinism contract) until a cooldown trial heals it.
+    """
+
+    def __init__(self, pool: PersistentWorkerPool,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
+        self.pool = pool
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.failures = 0
+        self.last_error = ""
+
+    def allow(self) -> bool:
+        return self.breaker.allow()
+
+    def record_success(self) -> None:
+        self.breaker.record_success()
+
+    def record_failure(self, error: BaseException) -> None:
+        self.failures += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+        self.breaker.record_failure()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether new requests are currently routed to the serial path."""
+        return self.breaker.open
+
+    def probe(self) -> PoolHealth:
+        """Health-check the pool without disturbing the breaker."""
+        return self.pool.probe()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "breaker_state": self.breaker.state,
+            "breaker_transitions": self.breaker.transitions,
+            "pool_failures": self.failures,
+            "last_error": self.last_error,
+            "respawns_left": self.pool.respawns_left,
+        }
 
 
 # -- pooled high-level phases -------------------------------------------------

@@ -1,4 +1,4 @@
-"""Wire protocol of the correlation service (v2).
+"""Wire protocol of the correlation service (v3).
 
 Newline-delimited JSON over a local TCP (or Unix) socket: each request is
 one line ``{"id": ..., "method": ..., "params": {...}}``, each response one
@@ -23,10 +23,25 @@ result is epoch-bound; mirrored from the result for ``rank``/``topk``/
 read a pinned historical snapshot.  v1 servers sent no ``proto`` field;
 clients treat a missing ``proto`` as version 1.
 
+Protocol v3 (the fault-tolerance release) adds two *request* envelope
+fields — ``rid``, a client-generated idempotency key (the server dedups
+``stream`` commits on it, so a retried commit whose first response was lost
+in flight is returned from cache instead of applied twice), and
+``deadline``, the client's remaining budget in seconds (relative, so clock
+skew is irrelevant) propagated into admission waits and cooperative
+cancellation checkpoints — and two *error*-body fields: ``retryable``
+(whether an identical retry can succeed) and an optional ``retry_after``
+backoff hint in seconds.  Both directions are backwards compatible: v2
+servers ignore the new request fields, v2 clients ignore the new error
+fields.
+
 Error codes follow the familiar HTTP shape so backpressure is recognisable:
-``400`` malformed/invalid request, ``408`` queue-wait timeout, ``429``
-overloaded (bounded queue full), ``500`` internal failure.  The client maps
-each code back onto the exception classes below.
+``400`` malformed/invalid request (never retryable), ``408`` queue-wait or
+deadline timeout (retryable), ``429`` overloaded — bounded queue full
+(retryable, honouring ``retry_after``), ``500`` internal failure (not
+retryable), ``503`` durable log unavailable (retryable: the write-ahead
+append failed *before* any state change).  The client maps each code back
+onto the exception classes below.
 """
 
 from __future__ import annotations
@@ -35,7 +50,7 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 #: The protocol major version this build speaks.
-PROTO_VERSION = 2
+PROTO_VERSION = 3
 
 #: Config fields a request may override, and the coercions applied to them.
 CONFIG_FIELDS: Dict[str, type] = {
@@ -56,10 +71,18 @@ CONFIG_FIELDS: Dict[str, type] = {
 
 
 class ServiceError(Exception):
-    """Base class of every error the service reports to a client."""
+    """Base class of every error the service reports to a client.
+
+    ``retryable`` is the class default for the wire field of the same name;
+    :func:`raise_for_error` overrides the instance attribute from the
+    response body, and attaches ``retry_after`` (seconds, or ``None``) so
+    retry loops can read both off any caught :class:`ServiceError`.
+    """
 
     code = 500
     kind = "internal"
+    retryable = False
+    retry_after: Optional[float] = None
 
 
 class BadRequestError(ServiceError):
@@ -70,10 +93,11 @@ class BadRequestError(ServiceError):
 
 
 class RequestTimeoutError(ServiceError):
-    """The request waited longer than the queue timeout for a slot."""
+    """The queue wait or the request's own deadline expired."""
 
     code = 408
     kind = "timeout"
+    retryable = True
 
 
 class OverloadedError(ServiceError):
@@ -81,6 +105,7 @@ class OverloadedError(ServiceError):
 
     code = 429
     kind = "overloaded"
+    retryable = True
 
 
 class RemoteError(ServiceError):
@@ -90,10 +115,36 @@ class RemoteError(ServiceError):
     kind = "internal"
 
 
+class UnavailableError(ServiceError):
+    """A dependency (the write-ahead log) failed before any state change."""
+
+    code = 503
+    kind = "unavailable"
+    retryable = True
+
+
+class ConnectionLostError(RemoteError):
+    """Client side only: the socket died before a response arrived.
+
+    Synthesised by :class:`~repro.service.client.CorrelationClient` (never
+    sent on the wire).  Retryable — for reads trivially, for ``stream``
+    because the server dedups commits on the request's ``rid``.
+    """
+
+    kind = "connection"
+    retryable = True
+
+
 #: code -> client-side exception class.
 ERRORS_BY_CODE = {
     cls.code: cls
-    for cls in (BadRequestError, RequestTimeoutError, OverloadedError, RemoteError)
+    for cls in (
+        BadRequestError,
+        RequestTimeoutError,
+        OverloadedError,
+        RemoteError,
+        UnavailableError,
+    )
 }
 
 
@@ -119,18 +170,25 @@ def error_response(request_id: Any, error: BaseException) -> Dict[str, Any]:
     """The error-response message for ``error``."""
     if isinstance(error, ServiceError):
         code, kind = error.code, error.kind
+        retryable = bool(error.retryable)
+        retry_after = error.retry_after
     else:
         code, kind = 500, "internal"
+        retryable, retry_after = False, None
+    body: Dict[str, Any] = {
+        "code": code,
+        "type": kind,
+        "exception": type(error).__name__,
+        "message": str(error),
+        "retryable": retryable,
+    }
+    if retry_after is not None:
+        body["retry_after"] = float(retry_after)
     return {
         "id": request_id,
         "proto": PROTO_VERSION,
         "ok": False,
-        "error": {
-            "code": code,
-            "type": kind,
-            "exception": type(error).__name__,
-            "message": str(error),
-        },
+        "error": body,
     }
 
 
@@ -183,7 +241,14 @@ def raise_for_error(response: Dict[str, Any]) -> Dict[str, Any]:
     cls = ERRORS_BY_CODE.get(error.get("code"), RemoteError)
     exception = error.get("exception")
     message = error.get("message", "unknown server error")
-    raise cls(f"{exception}: {message}" if exception else message)
+    raised = cls(f"{exception}: {message}" if exception else message)
+    retryable = error.get("retryable")
+    if isinstance(retryable, bool):
+        raised.retryable = retryable
+    retry_after = error.get("retry_after")
+    if isinstance(retry_after, (int, float)) and retry_after >= 0:
+        raised.retry_after = float(retry_after)
+    raise raised
 
 
 def parse_pairs(raw: Any) -> Any:
@@ -259,3 +324,38 @@ def parse_sort_and_k(params: Dict[str, Any]) -> Tuple[Optional[int], str]:
     if not isinstance(sort_by, str):
         raise BadRequestError(f"sort_by must be a string, got {sort_by!r}")
     return top_k, sort_by
+
+
+def parse_deadline(request: Dict[str, Any]) -> Optional[float]:
+    """Extract the optional relative ``deadline`` (seconds) from a request.
+
+    The wire value is *relative* remaining budget, not a wall-clock
+    instant, so client/server clock skew cannot shrink or inflate it; the
+    server converts it to an absolute monotonic deadline on receipt.
+    """
+    deadline = request.get("deadline")
+    if deadline is None:
+        return None
+    try:
+        deadline = float(deadline)
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(
+            f"deadline must be a number of seconds, got {deadline!r}"
+        ) from exc
+    if deadline != deadline or deadline <= 0:  # NaN or non-positive
+        raise BadRequestError(
+            f"deadline must be a positive number of seconds, got {deadline!r}"
+        )
+    return deadline
+
+
+def parse_rid(request: Dict[str, Any]) -> Optional[str]:
+    """Extract the optional idempotency key ``rid`` from a request."""
+    rid = request.get("rid")
+    if rid is None:
+        return None
+    if not isinstance(rid, str) or not rid or len(rid) > 200:
+        raise BadRequestError(
+            f"rid must be a non-empty string of at most 200 characters, got {rid!r}"
+        )
+    return rid

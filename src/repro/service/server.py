@@ -23,16 +23,19 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Any, Callable, Dict, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.core.config import TescConfig
 from repro.events.attributed_graph import AttributedGraph
-from repro.exceptions import ReproError
+from repro.exceptions import DeadlineExceededError, ReproError
 from repro.obs import MetricsHTTPServer, stage, trace
+from repro.service import faults
 from repro.service.admission import AdmissionController
 from repro.service.engine import ServiceEngine
 from repro.service.protocol import (
     BadRequestError,
+    RequestTimeoutError,
     ServiceError,
     decode_line,
     encode,
@@ -40,9 +43,14 @@ from repro.service.protocol import (
     ok_response,
     parse_at_epoch,
     parse_config_overrides,
+    parse_deadline,
     parse_pairs,
+    parse_rid,
     parse_sort_and_k,
 )
+from repro.streaming.delta import WriteAheadLog
+from repro.streaming.dynamic_graph import DynamicAttributedGraph
+from repro.utils import deadlines
 
 #: Methods that skip admission control (cheap, must answer under overload).
 _UNGATED_METHODS = frozenset({"ping", "status", "metrics", "shutdown"})
@@ -87,6 +95,14 @@ class CorrelationServer:
         Requests slower than this are emitted as JSON lines (span tree
         included) through the ``repro.obs.slowlog`` logger; ``None``
         disables the slow-request log.
+    wal:
+        A write-ahead log path (or an open
+        :class:`~repro.streaming.delta.WriteAheadLog`).  Requires a dynamic
+        graph.  Batches already committed to the log are **replayed into
+        the graph here**, before the engine exists — so a SIGKILL'd server
+        restarted over the same base graph files and the same WAL resumes
+        at the last committed epoch — and every subsequent ``stream``
+        commit is durably appended before it applies.
 
     Usable as a context manager::
 
@@ -108,10 +124,24 @@ class CorrelationServer:
         default_top_k: Optional[int] = None,
         metrics_port: Optional[int] = None,
         slow_request_seconds: Optional[float] = None,
+        wal: Optional[Union[str, WriteAheadLog]] = None,
     ) -> None:
+        self.replayed_batches = 0
+        if wal is not None:
+            if not isinstance(graph, DynamicAttributedGraph):
+                raise ValueError(
+                    "--wal needs a dynamic graph: write-ahead logging "
+                    "records stream commits"
+                )
+            if not isinstance(wal, WriteAheadLog):
+                wal = WriteAheadLog(wal)
+            for batch in wal.replay():
+                graph.apply(batch)
+                self.replayed_batches += 1
         self.engine = ServiceEngine(
             graph, config, workers=workers,
             slow_request_seconds=slow_request_seconds,
+            wal=wal,
         )
         self.default_top_k = None if default_top_k is None else int(default_top_k)
         self.admission = AdmissionController(
@@ -186,6 +216,16 @@ class CorrelationServer:
         self._stopping.set()
         listener = self._listener
         if listener is not None:
+            # accept() does not reliably return when its socket is closed
+            # under it; a throwaway self-connection wakes the loop first so
+            # the join below is prompt instead of riding out its timeout.
+            try:
+                wake = socket.create_connection(
+                    listener.getsockname(), timeout=1.0
+                )
+                wake.close()
+            except OSError:  # pragma: no cover - listener already dead
+                pass
             try:
                 listener.close()
             except OSError:  # pragma: no cover - best-effort teardown
@@ -239,7 +279,17 @@ class CorrelationServer:
             for line in reader:
                 if not line.strip():
                     continue
+                rule = faults.inject(faults.SOCKET_RECV)
+                if rule is not None and rule.action == "drop":
+                    # Connection dies before the request is processed.
+                    break
                 response = self._handle_line(line)
+                method = response.pop("_method", None)
+                rule = faults.inject(faults.SOCKET_SEND, method=method)
+                if rule is not None and rule.action == "drop":
+                    # Connection dies after processing but before the
+                    # response is written — the case rid-dedup exists for.
+                    break
                 try:
                     connection.sendall(encode(response))
                 except OSError:
@@ -263,6 +313,7 @@ class CorrelationServer:
 
     def _handle_line(self, line: bytes) -> Dict[str, Any]:
         request_id = None
+        method: Optional[str] = None
         try:
             request = decode_line(line)
             request_id = request.get("id")
@@ -272,8 +323,13 @@ class CorrelationServer:
                 raise BadRequestError("request must carry a string 'method'")
             if not isinstance(params, dict):
                 raise BadRequestError("request 'params' must be an object")
+            rid = parse_rid(request)
+            deadline = parse_deadline(request)
+            deadline_at = (
+                None if deadline is None else time.monotonic() + deadline
+            )
             if method in _UNGATED_METHODS:
-                result = self._dispatch(method, params)
+                result = self._dispatch(method, params, rid)
             else:
                 # One root span per gated request: the engine's own
                 # rank/topk/commit span nests under it, so the recorded tree
@@ -282,25 +338,34 @@ class CorrelationServer:
                     "request", sink=self.engine._finish_trace, method=method
                 ):
                     with stage("admission"):
-                        slot = self.admission.admit()
+                        slot = self.admission.admit(deadline_at=deadline_at)
                     with slot:
                         if self._throttle is not None:
                             self._throttle(method)
-                        result = self._dispatch(method, params)
+                        with deadlines.deadline_scope(deadline_at):
+                            result = self._dispatch(method, params, rid)
             response = ok_response(request_id, result)
             if method == "shutdown":
                 response["_shutdown"] = True
+            response["_method"] = method
             return response
+        except DeadlineExceededError as exc:
+            # Cooperative cancellation fired mid-compute: retryable 408
+            # (must precede the generic ReproError -> 400 mapping).
+            response = error_response(request_id, RequestTimeoutError(str(exc)))
         except ServiceError as exc:
-            return error_response(request_id, exc)
+            response = error_response(request_id, exc)
         except ReproError as exc:
             # Engine-level validation errors (unknown event, bad config,
             # insufficient sample in "raise" mode) are the client's fault.
-            return error_response(request_id, BadRequestError(str(exc)))
+            response = error_response(request_id, BadRequestError(str(exc)))
         except Exception as exc:  # noqa: BLE001 - server must answer
-            return error_response(request_id, exc)
+            response = error_response(request_id, exc)
+        response["_method"] = method
+        return response
 
-    def _dispatch(self, method: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    def _dispatch(self, method: str, params: Dict[str, Any],
+                  rid: Optional[str] = None) -> Dict[str, Any]:
         if method == "ping":
             return {"pong": True}
         if method == "status":
@@ -364,5 +429,5 @@ class CorrelationServer:
                 raise BadRequestError(
                     "stream requires 'deltas': a list of delta records"
                 )
-            return self.engine.commit(deltas)
+            return self.engine.commit(deltas, rid=rid)
         raise BadRequestError(f"unknown method {method!r}")

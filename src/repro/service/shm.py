@@ -41,6 +41,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.service import faults
+
 #: Prefix of every segment this package creates (lifecycle tests key on it).
 SHM_PREFIX = "tesc_"
 
@@ -137,6 +139,10 @@ class ShmRegistry:
         self._pid = os.getpid()
 
     def create(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
+        rule = faults.inject(faults.SHM_ALLOC, tag=tag)
+        if rule is not None and rule.action == "error":
+            # The real failure mode here is ENOSPC on /dev/shm, i.e. OSError.
+            raise OSError(rule.message)
         with _TRACKER_LOCK:  # keep our registration out of attach()'s window
             segment = shared_memory.SharedMemory(
                 name=_new_segment_name(tag), create=True, size=max(int(nbytes), 1)

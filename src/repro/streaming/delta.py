@@ -18,8 +18,11 @@ Every ``commit`` line closes one batch; a trailing run of deltas without a
 from __future__ import annotations
 
 import json
+import os
+import threading
+import zlib
 from dataclasses import dataclass
-from typing import IO, Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ReproError
 
@@ -287,3 +290,172 @@ class DeltaLog:
 
     def __repr__(self) -> str:
         return f"DeltaLog(batches={len(self.batches)}, pending={len(self.pending)})"
+
+
+class WriteAheadLog(DeltaLog):
+    """A :class:`DeltaLog` whose commits are durable *before* they apply.
+
+    The on-disk format is the JSONL wire format with one addition: every
+    line is prefixed by the CRC32 of its JSON payload —
+
+    .. code-block:: text
+
+        89a1c3f0 {"op":"edge_add","u":3,"v":17}
+        5d2e0b1c {"op":"commit"}
+
+    :meth:`append_batch` writes the batch's records plus a ``commit`` line,
+    flushes, and fsyncs (the commit boundary is the durability boundary).
+    If the fsync fails the file is rolled back to the previous boundary and
+    the error propagates, so the log never claims a commit it cannot
+    guarantee — callers apply the batch to the live graph only *after*
+    :meth:`append_batch` returns.
+
+    On open, the tail is scanned record by record: the first torn line
+    (partial write), CRC mismatch, or malformed record — and any valid
+    records after the last ``commit`` — are truncated away, leaving exactly
+    the committed prefix.  Recovered batches are available via the
+    inherited :meth:`~DeltaLog.replay`, which is how ``tesc serve --wal``
+    restores the pre-crash epoch.
+
+    The delta-log fsync fault seam (:data:`repro.service.faults.WAL_FSYNC`)
+    lives in :meth:`_sync`.
+    """
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"],
+                 fsync: bool = True) -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+        self.fsync_enabled = bool(fsync)
+        #: Bytes of torn/uncommitted tail discarded during recovery.
+        self.truncated_bytes = 0
+        #: Committed batches found on disk at open time.
+        self.recovered_batches = 0
+        self._lock = threading.Lock()
+        self._recover()
+        self._handle: IO[bytes] = open(self.path, "ab")
+
+    # -- wire format ---------------------------------------------------------
+
+    @staticmethod
+    def _format_record(record: dict) -> bytes:
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        return b"%08x %s\n" % (zlib.crc32(payload), payload)
+
+    @staticmethod
+    def _parse_line(line: bytes) -> Optional[dict]:
+        """One CRC-prefixed record, or ``None`` if torn/corrupt."""
+        if len(line) < 10 or line[8:9] != b" ":
+            return None
+        payload = line[9:]
+        try:
+            if int(line[:8], 16) != zlib.crc32(payload):
+                return None
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _recover(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        committed_end = 0
+        offset = 0
+        pending: List[Delta] = []
+        while True:
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                break  # torn tail: last line has no terminator
+            record = self._parse_line(data[offset:newline])
+            if record is None:
+                break
+            offset = newline + 1
+            if record.get("op") == COMMIT_OP:
+                self.batches.append(DeltaBatch(deltas=tuple(pending)))
+                pending.clear()
+                committed_end = offset
+            else:
+                try:
+                    pending.append(Delta.from_record(record))
+                except DeltaError:
+                    break
+        self.recovered_batches = len(self.batches)
+        if len(data) > committed_end:
+            self.truncated_bytes = len(data) - committed_end
+            with open(self.path, "r+b") as handle:
+                handle.truncate(committed_end)
+
+    # -- durable commits -----------------------------------------------------
+
+    def append_batch(self, batch: BatchLike) -> DeltaBatch:
+        """Durably append one batch (records + ``commit`` line + fsync).
+
+        Raises :class:`OSError` with the file rolled back to the previous
+        commit boundary when the write or fsync fails — all or nothing.
+        """
+        batch = DeltaBatch.coerce(batch)
+        payload = b"".join(
+            self._format_record(delta.to_record()) for delta in batch
+        ) + self._format_record({"op": COMMIT_OP})
+        with self._lock:
+            if self._handle.closed:
+                raise DeltaError(f"write-ahead log {self.path!r} is closed")
+            start = self._handle.tell()
+            try:
+                self._handle.write(payload)
+                self._handle.flush()
+                self._sync()
+            except OSError:
+                try:
+                    self._handle.truncate(start)
+                    self._handle.flush()
+                    if self.fsync_enabled:
+                        os.fsync(self._handle.fileno())
+                except OSError:
+                    pass
+                raise
+            self.batches.append(batch)
+        return batch
+
+    def seal(self) -> DeltaBatch:
+        """Durably commit the pending deltas as one batch."""
+        pending = tuple(self.pending)
+        self.pending.clear()
+        try:
+            return self.append_batch(DeltaBatch(deltas=pending))
+        except OSError:
+            self.pending[:0] = pending  # restage: the commit did not happen
+            raise
+
+    def _sync(self) -> None:
+        # Lazy import: repro.streaming must not pull the service package in
+        # at module load (service.engine imports this module).
+        from repro.service import faults
+
+        rule = faults.inject(faults.WAL_FSYNC, path=self.path)
+        if rule is not None and rule.action == "error":
+            raise OSError(rule.message)
+        if self.fsync_enabled:
+            os.fsync(self._handle.fileno())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog(path={self.path!r}, batches={len(self.batches)}, "
+            f"recovered={self.recovered_batches}, "
+            f"truncated_bytes={self.truncated_bytes})"
+        )

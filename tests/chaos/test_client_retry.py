@@ -1,0 +1,193 @@
+"""The client's retry matrix, backoff schedule, and socket hygiene."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service import faults
+from repro.service.client import CorrelationClient
+from repro.service.protocol import (
+    BadRequestError,
+    ConnectionLostError,
+    OverloadedError,
+    RequestTimeoutError,
+)
+
+from tests.chaos.conftest import running_server
+
+
+@pytest.fixture()
+def server(make_dynamic_graph, chaos_dataset):
+    _dataset, config = chaos_dataset
+    with running_server(make_dynamic_graph(), config, workers=1) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def silent_listener():
+    """A TCP listener that accepts connections and never answers."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    accepted = []
+
+    def _accept_loop():
+        while True:
+            try:
+                conn, _addr = sock.accept()
+            except OSError:
+                return
+            accepted.append(conn)
+
+    thread = threading.Thread(target=_accept_loop, daemon=True)
+    thread.start()
+    yield sock.getsockname()
+    sock.close()
+    for conn in accepted:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class TestRetryMatrix:
+    def test_400_is_never_retried(self, server):
+        with CorrelationClient(*server.address, max_retries=5) as client:
+            before = client.retry_stats.attempts
+            with pytest.raises(BadRequestError):
+                client.request("no_such_method")
+            assert client.retry_stats.attempts == before + 1
+            assert client.retry_stats.retries == 0
+
+    def test_429_retried_until_slot_frees(self, server):
+        admission = server.admission
+        admission.max_concurrency = 1
+        admission.max_queue = 0
+        with CorrelationClient(*server.address, max_retries=10,
+                               backoff_base=0.02, retry_seed=5) as client:
+            slot = admission.admit()
+            threading.Timer(0.2, lambda: slot.__exit__(None, None, None)).start()
+            result = client.rank()
+            assert result["pairs"]
+            assert client.retry_stats.retries >= 1
+
+    def test_429_surfaces_once_retries_exhausted(self, server):
+        admission = server.admission
+        admission.max_concurrency = 1
+        admission.max_queue = 0
+        slot = admission.admit()
+        try:
+            with CorrelationClient(*server.address, max_retries=2,
+                                   backoff_base=0.01, retry_seed=5) as client:
+                with pytest.raises(OverloadedError) as excinfo:
+                    client.rank()
+                assert excinfo.value.retryable
+                assert client.retry_stats.retries == 2
+        finally:
+            slot.__exit__(None, None, None)
+
+    def test_zero_retries_is_the_default(self, server):
+        admission = server.admission
+        admission.max_concurrency = 1
+        admission.max_queue = 0
+        slot = admission.admit()
+        try:
+            with CorrelationClient(*server.address) as client:
+                with pytest.raises(OverloadedError):
+                    client.rank()
+                assert client.retry_stats.attempts == 1
+        finally:
+            slot.__exit__(None, None, None)
+
+    def test_dropped_connection_is_retried_transparently(self, server):
+        with CorrelationClient(*server.address, max_retries=3,
+                               backoff_base=0.01, retry_seed=5) as client:
+            client.ping()  # a healthy round trip first
+            with faults.armed(
+                faults.FaultRule(faults.SOCKET_RECV, action="drop", at=1)
+            ):
+                assert client.ping()
+            assert client.retry_stats.reconnects >= 1
+
+
+class TestBackoffSchedule:
+    @staticmethod
+    def _client_off_wire(**kwargs):
+        """A client instance without a connection (schedule-only tests)."""
+        client = CorrelationClient.__new__(CorrelationClient)
+        import random
+        client.backoff_base = kwargs.get("backoff_base", 0.05)
+        client.backoff_max = kwargs.get("backoff_max", 2.0)
+        client._random = random.Random(kwargs.get("retry_seed"))
+        return client
+
+    def test_deterministic_with_seed(self):
+        first = self._client_off_wire(retry_seed=42)
+        second = self._client_off_wire(retry_seed=42)
+        error = ConnectionLostError("x")
+        schedule_a = [first._backoff_for(n, error) for n in range(1, 6)]
+        schedule_b = [second._backoff_for(n, error) for n in range(1, 6)]
+        assert schedule_a == schedule_b
+
+    def test_exponential_growth_capped(self):
+        client = self._client_off_wire(backoff_base=0.1, backoff_max=0.4,
+                                       retry_seed=1)
+        error = ConnectionLostError("x")
+        sleeps = [client._backoff_for(n, error) for n in range(1, 8)]
+        # Jitter scales by [0.5, 1.5); the cap bounds every sleep.
+        assert all(sleep <= 0.4 * 1.5 for sleep in sleeps)
+        assert sleeps[0] <= 0.1 * 1.5
+
+    def test_retry_after_hint_is_a_floor(self):
+        client = self._client_off_wire(backoff_base=0.001, retry_seed=3)
+        error = OverloadedError("busy")
+        error.retry_after = 0.25
+        assert client._backoff_for(1, error) >= 0.25
+
+    def test_no_hint_means_pure_backoff(self):
+        client = self._client_off_wire(backoff_base=0.001, retry_seed=3)
+        assert client._backoff_for(1, ConnectionLostError("x")) < 0.25
+
+
+class TestSocketHygiene:
+    def test_per_call_timeout_override(self, silent_listener):
+        client = CorrelationClient(*silent_listener, timeout=30.0)
+        started = time.monotonic()
+        with pytest.raises(ConnectionLostError, match="timed out"):
+            client.request("ping", timeout=0.2)
+        assert time.monotonic() - started < 5.0  # nowhere near the default
+        client.close()
+
+    def test_default_timeout_restored_after_override(self, server):
+        with CorrelationClient(*server.address, timeout=30.0) as client:
+            client.request("ping", timeout=5.0)
+            assert client._socket.gettimeout() == 30.0
+
+    def test_close_tolerates_dead_socket(self, server):
+        client = CorrelationClient(*server.address)
+        client.ping()
+        # Kill the transport underneath the client, then close politely.
+        client._socket.close()
+        client.close()
+        client.close()  # and stays idempotent
+
+    def test_deadline_bounds_connection_retries(self, silent_listener):
+        client = CorrelationClient(*silent_listener, max_retries=50,
+                                   backoff_base=0.05, retry_seed=9)
+        started = time.monotonic()
+        # The final raise is the last transport error — or, when the budget
+        # dies between attempts, the client-side deadline expiry (a 408).
+        with pytest.raises((ConnectionLostError, RequestTimeoutError)):
+            client.request("ping", timeout=0.1, deadline=0.5)
+        assert time.monotonic() - started < 3.0
+        assert client.retry_stats.retries < 50
+        client.close()
+
+    def test_context_manager_closes(self, server):
+        with CorrelationClient(*server.address) as client:
+            assert client.ping()
+        from repro.service.protocol import RemoteError
+        with pytest.raises(RemoteError, match="closed"):
+            client.request("ping")

@@ -1,0 +1,172 @@
+"""The durable delta log: CRC framing, torn-tail recovery, fsync faults."""
+
+import os
+
+import pytest
+
+from repro.service import faults
+from repro.streaming.delta import Delta, DeltaBatch, DeltaError, WriteAheadLog
+
+
+def _batch(*nodes, event="A"):
+    return DeltaBatch(
+        deltas=tuple(Delta.event_attach(event, node) for node in nodes)
+    )
+
+
+def _edge_batch(*edges):
+    return DeltaBatch(deltas=tuple(Delta.edge_add(u, v) for u, v in edges))
+
+
+class TestRoundTrip:
+    def test_committed_batches_survive_reopen(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(_batch(1, 2))
+            wal.append_batch(_edge_batch((0, 5), (2, 7)))
+        reopened = WriteAheadLog(path)
+        try:
+            assert reopened.recovered_batches == 2
+            assert reopened.truncated_bytes == 0
+            replayed = list(reopened.replay())
+            assert replayed[0] == _batch(1, 2)
+            assert replayed[1] == _edge_batch((0, 5), (2, 7))
+        finally:
+            reopened.close()
+
+    def test_every_line_is_crc_prefixed(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(_batch(3))
+        for line in path.read_bytes().splitlines():
+            assert WriteAheadLog._parse_line(line) is not None
+
+    def test_seal_commits_pending(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.attach_event("A", 4)
+            wal.seal()
+        reopened = WriteAheadLog(path)
+        try:
+            assert reopened.recovered_batches == 1
+        finally:
+            reopened.close()
+
+    def test_closed_log_rejects_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "deltas.wal")
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(DeltaError, match="closed"):
+            wal.append_batch(_batch(1))
+
+
+class TestRecovery:
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(_batch(1))
+        intact = path.read_bytes()
+        # A power cut mid-write: half a record, no newline.
+        path.write_bytes(intact + b"89abcdef {\"op\":\"commi")
+        recovered = WriteAheadLog(path)
+        try:
+            assert recovered.recovered_batches == 1
+            assert recovered.truncated_bytes > 0
+            assert path.read_bytes() == intact
+        finally:
+            recovered.close()
+
+    def test_corrupt_crc_truncates_from_there(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(_batch(1))
+            wal.append_batch(_batch(2))
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip a byte inside the second batch's first record.
+        corrupted = lines[2][:12] + b"X" + lines[2][13:]
+        path.write_bytes(b"".join(lines[:2] + [corrupted] + lines[3:]))
+        recovered = WriteAheadLog(path)
+        try:
+            # Batch 1 survives; everything at and after the corruption goes.
+            assert recovered.recovered_batches == 1
+            assert list(recovered.replay()) == [_batch(1)]
+        finally:
+            recovered.close()
+
+    def test_uncommitted_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(_batch(1))
+        # Valid records after the last commit line — a batch that was being
+        # written when the process died.  Not committed, so not replayed.
+        with open(path, "ab") as handle:
+            handle.write(
+                WriteAheadLog._format_record({"op": "event_attach",
+                                              "event": "A", "node": 9})
+            )
+        recovered = WriteAheadLog(path)
+        try:
+            assert recovered.recovered_batches == 1
+            assert recovered.truncated_bytes > 0
+            assert list(recovered.replay()) == [_batch(1)]
+        finally:
+            recovered.close()
+
+    def test_empty_or_missing_file_recovers_to_nothing(self, tmp_path):
+        missing = WriteAheadLog(tmp_path / "fresh.wal")
+        try:
+            assert missing.recovered_batches == 0
+        finally:
+            missing.close()
+
+
+class TestFsyncFaults:
+    def test_injected_fsync_failure_rolls_back(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        wal = WriteAheadLog(path)
+        try:
+            wal.append_batch(_batch(1))
+            size_before = os.path.getsize(path)
+            with faults.armed(
+                faults.FaultRule(faults.WAL_FSYNC, action="error", at=1,
+                                 message="disk on fire")
+            ):
+                with pytest.raises(OSError, match="disk on fire"):
+                    wal.append_batch(_batch(2))
+            # All-or-nothing: the failed batch left no bytes and no state.
+            assert os.path.getsize(path) == size_before
+            assert list(wal.replay()) == [_batch(1)]
+            # The log keeps working once the fault passes.
+            wal.append_batch(_batch(3))
+            assert list(wal.replay()) == [_batch(1), _batch(3)]
+        finally:
+            wal.close()
+
+    def test_seal_restages_pending_on_fsync_failure(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "deltas.wal")
+        try:
+            wal.attach_event("A", 7)
+            with faults.armed(
+                faults.FaultRule(faults.WAL_FSYNC, action="error", at=1)
+            ):
+                with pytest.raises(OSError):
+                    wal.seal()
+            # The deltas are still pending: the commit can be retried.
+            assert wal.num_pending == 1
+            wal.seal()
+            assert list(wal.replay()) == [_batch(7)]
+        finally:
+            wal.close()
+
+    def test_fsync_disabled_skips_the_syscall_but_keeps_the_seam(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "deltas.wal", fsync=False)
+        try:
+            with faults.armed(
+                faults.FaultRule(faults.WAL_FSYNC, action="error", at=1)
+            ):
+                with pytest.raises(OSError):
+                    wal.append_batch(_batch(1))
+            wal.append_batch(_batch(2))
+            assert list(wal.replay()) == [_batch(2)]
+        finally:
+            wal.close()

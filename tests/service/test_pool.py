@@ -1,4 +1,4 @@
-"""Persistent pool: dispatch, crash recovery, and the pooled density pass."""
+"""Persistent pool: dispatch, crash recovery, supervision, pooled density."""
 
 import os
 
@@ -7,8 +7,11 @@ import pytest
 
 from repro.core.batch import event_universe, make_config_sampler
 from repro.core.density import DensityComputer
+from repro.service import faults
 from repro.service.pool import (
+    CircuitBreaker,
     PersistentWorkerPool,
+    PoolSupervisor,
     WorkerCrashedError,
     pooled_density_matrix,
 )
@@ -98,6 +101,141 @@ class TestCrashRecovery:
         with pytest.raises(WorkerCrashedError):
             pool.run_tasks(_always_crash, [()], workers=1)
         assert shm_segments() == before
+
+    def test_second_crash_path_exact(self, pool):
+        """The double-break path end to end: a batch that breaks the pool
+        twice raises WorkerCrashedError after exactly two transparent
+        respawns, leaves no shared memory behind, and the replacement pool
+        answers the very next batch."""
+        before_shm = shm_segments()
+        assert pool.stats.crashes_recovered == 0
+        with pytest.raises(WorkerCrashedError):
+            pool.run_tasks(_always_crash, [(), ()], workers=2)
+        # Attempt 1 broke and respawned, attempt 2 broke and respawned:
+        # both recoveries are counted, nothing more.
+        assert pool.stats.crashes_recovered == 2
+        assert pool.stats.respawns_denied == 0
+        assert shm_segments() == before_shm
+        assert pool.running
+        assert pool.run_tasks(_double, [(21,)], workers=1) == [42]
+        assert pool.stats.crashes_recovered == 2  # clean batch adds none
+
+
+class TestRespawnBudget:
+    def test_budget_exhaustion_downs_the_pool(self):
+        pool = PersistentWorkerPool(respawn_budget=1)
+        try:
+            with pytest.raises(WorkerCrashedError):
+                pool.run_tasks(_always_crash, [()], workers=1)
+            # One respawn was allowed, the second was denied.
+            assert pool.stats.crashes_recovered == 1
+            assert pool.stats.respawns_denied == 1
+            assert pool.respawns_left == 0
+            assert not pool.running
+            # While exhausted, callers fail fast instead of forking.
+            with pytest.raises(WorkerCrashedError, match="budget exhausted"):
+                pool.run_tasks(_double, [(1,)], workers=1)
+            # Resetting the budget brings the pool back.
+            pool.set_respawn_budget(None)
+            assert pool.run_tasks(_double, [(2,)], workers=1) == [4]
+        finally:
+            pool.shutdown()
+
+    def test_probe_reports_health_without_raising(self, pool):
+        health = pool.probe()
+        assert health.ok and len(health.pids) >= 1
+        downed = PersistentWorkerPool(respawn_budget=0)
+        try:
+            with pytest.raises(WorkerCrashedError):
+                downed.run_tasks(_always_crash, [()], workers=1)
+            health = downed.probe()
+            assert not health.ok
+            assert "budget" in health.error
+        finally:
+            downed.shutdown()
+
+
+class TestDispatchFaultSeam:
+    def test_kill_worker_rule_recovers_transparently(self, pool):
+        """A deterministic worker kill at dispatch is absorbed: the batch is
+        resubmitted on a fresh pool and completes with correct results."""
+        pool.ensure(2)
+        assert pool.probe().ok  # force worker processes to actually exist
+        with faults.armed(
+            faults.FaultRule(
+                faults.WORKER_DISPATCH, action="kill_worker", at=1, times=1,
+                match={"task": "_double"},
+            )
+        ) as plan:
+            results = pool.run_tasks(_double, [(i,) for i in range(4)], workers=2)
+        assert results == [0, 2, 4, 6]
+        assert len(plan.fired_at(faults.WORKER_DISPATCH)) == 1
+        assert pool.stats.crashes_recovered >= 1
+
+    def test_disarmed_seam_is_inert(self, pool):
+        assert faults.active() is None
+        assert pool.run_tasks(_double, [(5,)], workers=1) == [10]
+
+
+class TestCircuitBreaker:
+    def test_state_machine(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=5.0,
+                                 clock=lambda: now[0])
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # below threshold
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        now[0] = 4.9
+        assert not breaker.allow()
+        now[0] = 5.1
+        assert breaker.allow()  # the single half-open trial
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # only one trial in flight
+        breaker.record_failure()  # trial failed: re-open
+        assert breaker.state == CircuitBreaker.OPEN
+        now[0] = 11.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_transitions_counted(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=1.0,
+                                 clock=lambda: now[0])
+        breaker.record_failure()          # closed -> open
+        now[0] = 2.0
+        breaker.allow()                   # open -> half_open
+        breaker.record_success()          # half_open -> closed
+        assert breaker.transitions == 3
+
+
+class TestPoolSupervisor:
+    def test_degraded_follows_breaker(self, pool):
+        supervisor = PoolSupervisor(pool, CircuitBreaker(failure_threshold=1))
+        assert supervisor.allow() and not supervisor.degraded
+        supervisor.record_failure(WorkerCrashedError("boom"))
+        assert supervisor.degraded and not supervisor.allow()
+        described = supervisor.describe()
+        assert described["breaker_state"] == CircuitBreaker.OPEN
+        assert described["pool_failures"] == 1
+        assert "WorkerCrashedError" in described["last_error"]
+
+    def test_probe_does_not_touch_breaker(self, pool):
+        supervisor = PoolSupervisor(pool, CircuitBreaker(failure_threshold=1))
+        assert supervisor.probe().ok
+        assert supervisor.breaker.state == CircuitBreaker.CLOSED
 
 
 class TestPooledDensity:

@@ -1,4 +1,7 @@
-"""Tests for protocol v2: versioned envelopes, epoch stamps, at_epoch pins."""
+"""Tests for the protocol envelope: versions, epoch stamps, at_epoch pins.
+
+v2 added the versioned envelope and epoch stamps; v3 (PR 9) added request
+ids and deadlines without changing any of the semantics pinned here."""
 
 import pytest
 
@@ -19,7 +22,7 @@ from repro.service.server import CorrelationServer
 class TestEnvelope:
     def test_ok_response_carries_proto(self):
         response = ok_response(1, {"pong": True})
-        assert response["proto"] == PROTO_VERSION == 2
+        assert response["proto"] == PROTO_VERSION == 3
         assert "epoch" not in response
 
     def test_ok_response_mirrors_result_epoch(self):
@@ -43,8 +46,8 @@ class TestCheckProto:
         assert check_proto({"proto": PROTO_VERSION}) == PROTO_VERSION
 
     def test_newer_major_rejected(self):
-        with pytest.raises(RemoteError, match="v3"):
-            check_proto({"proto": 3})
+        with pytest.raises(RemoteError, match="v4"):
+            check_proto({"proto": 4})
 
     def test_malformed_version_rejected(self):
         with pytest.raises(RemoteError, match="malformed"):
@@ -53,8 +56,8 @@ class TestCheckProto:
             check_proto({"proto": 0})
 
     def test_raise_for_error_checks_proto_first(self):
-        with pytest.raises(RemoteError, match="v3"):
-            raise_for_error({"proto": 3, "ok": True, "result": {}})
+        with pytest.raises(RemoteError, match="v4"):
+            raise_for_error({"proto": 4, "ok": True, "result": {}})
 
 
 class TestParseAtEpoch:
