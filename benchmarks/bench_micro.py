@@ -1079,3 +1079,164 @@ def test_fault_seam_overhead_within_three_percent():
         f"fault-seam overhead {overhead * 100:.2f}% exceeds the 3% bar "
         f"({best_seamed:.4f}s vs {best_stripped:.4f}s)"
     )
+
+
+# -- durability: cold start from a checkpoint vs full WAL replay --------------
+#
+# The recovery acceptance bar for the checkpoint store: on a 200-batch log
+# of edge churn, booting from the newest checkpoint (plus an empty WAL tail)
+# must be >= 3x faster than replaying the whole log from scratch — while
+# restoring the bit-identical graph.  Two on-disk deployments are staged
+# once: "replay/" has the full uncompacted WAL and no checkpoint; "ckpt/"
+# has a checkpoint covering all 200 batches and the compacted WAL the
+# service would leave behind.  Both boots go through the real recovery
+# ladder (WAL open + recover()), exactly what ``tesc serve --store`` does.
+
+COLD_START_BATCHES = 200
+_COLD_START: dict = {}
+
+
+def _cold_start_deployments():
+    """Stage both deployments on disk (once per benchmark session)."""
+    if _COLD_START:
+        return _COLD_START
+    import os
+    import shutil
+    import tempfile
+
+    from repro.storage.checkpoint import CheckpointStore
+    from repro.streaming.delta import WriteAheadLog
+
+    root = tempfile.mkdtemp(prefix="tesc-bench-coldstart-")
+    replay_wal = os.path.join(root, "replay", "wal.log")
+    ckpt_wal = os.path.join(root, "ckpt", "wal.log")
+    ckpt_store = os.path.join(root, "ckpt", "store")
+    os.makedirs(os.path.dirname(replay_wal))
+    os.makedirs(os.path.dirname(ckpt_wal))
+
+    graph = DynamicAttributedGraph(
+        STREAM_DATASET.graph.copy(), STREAM_DATASET.attributed.events.copy()
+    )
+    mutable = STREAM_DATASET.graph.copy()
+    with WriteAheadLog(replay_wal, fsync=False) as wal:
+        for seed in range(COLD_START_BATCHES):
+            _, deltas = rewire_random_edges(
+                mutable, 10, random_state=20_000 + seed,
+                in_place=True, with_deltas=True,
+            )
+            batch = DeltaBatch.coerce(deltas)
+            wal.append_batch(batch)
+            graph.apply(batch)
+
+    shutil.copyfile(replay_wal, ckpt_wal)
+    store = CheckpointStore(ckpt_store, fsync=False)
+    with WriteAheadLog(ckpt_wal, fsync=False) as wal:
+        info = store.write(
+            graph.snapshot().checkpoint_state(),
+            config_digest="bench",
+            wal_batches=wal.total_batches,
+            wal_offset=wal.committed_offset,
+        )
+        wal.compact(info.wal_offset)
+
+    _COLD_START.update(
+        replay_wal=replay_wal, ckpt_wal=ckpt_wal, ckpt_store=ckpt_store,
+        versions=graph.versions(), epoch=graph.epoch, final=graph,
+    )
+    return _COLD_START
+
+
+def _cold_start(wal_path, store_root=None):
+    """One timed boot through the recovery ladder; returns (secs, graph)."""
+    from repro.storage.checkpoint import CheckpointStore
+    from repro.storage.recovery import recover
+    from repro.streaming.delta import WriteAheadLog
+
+    deploy = _cold_start_deployments()
+    graph = DynamicAttributedGraph(
+        STREAM_DATASET.graph.copy(), STREAM_DATASET.attributed.events.copy()
+    )
+    start = time.perf_counter()
+    store = (
+        CheckpointStore(store_root, fsync=False)
+        if store_root is not None else None
+    )
+    wal = WriteAheadLog(wal_path, fsync=False)
+    try:
+        report = recover(graph, wal, store=store, config_digest="bench")
+    finally:
+        wal.close()
+    elapsed = time.perf_counter() - start
+    assert graph.versions() == deploy["versions"]
+    assert graph.epoch == deploy["epoch"]
+    return elapsed, graph, report
+
+
+def test_cold_start_full_wal_replay(benchmark):
+    """Baseline: replay all 200 committed batches from the WAL."""
+    _cold_start_deployments()
+
+    def run():
+        elapsed, _graph, report = _cold_start(_COLD_START["replay_wal"])
+        assert report.path == "full_replay"
+        assert report.replayed_batches == COLD_START_BATCHES
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_cold_start_from_checkpoint(benchmark):
+    """The same boot from the checkpoint + compacted (empty-tail) WAL."""
+    _cold_start_deployments()
+
+    def run():
+        elapsed, _graph, report = _cold_start(
+            _COLD_START["ckpt_wal"], _COLD_START["ckpt_store"]
+        )
+        assert report.path == "checkpoint"
+        assert report.replayed_batches == 0
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_checkpoint_cold_start_beats_full_replay():
+    """The durability acceptance bar, measured directly: best-of-three
+    boots, checkpoint cold start >= 3x faster than full WAL replay on the
+    200-batch log — and the two recovered graphs are bit-identical."""
+    import numpy as np
+
+    deploy = _cold_start_deployments()
+    replayed, checkpointed = [], []
+    ckpt_graph = replay_graph = None
+    for _ in range(3):
+        secs, replay_graph, report = _cold_start(deploy["replay_wal"])
+        assert report.path == "full_replay"
+        replayed.append(secs)
+        secs, ckpt_graph, report = _cold_start(
+            deploy["ckpt_wal"], deploy["ckpt_store"]
+        )
+        assert report.path == "checkpoint"
+        assert report.replayed_batches == 0
+        checkpointed.append(secs)
+
+    np.testing.assert_array_equal(
+        ckpt_graph.csr.indptr, replay_graph.csr.indptr
+    )
+    np.testing.assert_array_equal(
+        ckpt_graph.csr.indices, replay_graph.csr.indices
+    )
+    assert ckpt_graph.versions() == replay_graph.versions()
+    for name in replay_graph.event_names():
+        assert sorted(ckpt_graph.event_nodes(name)) == sorted(
+            replay_graph.event_nodes(name)
+        )
+
+    best_replay, best_ckpt = min(replayed), min(checkpointed)
+    speedup = best_replay / best_ckpt if best_ckpt > 0 else float("inf")
+    print(
+        f"\nfull replay: {best_replay:.4f}s, checkpoint: {best_ckpt:.4f}s, "
+        f"speedup: {speedup:.1f}x"
+    )
+    assert best_ckpt * 3.0 <= best_replay, (
+        f"checkpoint cold start {best_ckpt:.4f}s is not 3x faster than "
+        f"full replay {best_replay:.4f}s (speedup {speedup:.1f}x)"
+    )

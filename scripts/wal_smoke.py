@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""CI smoke test for ``tesc serve --wal``: kill -9 and recover.
+"""CI smoke test for ``tesc serve --wal`` / ``--store``: kill -9, recover.
 
 Boots a real ``tesc serve --wal`` subprocess on a generated graph, commits
 a scripted sequence of delta batches through the protocol client, records
@@ -13,6 +13,13 @@ if
 * the recovered rank answer is not bit-identical to the pre-kill answer,
 * or a torn tail (garbage appended to the log between the runs) breaks
   any of the above — torn bytes must be truncated, never replayed.
+
+The checkpoint phase then reruns the crash with ``--store``: commit, cut a
+checkpoint through the ``tesc checkpoint`` CLI verb (which also compacts
+the covered WAL prefix), commit a short tail, kill -9 again.  The reboot
+must report ``recovery: checkpoint from ckpt-...`` in its banner, replay
+*only* the tail batches (the bounded-recovery contract), land on the
+killed epoch, and answer bit-identically.
 """
 
 from __future__ import annotations
@@ -37,6 +44,9 @@ WAL_RE = re.compile(
     r"write-ahead log at .* \((\d+) committed batch\(es\) replayed, "
     r"epoch (\d+)\)"
 )
+STORE_RE = re.compile(
+    r"checkpoint store at .* \(recovery: (\w+)(?: from (ckpt-[0-9a-f-]+))?\)"
+)
 
 
 def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
@@ -44,25 +54,33 @@ def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
     sys.exit(1)
 
 
-def start_server(edges_path, events_path, wal_path, startup_timeout):
-    """Boot ``tesc serve --wal`` and parse (process, host, port, replayed,
-    epoch) out of the startup banner."""
+def _env():
+    return {**os.environ, "PYTHONPATH": os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src"),
+         os.environ.get("PYTHONPATH", "")]
+    )}
+
+
+def start_server(edges_path, events_path, wal_path, startup_timeout,
+                 store_path=None):
+    """Boot ``tesc serve --wal`` (plus ``--store`` when given) and parse
+    (process, host, port, replayed, epoch, recovery) from the banner."""
+    command = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--edges", edges_path, "--events", events_path,
+        "--port", "0", "--wal", wal_path,
+        "--sample-size", "150", "--seed", "3", "--workers", "1",
+    ]
+    if store_path is not None:
+        command += ["--store", store_path]
     process = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "serve",
-            "--edges", edges_path, "--events", events_path,
-            "--port", "0", "--wal", wal_path,
-            "--sample-size", "150", "--seed", "3", "--workers", "1",
-        ],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
-        env={**os.environ, "PYTHONPATH": os.pathsep.join(
-            [os.path.join(os.path.dirname(__file__), "..", "src"),
-             os.environ.get("PYTHONPATH", "")]
-        )},
+        env=_env(),
     )
     lines = []
     deadline = time.monotonic() + startup_timeout
-    address = replay = None
+    address = replay = recovery = None
     while time.monotonic() < deadline:
         line = process.stdout.readline()
         if not line:
@@ -72,11 +90,27 @@ def start_server(edges_path, events_path, wal_path, startup_timeout):
         lines.append(line.strip())
         address = address or BANNER_RE.search(line)
         replay = replay or WAL_RE.search(line)
-        if address and replay:
+        recovery = recovery or STORE_RE.search(line)
+        if address and replay and (store_path is None or recovery):
             host, port = address.groups()
             replayed, epoch = (int(group) for group in replay.groups())
-            return process, host, int(port), replayed, epoch
+            return process, host, int(port), replayed, epoch, recovery
     fail(f"startup banner never appeared; saw {lines}")
+
+
+def run_checkpoint_verb(host, port):
+    """Cut a checkpoint through the real ``tesc checkpoint`` CLI verb."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "checkpoint",
+         "--host", host, "--port", str(port)],
+        capture_output=True, text=True, timeout=120.0, env=_env(),
+    )
+    if result.returncode != 0:
+        fail(f"tesc checkpoint exited {result.returncode}: {result.stderr}")
+    match = re.search(r"ckpt-[0-9a-f-]+", result.stdout)
+    if match is None:
+        fail(f"tesc checkpoint printed no checkpoint name: {result.stdout!r}")
+    return match.group(0)
 
 
 def sigkill(process: subprocess.Popen) -> None:
@@ -88,6 +122,8 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--batches", type=int, default=3,
                         help="delta batches to commit before the kill")
+    parser.add_argument("--tail-batches", type=int, default=2,
+                        help="batches to commit after the checkpoint")
     parser.add_argument("--startup-timeout", type=float, default=60.0)
     args = parser.parse_args()
 
@@ -110,7 +146,7 @@ def main() -> int:
     write_event_file(events, events_path)
 
     # -- run 1: commit, record, kill -9 ----------------------------------
-    process, host, port, replayed, epoch = start_server(
+    process, host, port, replayed, epoch, _ = start_server(
         edges_path, events_path, wal_path, args.startup_timeout
     )
     try:
@@ -145,7 +181,7 @@ def main() -> int:
     print("wal smoke: appended torn tail to the log")
 
     # -- run 2: recover from the log -------------------------------------
-    process, host, port, replayed, epoch = start_server(
+    process, host, port, replayed, epoch, _ = start_server(
         edges_path, events_path, wal_path, args.startup_timeout
     )
     try:
@@ -164,6 +200,75 @@ def main() -> int:
             fail("recovered rank answer diverged from the pre-kill answer")
         print(f"wal smoke: {replayed} batches replayed, epoch {epoch}, "
               "rank answer bit-identical across kill -9")
+    finally:
+        if process.poll() is None:
+            sigkill(process)
+
+    # -- run 3: checkpoint through the CLI verb, tail commits, kill -9 ----
+    store_path = os.path.join(workdir, "store")
+    process, host, port, replayed, epoch, recovery = start_server(
+        edges_path, events_path, wal_path, args.startup_timeout,
+        store_path=store_path,
+    )
+    try:
+        # Fresh store over the existing 3-batch log: full replay.
+        if recovery.group(1) != "full_replay":
+            fail(f"expected full_replay on an empty store, "
+                 f"got {recovery.group(1)}")
+        if replayed != args.batches:
+            fail(f"store boot replayed {replayed}, committed {args.batches}")
+        with CorrelationClient(host, port, timeout=60.0) as client:
+            # Attach beta to low node ids before the checkpoint, detach
+            # exactly those after it: whatever the file-order relabelling
+            # made of the initial membership, every tail batch is a real
+            # mutation (the node is certainly a member when detached).
+            for index in range(args.tail_batches):
+                client.stream([
+                    {"op": "event_attach", "event": "beta", "node": index},
+                ])
+            checkpoint_name = run_checkpoint_verb(host, port)
+            print(f"wal smoke: cut {checkpoint_name} via tesc checkpoint")
+            for index in range(args.tail_batches):
+                result = client.stream([
+                    {"op": "event_detach", "event": "beta", "node": index},
+                ])
+            killed_epoch = result["epoch"]
+            answer = client.rank([("alpha", "beta"), ("gamma", "delta")])
+        print(f"wal smoke: {args.tail_batches} tail batch(es) past the "
+              f"checkpoint, epoch {killed_epoch}, killing -9")
+    finally:
+        if process.poll() is None:
+            sigkill(process)
+
+    # -- run 4: bounded recovery from checkpoint + tail -------------------
+    process, host, port, replayed, epoch, recovery = start_server(
+        edges_path, events_path, wal_path, args.startup_timeout,
+        store_path=store_path,
+    )
+    try:
+        if recovery.group(1) != "checkpoint":
+            fail(f"expected checkpoint recovery, got {recovery.group(1)}")
+        if recovery.group(2) != checkpoint_name:
+            fail(f"recovered from {recovery.group(2)}, "
+                 f"checkpointed {checkpoint_name}")
+        # The recovery bound: only the batches committed AFTER the
+        # checkpoint replay, not the whole history.
+        if replayed != args.tail_batches:
+            fail(f"bounded recovery replayed {replayed} batch(es), "
+                 f"expected the {args.tail_batches}-batch tail")
+        if epoch != killed_epoch:
+            fail(f"recovered epoch {epoch}, killed at {killed_epoch}")
+        with CorrelationClient(host, port, timeout=60.0) as client:
+            status = client.status()
+            recovered = client.rank([("alpha", "beta"), ("gamma", "delta")])
+            client.shutdown()
+        storage = status.get("storage") or {}
+        if (storage.get("recovery") or {}).get("path") != "checkpoint":
+            fail(f"status storage section says {storage!r}")
+        if recovered["pairs"] != answer["pairs"]:
+            fail("checkpoint-recovered rank answer diverged from pre-kill")
+        print(f"wal smoke: checkpoint recovery replayed only {replayed} "
+              f"tail batch(es), epoch {epoch}, rank answer bit-identical")
         return 0
     finally:
         if process.poll() is None:

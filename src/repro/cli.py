@@ -27,6 +27,9 @@ Subcommands
 ``tesc status``
     Summarise a running server's status and metrics once, or as a live
     terminal dashboard with ``--watch``.
+``tesc checkpoint``
+    Force a durable checkpoint on a running ``tesc serve --store`` server
+    (ungated, off the commit path; the covered WAL prefix is compacted).
 ``tesc experiment``
     Run one of the paper's experiments (figure5 ... table5) and print the
     regenerated tables.
@@ -39,6 +42,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -283,6 +287,35 @@ def build_parser() -> argparse.ArgumentParser:
              "committed to PATH are replayed into the graph on boot, so a "
              "killed server restarts at its last committed epoch "
              "(incompatible with --static)",
+    )
+    serve_parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="checkpoint store directory: boot restores the newest valid "
+             "checkpoint and replays only the WAL tail past it; the "
+             "checkpoint protocol verb and --checkpoint-interval cut new "
+             "ones.  Defaults --wal to DIR/wal.log when not given "
+             "(incompatible with --static)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="N",
+        help="seconds between automatic background checkpoints (needs "
+             "--store; omit to checkpoint only on demand)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-retain", type=int, default=2, metavar="K",
+        help="valid checkpoints kept after each new one (default 2)",
+    )
+
+    checkpoint_parser = subparsers.add_parser(
+        "checkpoint",
+        help="force a checkpoint on a running tesc serve --store instance",
+    )
+    checkpoint_parser.add_argument("--host", default="127.0.0.1")
+    checkpoint_parser.add_argument("--port", type=int, required=True,
+                                   help="port of the running tesc serve instance")
+    checkpoint_parser.add_argument(
+        "--force", action="store_true",
+        help="checkpoint even if the epoch is unchanged since the last one",
     )
 
     status_parser = subparsers.add_parser(
@@ -631,6 +664,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         print("tesc serve: --wal needs a dynamic graph; drop --static",
               file=sys.stderr, flush=True)
         return 2
+    if args.store and args.static:
+        print("tesc serve: --store needs a dynamic graph; drop --static",
+              file=sys.stderr, flush=True)
+        return 2
+    if args.store and not args.wal:
+        # The store's WAL lives alongside its checkpoints by default, so
+        # one --store flag gives a fully durable server.
+        args.wal = os.path.join(args.store, "wal.log")
+        os.makedirs(args.store, exist_ok=True)
     graph, labels = read_edge_list(args.edges)
     label_to_id = {label: index for index, label in enumerate(labels)}
     events = read_event_file(args.events, label_to_id=label_to_id)
@@ -662,12 +704,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
         slow_request_seconds=args.slow_request_seconds,
         wal=args.wal,
+        store=args.store,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_retain=args.checkpoint_retain,
     )
     server.start()
     host, port = server.address
     mode = "static" if args.static else "dynamic"
     print(f"tesc serve: listening on {host}:{port} "
           f"({mode} graph, {server.engine.workers} worker(s))", flush=True)
+    if args.store:
+        recovery = server.recovery
+        detail = recovery.path if recovery is not None else "fresh"
+        if recovery is not None and recovery.checkpoint:
+            detail += f" from {recovery.checkpoint}"
+        print(f"tesc serve: checkpoint store at {args.store} "
+              f"(recovery: {detail})", flush=True)
     if args.wal:
         print(f"tesc serve: write-ahead log at {args.wal} "
               f"({server.replayed_batches} committed batch(es) replayed, "
@@ -706,6 +758,27 @@ def _render_status(status: Dict[str, Any]) -> str:
         render_mapping(overview, title="server"),
         render_mapping(admission, title="admission"),
     ]
+    storage = status.get("storage")
+    if storage:
+        checkpoints = storage.get("checkpoints") or []
+        recovery = storage.get("recovery") or {}
+        wal = status.get("wal") or {}
+        sections.append(render_mapping(
+            {
+                "root": storage.get("root"),
+                "checkpoints": len(checkpoints),
+                "newest": checkpoints[0] if checkpoints else None,
+                "retain": storage.get("retain"),
+                "interval_seconds": storage.get("checkpoint_interval"),
+                "last_checkpoint_epoch": storage.get("last_checkpoint_epoch"),
+                "recovery_path": recovery.get("path"),
+                "recovery_replayed": recovery.get("replayed_batches"),
+                "wal_total_batches": wal.get("total_batches"),
+                "wal_compacted_batches": wal.get("compacted_batches"),
+                "wal_compacted_bytes": wal.get("compacted_bytes"),
+            },
+            title="storage",
+        ))
     metrics = status.get("metrics") or {}
     if metrics:
         table = TextTable(["metric", "value"])
@@ -749,6 +822,32 @@ def _command_status(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+
+
+def _command_checkpoint(args: argparse.Namespace) -> int:
+    from repro.service import CorrelationClient
+
+    with CorrelationClient(args.host, args.port) as client:
+        result = client.checkpoint(force=args.force)
+    if result.get("skipped"):
+        print(f"tesc checkpoint: skipped ({result.get('reason')})", flush=True)
+        return 0
+    print(
+        render_mapping(
+            {
+                "checkpoint": result.get("checkpoint"),
+                "epoch": result.get("epoch"),
+                "wal batches covered": result.get("wal_batches"),
+                "bytes": result.get("nbytes"),
+                "wal bytes reclaimed": result.get("reclaimed_bytes"),
+                "pruned": ", ".join(result.get("pruned") or []) or "none",
+                "duration": f"{result.get('duration_seconds', 0.0):.3f}s",
+            },
+            title="checkpoint",
+        ),
+        flush=True,
+    )
+    return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -851,6 +950,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "status":
         return _command_status(args)
+    if args.command == "checkpoint":
+        return _command_checkpoint(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "dataset":

@@ -179,6 +179,17 @@ class EventLayer:
         """Plain ``{event: sorted node list}`` representation (for IO)."""
         return {event: sorted(nodes) for event, nodes in self._event_to_nodes.items()}
 
+    def restore_version(self, version: int) -> None:
+        """Pin the :attr:`version` counter to a recovered value.
+
+        Used when the layer is rebuilt from a checkpoint: the occurrences are
+        reconstructed via :meth:`from_mapping` (which bumps the counter once
+        per occurrence), then the counter is pinned to the version recorded
+        in the manifest so caches keyed by ``(structure_version,
+        events.version)`` keep matching across a restart.
+        """
+        self._version = int(version)
+
     def copy(self) -> "EventLayer":
         """Deep copy of the layer.
 

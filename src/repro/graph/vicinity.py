@@ -148,6 +148,31 @@ class VicinityIndex:
                 rebased._sizes[level][node_array] = -1
         return rebased
 
+    def export_sizes(self) -> Dict[int, np.ndarray]:
+        """Copies of the memoised ``|V^h_v|`` columns, keyed by level.
+
+        Uncomputed entries are ``-1``; the checkpoint store persists the
+        columns verbatim so a restored index resumes with exactly the warmth
+        it had when the checkpoint was cut.
+        """
+        return {level: sizes.copy() for level, sizes in self._sizes.items()}
+
+    def load_sizes(self, level: int, sizes: np.ndarray) -> None:
+        """Install a persisted ``|V^h_v|`` column for ``level``.
+
+        The column must be one int64 entry per node (``-1`` marking
+        uncomputed); unknown levels raise ``KeyError`` and mismatched lengths
+        raise ``ValueError`` rather than silently serving wrong sizes.
+        """
+        self._require_level(level)
+        column = np.asarray(sizes, dtype=np.int64)
+        if column.shape != (self.graph.num_nodes,):
+            raise ValueError(
+                f"vicinity column for level {level} has shape {column.shape}, "
+                f"expected ({self.graph.num_nodes},)"
+            )
+        self._sizes[level] = column.copy()
+
     def is_cached(self, node: int, level: int) -> bool:
         """Whether the size for ``(node, level)`` is already memoised."""
         self._require_level(level)

@@ -396,6 +396,17 @@ class CorrelationClient:
         params = {"traces": int(traces)} if traces else None
         return self.request("metrics", params)
 
+    def checkpoint(self, force: bool = False) -> Dict[str, Any]:
+        """Ask the server to cut a checkpoint now (needs ``--store``).
+
+        Ungated like ``ping``/``status`` — the checkpoint runs off the
+        commit path against a leased snapshot.  A repeat call at an
+        unchanged epoch is reported as ``{"skipped": true}`` unless
+        ``force``.
+        """
+        params = {"force": True} if force else None
+        return self.request("checkpoint", params)
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server to stop (acknowledged before it tears down)."""
         return self.request("shutdown")

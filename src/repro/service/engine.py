@@ -41,7 +41,9 @@ cache and HTAP suites assert under random commit/query interleavings.
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import asdict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -88,10 +90,14 @@ from repro.service.pool import (
 )
 from repro.service.protocol import BadRequestError, UnavailableError
 from repro.service.shm import unpublish_dataset
+from repro.storage.checkpoint import CheckpointStore, digest_string
+from repro.storage.recovery import RecoveryReport
 from repro.streaming.delta import DeltaBatch, WriteAheadLog
 from repro.streaming.dynamic_graph import DynamicAttributedGraph
 from repro.streaming.snapshots import SnapshotLease
 from repro.utils import deadlines
+
+logger = logging.getLogger(__name__)
 
 
 class _ReadWriteLock:
@@ -215,6 +221,17 @@ class ServiceEngine:
         pooled compute paths (a default one is built when ``workers > 1``).
         When the pool keeps crashing, the breaker opens and requests run
         the bit-identical serial path instead of erroring.
+    store:
+        Optional :class:`~repro.storage.checkpoint.CheckpointStore` (or a
+        directory path to open one at).  Enables :meth:`checkpoint`:
+        full-state checkpoints cut off the commit path against a pinned
+        snapshot epoch, followed by WAL compaction of the covered prefix.
+        Like ``wal``, requires a dynamic graph.
+    checkpoint_interval:
+        Seconds between automatic background checkpoints (``None``/``0``
+        disables the background thread; :meth:`checkpoint` stays callable).
+    checkpoint_retain:
+        Valid checkpoints kept after each successful new one.
     """
 
     def __init__(
@@ -230,6 +247,9 @@ class ServiceEngine:
         slow_request_seconds: Optional[float] = None,
         wal: Optional[Any] = None,
         breaker: Optional[CircuitBreaker] = None,
+        store: Optional[Any] = None,
+        checkpoint_interval: Optional[float] = None,
+        checkpoint_retain: int = 2,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else TescConfig()
@@ -256,6 +276,26 @@ class ServiceEngine:
             wal if wal is None or isinstance(wal, WriteAheadLog)
             else WriteAheadLog(wal)
         )
+        if store is not None and not self._dynamic:
+            raise ConfigurationError(
+                "a checkpoint store needs a dynamic graph (epochs are what "
+                "it checkpoints); construct the engine over a "
+                "DynamicAttributedGraph or drop store="
+            )
+        self._store: Optional[CheckpointStore] = (
+            store if store is None or isinstance(store, CheckpointStore)
+            else CheckpointStore(store, retain=checkpoint_retain)
+        )
+        if self._store is not None:
+            self._store.retain = max(1, int(checkpoint_retain))
+        self._ckpt_lock = threading.Lock()
+        self._last_checkpoint_epoch: Optional[int] = None
+        self._recovery_report: Optional[RecoveryReport] = None
+        self.checkpoint_interval = (
+            float(checkpoint_interval) if checkpoint_interval else None
+        )
+        self._ckpt_stop = threading.Event()
+        self._ckpt_thread: Optional[threading.Thread] = None
         self.supervisor = PoolSupervisor(global_pool(), breaker)
         # rid -> cached commit result: makes retried stream commits
         # idempotent (a lost response must not re-apply the batch).
@@ -277,6 +317,13 @@ class ServiceEngine:
         self.trace_buffer = TraceBuffer(trace_buffer_size)
         self.slow_log = SlowRequestLog(slow_request_seconds)
         self._instrument()
+        if self._store is not None and self.checkpoint_interval:
+            self._ckpt_thread = threading.Thread(
+                target=self._checkpoint_loop,
+                name="tesc-checkpoint",
+                daemon=True,
+            )
+            self._ckpt_thread.start()
 
     def _instrument(self) -> None:
         """Register this engine's metric families on :attr:`metrics`."""
@@ -338,6 +385,30 @@ class ServiceEngine:
             "tesc_wal_failures_total",
             "Write-ahead appends that failed (commit rejected with 503, "
             "graph untouched).",
+        )
+        self._m_checkpoints = m.counter(
+            "tesc_checkpoints_total",
+            "Checkpoints successfully committed to the store.",
+        )
+        self._m_checkpoint_failures = m.counter(
+            "tesc_checkpoint_failures_total",
+            "Checkpoint attempts that failed (previous checkpoint stays "
+            "authoritative).",
+        )
+        self._m_checkpoint_seconds = m.histogram(
+            "tesc_checkpoint_seconds",
+            "Checkpoint duration in seconds (serialise + fsync + rename + "
+            "WAL compaction).",
+        )
+        self._m_wal_compacted = m.counter(
+            "tesc_wal_compacted_bytes_total",
+            "WAL bytes reclaimed by post-checkpoint compaction.",
+        )
+        self._m_recovery = m.counter(
+            "tesc_recovery_total",
+            "Cold starts by recovery path (checkpoint, fallback, "
+            "full_replay, fresh).",
+            labels=("path",),
         )
         self._m_pool_fallbacks = m.counter(
             "tesc_pool_fallbacks_total",
@@ -920,6 +991,111 @@ class ServiceEngine:
         self._m_request_seconds.labels(method="commit").observe(span.duration)
         return result
 
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint(self, force: bool = False) -> Dict[str, Any]:
+        """Cut one full-state checkpoint and compact the covered WAL prefix.
+
+        The commit lock is held only long enough to pin the current epoch's
+        snapshot lease and capture the WAL coordinates and vicinity-index
+        columns that belong to it — serialisation, fsync, and the atomic
+        rename all run against the leased snapshot with commits flowing
+        freely.  A repeat call at an unchanged epoch is skipped unless
+        ``force``.  After a successful commit the WAL prefix the checkpoint
+        covers is compacted and old checkpoints pruned down to the retain
+        bound.  Raises :class:`~repro.service.protocol.UnavailableError`
+        (previous checkpoint intact) when a write or fsync fails.
+        """
+        if self._store is None:
+            raise BadRequestError(
+                "this server has no checkpoint store (start with --store)"
+            )
+        with self._ckpt_lock:
+            start = time.monotonic()
+            with self._commit_lock:
+                lease = self.graph.pin()
+                epoch = lease.epoch
+                if not force and self._last_checkpoint_epoch == epoch:
+                    lease.release()
+                    return {
+                        "skipped": True,
+                        "reason": f"epoch {epoch} already checkpointed",
+                        "epoch": epoch,
+                    }
+                wal_batches = (
+                    self._wal.total_batches if self._wal is not None else 0
+                )
+                wal_offset = (
+                    self._wal.committed_offset if self._wal is not None else 0
+                )
+                index = self.graph._vicinity_index
+                vicinity = index.export_sizes() if index is not None else None
+            try:
+                state = lease.graph.checkpoint_state()
+                digest = digest_string(self._config_digest(self.config))
+                with trace("checkpoint", sink=self._finish_trace) as span:
+                    span.tags["epoch"] = epoch
+                    try:
+                        info = self._store.write(
+                            state,
+                            config_digest=digest,
+                            wal_batches=wal_batches,
+                            wal_offset=wal_offset,
+                            vicinity_sizes=vicinity,
+                        )
+                    except OSError as exc:
+                        self._m_checkpoint_failures.inc()
+                        raise UnavailableError(
+                            f"checkpoint failed: {exc}"
+                        ) from exc
+            finally:
+                lease.release()
+            reclaimed = 0
+            if self._wal is not None:
+                try:
+                    reclaimed = self._wal.compact(info.wal_offset)
+                except OSError as exc:
+                    # The checkpoint landed; an uncompacted WAL only costs
+                    # disk, and recovery handles the overlap by total batch
+                    # index, so this is best-effort.
+                    logger.warning(
+                        "WAL compaction after %s failed: %s", info.name, exc
+                    )
+            pruned = self._store.prune()
+            duration = time.monotonic() - start
+            self._last_checkpoint_epoch = epoch
+            self._m_checkpoints.inc()
+            self._m_checkpoint_seconds.observe(duration)
+            self._m_wal_compacted.inc(reclaimed)
+            return {
+                "skipped": False,
+                "checkpoint": info.name,
+                "epoch": epoch,
+                "wal_batches": wal_batches,
+                "nbytes": info.nbytes,
+                "reclaimed_bytes": reclaimed,
+                "pruned": pruned,
+                "duration_seconds": duration,
+            }
+
+    def _checkpoint_loop(self) -> None:
+        while not self._ckpt_stop.wait(self.checkpoint_interval):
+            try:
+                self.checkpoint()
+            except UnavailableError as exc:
+                logger.warning("background checkpoint failed: %s", exc)
+            except Exception:
+                logger.exception("background checkpoint crashed")
+
+    def record_recovery(self, report: RecoveryReport) -> None:
+        """Register the boot-time recovery outcome (metrics + status)."""
+        self._recovery_report = report
+        self._m_recovery.labels(path=report.path).inc()
+        if report.checkpoint is not None and report.replayed_batches == 0:
+            # The restored epoch IS the checkpointed epoch; skip the next
+            # background checkpoint until a commit moves the graph.
+            self._last_checkpoint_epoch = report.restored_epoch
+
     # -- snapshot publication lifecycle --------------------------------------
 
     def _note_published(self, epoch: int, graph: AttributedGraph) -> None:
@@ -965,8 +1141,23 @@ class ServiceEngine:
             payload["wal"] = {
                 "path": self._wal.path,
                 "batches": len(self._wal.batches),
+                "total_batches": self._wal.total_batches,
                 "recovered_batches": self._wal.recovered_batches,
                 "truncated_bytes": self._wal.truncated_bytes,
+                "compacted_batches": self._wal.compacted_batches,
+                "compacted_bytes": self._wal.compacted_bytes,
+            }
+        if self._store is not None:
+            payload["storage"] = {
+                "root": self._store.root,
+                "checkpoints": self._store.list_checkpoints(),
+                "retain": self._store.retain,
+                "checkpoint_interval": self.checkpoint_interval,
+                "last_checkpoint_epoch": self._last_checkpoint_epoch,
+                "recovery": (
+                    self._recovery_report.describe()
+                    if self._recovery_report is not None else None
+                ),
             }
         if self._dynamic:
             payload["retained_epochs"] = self.graph.retained_epochs()
@@ -996,6 +1187,10 @@ class ServiceEngine:
 
     def close(self) -> None:
         """Drop caches and unlink this graph's shared-memory publications."""
+        self._ckpt_stop.set()
+        if self._ckpt_thread is not None:
+            self._ckpt_thread.join(timeout=5.0)
+            self._ckpt_thread = None
         with self._miss_lock:
             self._results.clear()
             self._matrices.clear()

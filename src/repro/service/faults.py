@@ -11,7 +11,12 @@ test can ask for a failure to happen:
   loop, after a request line is read / before a response is written
   (``drop`` closes the connection abruptly);
 * :data:`WAL_FSYNC` — in :meth:`~repro.streaming.delta.WriteAheadLog`
-  before fsync (``error`` raises ``OSError``).
+  before fsync (``error`` raises ``OSError``);
+* :data:`CHECKPOINT_FSYNC` — in
+  :class:`~repro.storage.checkpoint.CheckpointStore` before each fsync of a
+  checkpoint segment/manifest/directory (``error`` raises ``OSError``; the
+  half-written temp directory is discarded and the previous checkpoint
+  stays authoritative).
 
 A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s.  Each rule names a
 seam, an action, and *which* invocations of that seam it fires on (1-based
@@ -20,7 +25,7 @@ seam, an action, and *which* invocations of that seam it fires on (1-based
 replay identically run after run.  Arming is process-global
 (:func:`arm` / :func:`disarm` / the :func:`armed` context manager); with no
 plan armed every seam is a single ``None`` check, cheap enough to leave in
-production code paths (guarded by the BENCH_pr9 overhead bar).
+production code paths (guarded by the CI fault-seam overhead bar).
 
 Invocation counters live in the plan, so the same plan object must not be
 armed twice without :meth:`FaultPlan.reset`.
@@ -39,6 +44,7 @@ __all__ = [
     "SOCKET_RECV",
     "SOCKET_SEND",
     "WAL_FSYNC",
+    "CHECKPOINT_FSYNC",
     "KNOWN_SITES",
     "FaultRule",
     "FaultEvent",
@@ -55,9 +61,11 @@ SHM_ALLOC = "shm.alloc"
 SOCKET_RECV = "socket.recv"
 SOCKET_SEND = "socket.send"
 WAL_FSYNC = "wal.fsync"
+CHECKPOINT_FSYNC = "checkpoint.fsync"
 
 KNOWN_SITES = frozenset(
-    {WORKER_DISPATCH, SHM_ALLOC, SOCKET_RECV, SOCKET_SEND, WAL_FSYNC}
+    {WORKER_DISPATCH, SHM_ALLOC, SOCKET_RECV, SOCKET_SEND, WAL_FSYNC,
+     CHECKPOINT_FSYNC}
 )
 
 #: Actions a rule may request.  ``kill_worker`` is only meaningful at

@@ -9,10 +9,14 @@ or ``{"id": ..., "proto": 2, "ok": false, "error": {"code": ..., "type":
 compare service answers against in-process rankings field by field.
 
 Methods: ``ping``, ``status``, ``metrics``, ``rank``, ``topk``, ``stream``,
-``shutdown``.  ``metrics`` is ungated (like ``ping``/``status``) and returns
-the server's metrics registry as a plain snapshot dict plus its Prometheus
-text exposition; ``params: {"traces": N}`` additionally returns the last
-``N`` request span trees from the server's trace buffer.
+``checkpoint``, ``shutdown``.  ``metrics`` is ungated (like
+``ping``/``status``) and returns the server's metrics registry as a plain
+snapshot dict plus its Prometheus text exposition; ``params: {"traces": N}``
+additionally returns the last ``N`` request span trees from the server's
+trace buffer.  ``checkpoint`` (also ungated — it runs off the commit path
+against a leased snapshot) forces a durable checkpoint on a server started
+with ``--store``; ``params: {"force": true}`` overrides the unchanged-epoch
+skip.
 
 Protocol v2 (the snapshot-isolation release) adds two envelope fields to
 every response: ``proto``, the protocol **major version** — clients must

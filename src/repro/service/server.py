@@ -48,12 +48,19 @@ from repro.service.protocol import (
     parse_rid,
     parse_sort_and_k,
 )
+from repro.storage.checkpoint import CheckpointStore, digest_string
+from repro.storage.recovery import RecoveryReport, recover
 from repro.streaming.delta import WriteAheadLog
 from repro.streaming.dynamic_graph import DynamicAttributedGraph
 from repro.utils import deadlines
 
 #: Methods that skip admission control (cheap, must answer under overload).
-_UNGATED_METHODS = frozenset({"ping", "status", "metrics", "shutdown"})
+#: ``checkpoint`` is ungated deliberately: it runs off the commit path
+#: against a leased snapshot, and an operator must be able to force one
+#: while the service is overloaded.
+_UNGATED_METHODS = frozenset(
+    {"ping", "status", "metrics", "shutdown", "checkpoint"}
+)
 
 
 class CorrelationServer:
@@ -103,6 +110,18 @@ class CorrelationServer:
         restarted over the same base graph files and the same WAL resumes
         at the last committed epoch — and every subsequent ``stream``
         commit is durably appended before it applies.
+    store:
+        A checkpoint-store directory (or an open
+        :class:`~repro.storage.checkpoint.CheckpointStore`).  Requires
+        ``wal``.  Boot runs the bounded recovery ladder
+        (:func:`~repro.storage.recovery.recover`): newest valid checkpoint
+        restored, only the WAL tail past it replayed — with graceful
+        fallback through older checkpoints down to full replay.  The
+        outcome is exposed as :attr:`recovery` and in ``tesc status``.
+    checkpoint_interval / checkpoint_retain:
+        Background-checkpoint cadence in seconds (``None`` disables the
+        thread; the ``checkpoint`` verb still works) and how many
+        checkpoints to keep.
 
     Usable as a context manager::
 
@@ -125,8 +144,17 @@ class CorrelationServer:
         metrics_port: Optional[int] = None,
         slow_request_seconds: Optional[float] = None,
         wal: Optional[Union[str, WriteAheadLog]] = None,
+        store: Optional[Union[str, CheckpointStore]] = None,
+        checkpoint_interval: Optional[float] = None,
+        checkpoint_retain: int = 2,
     ) -> None:
         self.replayed_batches = 0
+        self.recovery: Optional[RecoveryReport] = None
+        if store is not None and wal is None:
+            raise ValueError(
+                "--store needs --wal: a checkpoint records the WAL offset "
+                "it covers"
+            )
         if wal is not None:
             if not isinstance(graph, DynamicAttributedGraph):
                 raise ValueError(
@@ -135,14 +163,26 @@ class CorrelationServer:
                 )
             if not isinstance(wal, WriteAheadLog):
                 wal = WriteAheadLog(wal)
-            for batch in wal.replay():
-                graph.apply(batch)
-                self.replayed_batches += 1
+            if store is not None and not isinstance(store, CheckpointStore):
+                store = CheckpointStore(store, retain=checkpoint_retain)
+            resolved_config = config if config is not None else TescConfig()
+            digest = digest_string(
+                ServiceEngine._config_digest(resolved_config)
+            )
+            self.recovery = recover(
+                graph, wal, store=store, config_digest=digest
+            )
+            self.replayed_batches = self.recovery.replayed_batches
         self.engine = ServiceEngine(
             graph, config, workers=workers,
             slow_request_seconds=slow_request_seconds,
             wal=wal,
+            store=store,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_retain=checkpoint_retain,
         )
+        if self.recovery is not None:
+            self.engine.record_recovery(self.recovery)
         self.default_top_k = None if default_top_k is None else int(default_top_k)
         self.admission = AdmissionController(
             max_concurrency=max_concurrency,
@@ -392,6 +432,8 @@ class CorrelationServer:
             }
         if method == "shutdown":
             return {"stopping": True}
+        if method == "checkpoint":
+            return self.engine.checkpoint(force=bool(params.get("force")))
         if method == "rank":
             top_k, sort_by = parse_sort_and_k(params)
             if top_k is None:

@@ -169,18 +169,26 @@ class ShmRegistry:
                         dtype=dtype.str)
 
     def release(self, name: str) -> None:
-        """Unlink one owned segment (idempotent)."""
+        """Unlink one owned segment (idempotent).
+
+        close/unlink run under ``_TRACKER_LOCK``: the resource tracker's
+        registration bookkeeping is process-global, and an unlink racing an
+        :func:`attach` (or a checkpoint-triggered GC running this from
+        atexit during interpreter shutdown) in another thread could
+        otherwise interleave with the tracker swap window.
+        """
         segment = self._segments.pop(name, None)
         if segment is None:
             return
-        try:
-            segment.close()
-        except BufferError:  # pragma: no cover - caller kept a live view
-            pass
-        try:
-            segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
+        with _TRACKER_LOCK:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - caller kept a live view
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
     def release_ref(self, ref: Optional[ArrayRef]) -> None:
         if ref is not None:

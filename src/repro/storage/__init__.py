@@ -1,0 +1,31 @@
+"""Crash-consistent on-disk state for the correlation service.
+
+The storage tier bounds recovery time: instead of replaying the whole
+write-ahead log on every boot, the service periodically serialises its full
+state — CSR arrays, event occurrences, vicinity-index columns, the epoch and
+``(structure_version, events_version)`` pair — into an atomically-committed,
+CRC-checksummed checkpoint (:mod:`repro.storage.checkpoint`), then truncates
+the WAL prefix the checkpoint covers.  Cold start loads the newest *valid*
+checkpoint and replays only the WAL tail past it
+(:mod:`repro.storage.recovery`), degrading gracefully through older
+checkpoints down to full replay when checkpoints are corrupt or missing.
+"""
+
+from repro.storage.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointInfo,
+    CheckpointStore,
+    LoadedCheckpoint,
+    digest_string,
+)
+from repro.storage.recovery import RecoveryReport, recover
+
+__all__ = [
+    "CheckpointCorruptError",
+    "CheckpointInfo",
+    "CheckpointStore",
+    "LoadedCheckpoint",
+    "RecoveryReport",
+    "digest_string",
+    "recover",
+]

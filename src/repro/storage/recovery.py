@@ -1,0 +1,154 @@
+"""Bounded cold-start recovery: newest valid checkpoint + WAL tail.
+
+:func:`recover` is the single boot entry point for ``tesc serve --store``.
+The decision ladder, in order:
+
+1. the newest checkpoint that validates *and* matches the serving config
+   digest and graph size → restore it, replay only the WAL batches past its
+   coverage (path ``"checkpoint"``);
+2. if newer checkpoints were rejected (quarantined as corrupt, or skipped
+   as belonging to another config) but an older one is valid → same, path
+   ``"fallback"``;
+3. no usable checkpoint → replay the whole WAL (path ``"full_replay"``);
+4. nothing on disk at all → start empty (path ``"fresh"``).
+
+The ladder never refuses to start when the WAL alone suffices — corruption
+costs recovery *time*, not availability.  Tail selection speaks in *total*
+batch indices (compacted-away batches included), so it is correct in the
+crash window after a checkpoint renames but before the covered WAL prefix
+is compacted.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.events.event_set import EventLayer
+from repro.graph.csr import CSRGraph
+from repro.storage.checkpoint import CheckpointStore, LoadedCheckpoint
+from repro.streaming.delta import WriteAheadLog
+from repro.streaming.dynamic_graph import DynamicAttributedGraph
+
+logger = logging.getLogger(__name__)
+
+#: The recovery paths a boot can take, in preference order.
+PATH_CHECKPOINT = "checkpoint"
+PATH_FALLBACK = "fallback"
+PATH_FULL_REPLAY = "full_replay"
+PATH_FRESH = "fresh"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one cold start actually did."""
+
+    path: str
+    checkpoint: Optional[str]
+    rejected: Tuple[Tuple[str, str], ...]
+    replayed_batches: int
+    restored_epoch: int
+
+    def describe(self) -> dict:
+        """JSON-friendly summary for ``tesc status`` / the serve banner."""
+        return {
+            "path": self.path,
+            "checkpoint": self.checkpoint,
+            "rejected": [list(item) for item in self.rejected],
+            "replayed_batches": self.replayed_batches,
+            "restored_epoch": self.restored_epoch,
+        }
+
+
+def _rebuild_events(num_nodes: int, loaded: LoadedCheckpoint) -> EventLayer:
+    layer = EventLayer.from_mapping(num_nodes, loaded.events)
+    # Events whose occurrence set was emptied by detach deltas stay
+    # registered (the layer's documented contract); from_mapping skips
+    # them, so register the names explicitly.
+    for event in loaded.events:
+        layer._event_to_nodes.setdefault(event, set())
+    layer.restore_version(loaded.info.events_version)
+    return layer
+
+
+def _restore(graph: DynamicAttributedGraph, loaded: LoadedCheckpoint) -> None:
+    csr = CSRGraph(loaded.indptr, loaded.indices, epoch=loaded.info.epoch)
+    events = _rebuild_events(csr.num_nodes, loaded)
+    graph.restore(
+        csr,
+        events,
+        epoch=loaded.info.epoch,
+        structure_version=loaded.info.structure_version,
+    )
+    if loaded.labels is not None:
+        graph.labels = list(loaded.labels)
+    if loaded.vicinity_sizes:
+        index = graph.vicinity_index(levels=sorted(loaded.vicinity_sizes))
+        for level, column in loaded.vicinity_sizes.items():
+            index.load_sizes(level, column)
+
+
+def recover(
+    graph: DynamicAttributedGraph,
+    wal: WriteAheadLog,
+    store: Optional[CheckpointStore] = None,
+    config_digest: Optional[str] = None,
+) -> RecoveryReport:
+    """Restore ``graph`` from the best available durable state.
+
+    ``graph`` must be the freshly constructed base graph (the same edge
+    list / event file the WAL was recorded against); on return it holds the
+    recovered state.  Returns the :class:`RecoveryReport` saying which path
+    was taken, what was rejected on the way down the ladder, and how many
+    WAL batches were replayed.
+    """
+    loaded = None
+    rejections: Tuple[Tuple[str, str], ...] = ()
+    if store is not None:
+        loaded, rejected = store.load_newest_valid(
+            config_digest=config_digest, num_nodes=graph.num_nodes
+        )
+        rejections = tuple(rejected)
+
+    covered = 0
+    checkpoint_name = None
+    if loaded is not None:
+        _restore(graph, loaded)
+        covered = loaded.info.wal_batches
+        checkpoint_name = loaded.info.name
+        logger.info(
+            "restored checkpoint %s (epoch %d, covers %d WAL batches)",
+            checkpoint_name, loaded.info.epoch, covered,
+        )
+    elif wal.compacted_batches > 0:
+        # The WAL's prefix was compacted away on the promise a checkpoint
+        # held it, and no checkpoint survived — the tail alone cannot
+        # reconstruct full state.  Keep the never-refuse-to-start contract
+        # but say loudly that history was lost.
+        logger.error(
+            "no valid checkpoint but WAL %s was compacted past batch %d; "
+            "replaying the surviving tail only",
+            wal.path, wal.compacted_batches,
+        )
+
+    replayed = 0
+    for index, batch in enumerate(wal.batches):
+        total_index = wal.compacted_batches + index + 1
+        if total_index > covered:
+            graph.apply(batch)
+            replayed += 1
+
+    if loaded is not None:
+        path = PATH_FALLBACK if rejections else PATH_CHECKPOINT
+    elif replayed:
+        path = PATH_FULL_REPLAY
+    else:
+        path = PATH_FRESH
+    return RecoveryReport(
+        path=path,
+        checkpoint=checkpoint_name,
+        rejected=rejections,
+        replayed_batches=replayed,
+        restored_epoch=graph.epoch,
+    )

@@ -43,6 +43,13 @@ EVENT_OPS = (EVENT_ATTACH, EVENT_DETACH)
 #: The batch-boundary marker in the JSONL wire format.
 COMMIT_OP = "commit"
 
+#: The compaction header of a write-ahead log whose covered prefix was
+#: truncated by a checkpoint: ``{"op": "compact", "batches": N}`` as the
+#: first record means N committed batches were dropped from the front of the
+#: file (their state lives in a checkpoint).  Only valid as the first
+#: record; anywhere else it is treated as corruption.
+COMPACT_OP = "compact"
+
 
 @dataclass(frozen=True)
 class Delta:
@@ -330,6 +337,17 @@ class WriteAheadLog(DeltaLog):
         self.truncated_bytes = 0
         #: Committed batches found on disk at open time.
         self.recovered_batches = 0
+        #: Batches dropped from the front of the file by prior compactions
+        #: (recovered from the compaction header record).
+        self.compacted_batches = 0
+        #: Bytes reclaimed by :meth:`compact` over this object's lifetime.
+        self.compacted_bytes = 0
+        # Byte offset just past the compaction header (0 when none) and the
+        # offset just past each in-file batch's commit line, parallel to
+        # ``self.batches`` — the durability boundaries compaction and
+        # checkpoint manifests speak in.
+        self._header_end = 0
+        self._boundaries: List[int] = []
         self._lock = threading.Lock()
         self._recover()
         self._handle: IO[bytes] = open(self.path, "ab")
@@ -363,6 +381,7 @@ class WriteAheadLog(DeltaLog):
         committed_end = 0
         offset = 0
         pending: List[Delta] = []
+        first = True
         while True:
             newline = data.find(b"\n", offset)
             if newline == -1:
@@ -370,11 +389,26 @@ class WriteAheadLog(DeltaLog):
             record = self._parse_line(data[offset:newline])
             if record is None:
                 break
+            op = record.get("op")
+            if op == COMPACT_OP:
+                if not first or pending:
+                    break  # only valid as the very first record
+                try:
+                    self.compacted_batches = int(record["batches"])
+                except (KeyError, TypeError, ValueError):
+                    break
+                offset = newline + 1
+                self._header_end = offset
+                committed_end = offset
+                first = False
+                continue
+            first = False
             offset = newline + 1
-            if record.get("op") == COMMIT_OP:
+            if op == COMMIT_OP:
                 self.batches.append(DeltaBatch(deltas=tuple(pending)))
                 pending.clear()
                 committed_end = offset
+                self._boundaries.append(offset)
             else:
                 try:
                     pending.append(Delta.from_record(record))
@@ -416,6 +450,7 @@ class WriteAheadLog(DeltaLog):
                     pass
                 raise
             self.batches.append(batch)
+            self._boundaries.append(start + len(payload))
         return batch
 
     def seal(self) -> DeltaBatch:
@@ -428,7 +463,7 @@ class WriteAheadLog(DeltaLog):
             self.pending[:0] = pending  # restage: the commit did not happen
             raise
 
-    def _sync(self) -> None:
+    def _sync(self, handle=None) -> None:
         # Lazy import: repro.streaming must not pull the service package in
         # at module load (service.engine imports this module).
         from repro.service import faults
@@ -437,7 +472,99 @@ class WriteAheadLog(DeltaLog):
         if rule is not None and rule.action == "error":
             raise OSError(rule.message)
         if self.fsync_enabled:
-            os.fsync(self._handle.fileno())
+            os.fsync((self._handle if handle is None else handle).fileno())
+
+    def _sync_dir(self) -> None:
+        if not self.fsync_enabled:
+            return
+        parent = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd = os.open(parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- compaction ----------------------------------------------------------
+
+    @property
+    def total_batches(self) -> int:
+        """Committed batches ever logged: compacted-away plus in-file."""
+        return self.compacted_batches + len(self.batches)
+
+    @property
+    def committed_offset(self) -> int:
+        """Byte offset just past the last durable commit boundary."""
+        return self._boundaries[-1] if self._boundaries else self._header_end
+
+    def offset_of_total(self, covered: int) -> int:
+        """The commit-boundary byte offset covering ``covered`` total batches.
+
+        Clamped at both ends: asking for no more than the already-compacted
+        count returns the header end (nothing further to drop), asking past
+        the last in-file commit returns :attr:`committed_offset`.
+        """
+        in_file = int(covered) - self.compacted_batches
+        if in_file <= 0:
+            return self._header_end
+        if in_file > len(self._boundaries):
+            return self.committed_offset
+        return self._boundaries[in_file - 1]
+
+    def compact(self, up_to_offset: int) -> int:
+        """Truncate the covered prefix ``[0, up_to_offset)`` of the log.
+
+        ``up_to_offset`` should be a commit boundary previously obtained from
+        :attr:`committed_offset` / :meth:`offset_of_total`; anything else —
+        including an offset past a torn tail or past end-of-file — is
+        clamped *down* to the nearest known boundary, so compaction can never
+        split a batch.  The surviving tail is rewritten behind a fresh
+        compaction header to ``<path>.compact``, fsynced, and atomically
+        renamed over the log: a crash mid-compaction leaves either the old
+        file or the new one, never a hybrid.  Serialised against concurrent
+        :meth:`append_batch` by the commit lock.  Returns bytes reclaimed.
+        """
+        with self._lock:
+            if self._handle.closed:
+                raise DeltaError(f"write-ahead log {self.path!r} is closed")
+            # Clamp down to the largest known commit boundary <= the offset.
+            drop = 0
+            for boundary in self._boundaries:
+                if boundary <= up_to_offset:
+                    drop += 1
+                else:
+                    break
+            if drop == 0:
+                return 0
+            cut = self._boundaries[drop - 1]
+            self._handle.flush()
+            with open(self.path, "rb") as handle:
+                handle.seek(cut)
+                tail = handle.read()
+            header = self._format_record(
+                {"op": COMPACT_OP, "batches": self.compacted_batches + drop}
+            )
+            temp = self.path + ".compact"
+            try:
+                with open(temp, "wb") as handle:
+                    handle.write(header + tail)
+                    handle.flush()
+                    self._sync(handle)
+                os.rename(temp, self.path)
+            except BaseException:
+                if os.path.exists(temp):
+                    os.remove(temp)
+                raise
+            self._sync_dir()
+            self._handle.close()
+            self._handle = open(self.path, "ab")
+            shift = len(header) - cut  # negative: how far the tail moved left
+            self._boundaries = [b + shift for b in self._boundaries[drop:]]
+            self._header_end = len(header)
+            del self.batches[:drop]
+            self.compacted_batches += drop
+            reclaimed = max(0, -shift)
+            self.compacted_bytes += reclaimed
+            return reclaimed
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -410,6 +410,45 @@ class DynamicAttributedGraph(AttributedGraph):
         self._vicinity_index = index.rebase(new_csr, dirty)
         return dirty
 
+    def restore(
+        self,
+        csr: CSRGraph,
+        events,
+        epoch: int,
+        structure_version: int,
+    ) -> None:
+        """Swap in recovered state (the checkpoint-load counterpart of
+        :meth:`apply`).
+
+        Replaces the CSR and event layer wholesale, pins the epoch and
+        structure version to the recovered values, and drops every derived
+        cache (vicinity index, indicator cache, memoised snapshots) — the
+        graph then looks exactly as it did when the checkpoint was cut, and
+        WAL-tail batches replay on top through the normal :meth:`apply`
+        path.  Only meaningful on a freshly constructed graph during boot;
+        any leases pinned before the restore keep their old snapshots.
+        """
+        if csr.num_nodes != self.csr.num_nodes:
+            raise ValueError(
+                f"restored CSR has {csr.num_nodes} nodes, graph has "
+                f"{self.csr.num_nodes}"
+            )
+        if events.num_nodes != csr.num_nodes:
+            raise ValueError(
+                "restored event layer covers a different number of nodes "
+                "than the restored CSR"
+            )
+        with self._mutate_lock:
+            self.csr = csr
+            self.events = events
+            self.structure_version = int(structure_version)
+            self._epoch = int(epoch)
+            self._epoch_versions = self.versions()
+            self._vicinity_index = None
+            self._indicator_cache = {}
+            self._indicator_cache_version = events.version
+            self._leases.advance(self._epoch)
+
     def snapshot(self) -> GraphSnapshot:
         """The current epoch's frozen state (memoised per epoch).
 

@@ -72,6 +72,26 @@ class GraphSnapshot(AttributedGraph):
         self.epoch = int(epoch)
         self.structure_version = int(structure_version)
 
+    def checkpoint_state(self) -> Dict[str, object]:
+        """The serialisable pieces a checkpoint of this snapshot carries.
+
+        This is the single seam the checkpoint store reads engine state
+        through: the epoch's CSR arrays (shared, immutable — safe to hand
+        out), the event occurrences as a plain mapping plus the pinned
+        events version, labels, and the epoch / structure-version pair.
+        Everything here round-trips through
+        :meth:`~repro.streaming.dynamic_graph.DynamicAttributedGraph.restore`.
+        """
+        return {
+            "indptr": self.csr.indptr,
+            "indices": self.csr.indices,
+            "events": self.events.to_mapping(),
+            "events_version": int(self.events.version),
+            "labels": list(self.labels) if self.labels is not None else None,
+            "epoch": self.epoch,
+            "structure_version": self.structure_version,
+        }
+
     def __repr__(self) -> str:
         return (
             f"GraphSnapshot(epoch={self.epoch}, num_nodes={self.num_nodes}, "

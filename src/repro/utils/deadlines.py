@@ -14,7 +14,7 @@ per-thread (the server handles each connection in its own thread) and cost
 one context-variable read when no deadline is set.  Worker processes never
 see the deadline — cancellation is cooperative in the coordinating thread
 only.  :func:`checkpoint` is late-bound by callers (``deadlines.checkpoint()``)
-so the BENCH_pr9 overhead guard can patch it out to measure its cost.
+so the CI fault-seam overhead guard can patch it out to measure its cost.
 """
 
 from __future__ import annotations

@@ -1,6 +1,8 @@
-"""The durable delta log: CRC framing, torn-tail recovery, fsync faults."""
+"""The durable delta log: CRC framing, torn-tail recovery, fsync faults,
+and prefix compaction."""
 
 import os
+import threading
 
 import pytest
 
@@ -158,6 +160,27 @@ class TestFsyncFaults:
         finally:
             wal.close()
 
+    def test_compaction_fault_leaves_the_log_untouched(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        wal = WriteAheadLog(path)
+        try:
+            wal.append_batch(_batch(1))
+            wal.append_batch(_batch(2))
+            before = path.read_bytes()
+            with faults.armed(
+                faults.FaultRule(faults.WAL_FSYNC, action="error", at=1)
+            ):
+                with pytest.raises(OSError):
+                    wal.compact(wal.committed_offset)
+            # The rewrite died before the rename: nothing changed, and the
+            # log keeps accepting appends.
+            assert path.read_bytes() == before
+            assert wal.compacted_batches == 0
+            wal.append_batch(_batch(3))
+            assert list(wal.replay()) == [_batch(1), _batch(2), _batch(3)]
+        finally:
+            wal.close()
+
     def test_fsync_disabled_skips_the_syscall_but_keeps_the_seam(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "deltas.wal", fsync=False)
         try:
@@ -170,3 +193,138 @@ class TestFsyncFaults:
             assert list(wal.replay()) == [_batch(2)]
         finally:
             wal.close()
+
+
+class TestCompaction:
+    def test_compact_drops_the_prefix_but_keeps_total_coordinates(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            for node in range(5):
+                wal.append_batch(_batch(node))
+            cut = wal.offset_of_total(3)
+            assert wal.compact(cut) > 0
+            assert wal.compacted_batches == 3
+            assert wal.total_batches == 5
+            assert list(wal.replay()) == [_batch(3), _batch(4)]
+            wal.append_batch(_batch(5))
+        reopened = WriteAheadLog(path)
+        try:
+            # The logical coordinate system survives the reopen: batch
+            # totals keep counting from before the compaction.
+            assert reopened.compacted_batches == 3
+            assert reopened.total_batches == 6
+            assert list(reopened.replay()) == [_batch(3), _batch(4), _batch(5)]
+        finally:
+            reopened.close()
+
+    def test_compact_to_empty_and_keep_appending(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(_batch(1))
+            wal.append_batch(_batch(2))
+            wal.compact(wal.committed_offset)
+            assert wal.batches == []
+            assert wal.total_batches == 2
+            # Nothing left to drop: compacting again is a no-op.
+            assert wal.compact(wal.committed_offset) == 0
+            wal.append_batch(_batch(3))
+        reopened = WriteAheadLog(path)
+        try:
+            assert reopened.compacted_batches == 2
+            assert list(reopened.replay()) == [_batch(3)]
+        finally:
+            reopened.close()
+
+    def test_offset_past_a_torn_tail_clamps_to_the_last_commit(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(_batch(1))
+            wal.append_batch(_batch(2))
+        # Crash appends half a record; the file is now LONGER than the last
+        # commit boundary.
+        with open(path, "ab") as handle:
+            handle.write(b'deadbeef {"torn": tr')
+        wal = WriteAheadLog(path)
+        try:
+            # Asking to compact past end-of-file must clamp to the last
+            # commit boundary, never split a record.
+            reclaimed = wal.compact(os.path.getsize(path) + 1000)
+            assert reclaimed > 0
+            assert wal.compacted_batches == 2
+            assert wal.batches == []
+            wal.append_batch(_batch(3))
+            assert list(wal.replay()) == [_batch(3)]
+        finally:
+            wal.close()
+        recovered = WriteAheadLog(path)
+        try:
+            assert recovered.compacted_batches == 2
+            assert list(recovered.replay()) == [_batch(3)]
+        finally:
+            recovered.close()
+
+    def test_mid_file_compaction_header_is_a_corruption_boundary(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_batch(_batch(1))
+            wal.compact(wal.committed_offset)
+            header_only = path.read_bytes()
+            wal.append_batch(_batch(2))
+        # Splice a second compaction header after the first batch: valid CRC,
+        # but a header anywhere except record 0 means a botched rewrite.
+        with open(path, "ab") as handle:
+            handle.write(header_only)
+        recovered = WriteAheadLog(path)
+        try:
+            assert recovered.compacted_batches == 1
+            assert recovered.recovered_batches == 1
+            assert recovered.truncated_bytes > 0
+            assert list(recovered.replay()) == [_batch(2)]
+        finally:
+            recovered.close()
+
+    def test_concurrent_commits_during_compaction_lose_nothing(self, tmp_path):
+        """Writers hammering append_batch while compactions run: every
+        committed batch must survive, in order, exactly once."""
+        path = tmp_path / "deltas.wal"
+        wal = WriteAheadLog(path, fsync=False)
+        errors = []
+
+        def writer():
+            try:
+                for node in range(50):
+                    wal.append_batch(_batch(node))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def compactor():
+            try:
+                for _ in range(20):
+                    wal.compact(wal.committed_offset)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=compactor)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            assert errors == []
+            assert wal.total_batches == 50
+            # The in-file tail plus the compacted count partition the full
+            # history; whatever survived in-file is the exact ordered suffix.
+            assert list(wal.replay()) == [
+                _batch(node) for node in range(wal.compacted_batches, 50)
+            ]
+        finally:
+            wal.close()
+        reopened = WriteAheadLog(path)
+        try:
+            assert reopened.total_batches == 50
+            assert list(reopened.replay()) == [
+                _batch(node) for node in range(reopened.compacted_batches, 50)
+            ]
+        finally:
+            reopened.close()

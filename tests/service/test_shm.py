@@ -1,8 +1,11 @@
 """Shared-memory layer: publication, lifecycle, and leak-freedom."""
 
+import threading
+
 import numpy as np
 import pytest
 
+from repro.service import shm
 from repro.service.shm import (
     SHM_PREFIX,
     ShmRegistry,
@@ -62,6 +65,32 @@ class TestRegistry:
         assert shm_segments() == before
         with pytest.raises(FileNotFoundError):
             read_array(second)
+
+    def test_release_serialises_on_the_tracker_lock(self):
+        """Regression: an unlink racing an attach (or an atexit GC) in
+        another thread must wait for the tracker-swap window to close —
+        release() has to take ``_TRACKER_LOCK`` before touching the
+        segment."""
+        registry = ShmRegistry()
+        ref = registry.publish_array(np.arange(8), "race")
+        released = threading.Event()
+
+        def _release():
+            registry.release(ref.name)
+            released.set()
+
+        thread = threading.Thread(target=_release)
+        with shm._TRACKER_LOCK:
+            thread.start()
+            # While we hold the process-global tracker lock, the release
+            # cannot reach close/unlink: the segment must still be live.
+            assert not released.wait(0.2)
+            assert ref.name in shm_segments()
+        thread.join(timeout=5.0)
+        assert released.is_set()
+        assert registry.num_owned == 0
+        with pytest.raises(FileNotFoundError):
+            read_array(ref)
 
     def test_empty_array_publishes(self):
         registry = ShmRegistry()

@@ -1,0 +1,13 @@
+"""Shared fixtures for the storage suite."""
+
+import pytest
+
+from repro.service import faults
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """No fault plan leaks in or out of a test, pass or fail."""
+    faults.disarm()
+    yield
+    faults.disarm()
