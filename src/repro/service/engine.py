@@ -523,10 +523,28 @@ class ServiceEngine:
         return cfg
 
     @staticmethod
-    def _config_digest(cfg: TescConfig) -> tuple:
+    def _config_digest(cfg: TescConfig, persistent: bool = False) -> tuple:
+        """The config identity tuple cache keys and checkpoints key on.
+
+        Non-int seeds (e.g. a ``Generator``) are tokenised by ``id()`` for
+        in-process keys — distinct objects draw distinct streams, so they
+        must not share a memo.  ``persistent=True`` swaps in a stable
+        sentinel: ``id()`` changes across processes, and a digest written
+        into a checkpoint manifest must still match the same config after a
+        restart or every checkpoint would be rejected at boot.
+        """
         items = asdict(cfg)
-        seed = items.pop("random_state")
-        seed_token = seed if seed is None or isinstance(seed, int) else id(seed)
+        items.pop("random_state")
+        # asdict deep-copies field values; id() must see the live object on
+        # the config, not a throwaway copy whose address the allocator may
+        # hand to the next caller.
+        seed = cfg.random_state
+        if seed is None or isinstance(seed, int):
+            seed_token: object = seed
+        elif persistent:
+            seed_token = "unseeded-object"
+        else:
+            seed_token = id(seed)
         return tuple(sorted(items.items())) + (("random_state", seed_token),)
 
     def _memo(self, cfg: TescConfig) -> SampleMemo:
@@ -994,16 +1012,23 @@ class ServiceEngine:
     # -- checkpoints ---------------------------------------------------------
 
     def checkpoint(self, force: bool = False) -> Dict[str, Any]:
-        """Cut one full-state checkpoint and compact the covered WAL prefix.
+        """Cut one full-state checkpoint and compact the bridged WAL prefix.
 
-        The commit lock is held only long enough to pin the current epoch's
-        snapshot lease and capture the WAL coordinates and vicinity-index
-        columns that belong to it — serialisation, fsync, and the atomic
-        rename all run against the leased snapshot with commits flowing
-        freely.  A repeat call at an unchanged epoch is skipped unless
-        ``force``.  After a successful commit the WAL prefix the checkpoint
-        covers is compacted and old checkpoints pruned down to the retain
-        bound.  Raises :class:`~repro.service.protocol.UnavailableError`
+        The epoch's snapshot is built *before* the commit lock is taken —
+        the first pin of an epoch copies the event layer, an O(graph) job
+        that must not stall commits — so the lock is held only to confirm
+        the epoch did not move and to capture the WAL coordinates and
+        vicinity-index columns that belong to it.  If a commit slips in
+        between, the stale snapshot is dropped and rebuilt (bounded: after
+        a few lost races the pin happens under the lock, accepting a
+        one-off stall rather than livelocking behind a hot write stream).
+        Serialisation, fsync, and the atomic rename all run against the
+        leased snapshot with commits flowing freely.  A repeat call at an
+        unchanged epoch is skipped unless ``force``.  After a successful
+        commit, old checkpoints are pruned to the retain bound and the WAL
+        is compacted only up to the oldest *retained* checkpoint's coverage,
+        so every fallback candidate stays able to bridge to the surviving
+        tail.  Raises :class:`~repro.service.protocol.UnavailableError`
         (previous checkpoint intact) when a write or fsync fails.
         """
         if self._store is None:
@@ -1012,27 +1037,46 @@ class ServiceEngine:
             )
         with self._ckpt_lock:
             start = time.monotonic()
-            with self._commit_lock:
-                lease = self.graph.pin()
-                epoch = lease.epoch
-                if not force and self._last_checkpoint_epoch == epoch:
-                    lease.release()
-                    return {
-                        "skipped": True,
-                        "reason": f"epoch {epoch} already checkpointed",
-                        "epoch": epoch,
-                    }
-                wal_batches = (
-                    self._wal.total_batches if self._wal is not None else 0
-                )
-                wal_offset = (
-                    self._wal.committed_offset if self._wal is not None else 0
-                )
-                index = self.graph._vicinity_index
-                vicinity = index.export_sizes() if index is not None else None
+            lease = None
+            attempts = 0
+            while lease is None:
+                attempts += 1
+                prebuilt = self.graph.pin() if attempts <= 3 else None
+                with self._commit_lock:
+                    if prebuilt is not None and self.graph.epoch != prebuilt.epoch:
+                        pass  # a commit landed mid-prebuild: retry below
+                    else:
+                        lease = (
+                            prebuilt if prebuilt is not None
+                            else self.graph.pin()
+                        )
+                        epoch = lease.epoch
+                        if not force and self._last_checkpoint_epoch == epoch:
+                            lease.release()
+                            return {
+                                "skipped": True,
+                                "reason": f"epoch {epoch} already checkpointed",
+                                "epoch": epoch,
+                            }
+                        wal_batches = (
+                            self._wal.total_batches
+                            if self._wal is not None else 0
+                        )
+                        wal_offset = (
+                            self._wal.committed_offset
+                            if self._wal is not None else 0
+                        )
+                        index = self.graph._vicinity_index
+                        vicinity = (
+                            index.export_sizes() if index is not None else None
+                        )
+                if lease is None:
+                    prebuilt.release()
             try:
                 state = lease.graph.checkpoint_state()
-                digest = digest_string(self._config_digest(self.config))
+                digest = digest_string(
+                    self._config_digest(self.config, persistent=True)
+                )
                 with trace("checkpoint", sink=self._finish_trace) as span:
                     span.tags["epoch"] = epoch
                     try:
@@ -1050,10 +1094,19 @@ class ServiceEngine:
                         ) from exc
             finally:
                 lease.release()
+            pruned = self._store.prune()
             reclaimed = 0
             if self._wal is not None:
+                # Compact only the prefix every *retained* checkpoint still
+                # covers: if the newest corrupts on disk later, the older
+                # fallback must be able to bridge to the surviving tail —
+                # recovery rejects any checkpoint that cannot.
+                floor = self._store.retained_coverage()
                 try:
-                    reclaimed = self._wal.compact(info.wal_offset)
+                    if floor is not None:
+                        reclaimed = self._wal.compact(
+                            self._wal.offset_of_total(floor)
+                        )
                 except OSError as exc:
                     # The checkpoint landed; an uncompacted WAL only costs
                     # disk, and recovery handles the overlap by total batch
@@ -1061,7 +1114,6 @@ class ServiceEngine:
                     logger.warning(
                         "WAL compaction after %s failed: %s", info.name, exc
                     )
-            pruned = self._store.prune()
             duration = time.monotonic() - start
             self._last_checkpoint_epoch = epoch
             self._m_checkpoints.inc()

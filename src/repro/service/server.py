@@ -167,7 +167,7 @@ class CorrelationServer:
                 store = CheckpointStore(store, retain=checkpoint_retain)
             resolved_config = config if config is not None else TescConfig()
             digest = digest_string(
-                ServiceEngine._config_digest(resolved_config)
+                ServiceEngine._config_digest(resolved_config, persistent=True)
             )
             self.recovery = recover(
                 graph, wal, store=store, config_digest=digest

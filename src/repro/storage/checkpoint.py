@@ -427,14 +427,20 @@ class CheckpointStore:
         self,
         config_digest: Optional[str] = None,
         num_nodes: Optional[int] = None,
+        min_wal_batches: Optional[int] = None,
     ) -> Tuple[Optional[LoadedCheckpoint], List[Tuple[str, str]]]:
         """Walk checkpoints newest-first and return the first valid one.
 
         Corrupt checkpoints are quarantined with their reason; checkpoints
         that are internally valid but belong to a different config or graph
         size are *skipped without quarantine* (they are sound data for some
-        other deployment).  Returns ``(loaded_or_None, rejections)`` where
-        rejections is ``[(name, reason), ...]`` in the order encountered.
+        other deployment).  ``min_wal_batches`` — the WAL's compacted-away
+        batch count — rejects (without quarantine) any checkpoint whose
+        coverage ends before it: the batches between its coverage and the
+        compaction point no longer exist, so restoring it plus the surviving
+        tail would silently diverge from true state.  Returns
+        ``(loaded_or_None, rejections)`` where rejections is
+        ``[(name, reason), ...]`` in the order encountered.
         """
         rejections: List[Tuple[str, str]] = []
         for name in self.list_checkpoints():
@@ -458,8 +464,44 @@ class CheckpointStore:
                            f"has {num_nodes}")
                 )
                 continue
+            if min_wal_batches is not None and info.wal_batches < min_wal_batches:
+                rejections.append(
+                    (name, f"covers only {info.wal_batches} WAL batches but "
+                           f"the log was compacted past batch "
+                           f"{min_wal_batches}; the surviving tail cannot "
+                           "bridge the gap")
+                )
+                continue
             return loaded, rejections
         return None, rejections
+
+    def retained_coverage(self) -> Optional[int]:
+        """The largest WAL coverage every retained checkpoint can bridge.
+
+        The minimum ``wal_batches`` across the manifests of all listed
+        checkpoints — the safe compaction bound: truncating the WAL past it
+        would leave some retained checkpoint unable to reach the surviving
+        tail, voiding it as a recovery fallback.  Checkpoints whose manifest
+        does not parse are ignored (they can never restore, so they
+        constrain nothing); returns ``None`` when no readable checkpoint
+        exists.
+        """
+        floor: Optional[int] = None
+        for name in self.list_checkpoints():
+            try:
+                path = os.path.join(self.root, name, MANIFEST_NAME)
+                with open(path, "rb") as handle:
+                    manifest = _unframe(handle.read().rstrip(b"\n"))
+            except OSError:
+                continue
+            if manifest is None:
+                continue
+            try:
+                batches = int(manifest["wal_batches"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            floor = batches if floor is None else min(floor, batches)
+        return floor
 
     def quarantine(self, name: str, reason: str) -> None:
         """Move a corrupt checkpoint aside, recording why."""

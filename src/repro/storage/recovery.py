@@ -12,6 +12,12 @@ The decision ladder, in order:
 3. no usable checkpoint → replay the whole WAL (path ``"full_replay"``);
 4. nothing on disk at all → start empty (path ``"fresh"``).
 
+A fallback candidate must also *bridge* the WAL: a checkpoint whose
+coverage ends before the log's compaction point cannot replay the batches
+between the two (they were compacted away), so it is rejected rather than
+restored with a silent hole in history — boot then drops to the loud
+lost-history variant of full replay below.
+
 The ladder never refuses to start when the WAL alone suffices — corruption
 costs recovery *time*, not availability.  Tail selection speaks in *total*
 batch indices (compacted-away batches included), so it is correct in the
@@ -107,7 +113,9 @@ def recover(
     rejections: Tuple[Tuple[str, str], ...] = ()
     if store is not None:
         loaded, rejected = store.load_newest_valid(
-            config_digest=config_digest, num_nodes=graph.num_nodes
+            config_digest=config_digest,
+            num_nodes=graph.num_nodes,
+            min_wal_batches=wal.compacted_batches,
         )
         rejections = tuple(rejected)
 
@@ -123,9 +131,10 @@ def recover(
         )
     elif wal.compacted_batches > 0:
         # The WAL's prefix was compacted away on the promise a checkpoint
-        # held it, and no checkpoint survived — the tail alone cannot
-        # reconstruct full state.  Keep the never-refuse-to-start contract
-        # but say loudly that history was lost.
+        # held it, and no *bridging* checkpoint survived (any whose coverage
+        # predates the compaction point was rejected above) — the tail alone
+        # cannot reconstruct full state.  Keep the never-refuse-to-start
+        # contract but say loudly that history was lost.
         logger.error(
             "no valid checkpoint but WAL %s was compacted past batch %d; "
             "replaying the surviving tail only",

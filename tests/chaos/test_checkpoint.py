@@ -24,7 +24,7 @@ TAIL = 3  # batches committed after the checkpoint — the recovery bound
 
 
 def _digest(config):
-    return digest_string(ServiceEngine._config_digest(config))
+    return digest_string(ServiceEngine._config_digest(config, persistent=True))
 
 
 def _mutation(events, num_nodes, step):
@@ -265,6 +265,132 @@ class TestEngineCheckpointing:
         assert report.replayed_batches == TAIL
         assert recovered.versions() == graph.versions()
         assert _ranking(recovered, config) == expected
+
+    def test_compaction_keeps_retained_fallbacks_replayable(
+        self, make_dynamic_graph, chaos_dataset, tmp_path
+    ):
+        """Two engine checkpoints at different epochs, newest corrupts on
+        disk: compaction is bounded by the oldest retained checkpoint's
+        coverage, so the fallback still bridges to the surviving tail and
+        the reboot is bit-identical to the live pre-kill graph."""
+        _dataset, config = chaos_dataset
+        wal_path = os.fspath(tmp_path / "wal.log")
+        store_root = os.fspath(tmp_path / "store")
+        graph = make_dynamic_graph()
+        events = graph.event_names()
+        engine = ServiceEngine(graph, config, workers=1, wal=wal_path,
+                               store=store_root)
+        try:
+            for step in range(5):
+                engine.commit([_mutation(events, graph.num_nodes,
+                                         step).to_record()])
+            first = engine.checkpoint()
+            for step in range(5, 8):
+                engine.commit([_mutation(events, graph.num_nodes,
+                                         step).to_record()])
+            second = engine.checkpoint()
+            # The second compaction stops at the FIRST checkpoint's
+            # coverage (5 batches, already compacted), not its own (8).
+            assert second["wal_batches"] == 8
+            assert second["reclaimed_bytes"] == 0
+            for step in range(8, 8 + TAIL):
+                engine.commit([_mutation(events, graph.num_nodes,
+                                         step).to_record()])
+        finally:
+            engine.close()
+        expected = _ranking(graph, config)
+
+        # Corrupt the newest checkpoint: recovery must fall back to the
+        # first one and replay batches 6..11 from the surviving tail.
+        newest = os.path.join(store_root, second["checkpoint"])
+        with open(os.path.join(newest, "indices.bin"), "r+b") as handle:
+            handle.seek(4)
+            byte = handle.read(1)
+            handle.seek(4)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+        recovered, report = _boot(make_dynamic_graph, config, wal_path,
+                                  store_root)
+        assert report.path == "fallback"
+        assert report.checkpoint == first["checkpoint"]
+        assert report.replayed_batches == 3 + TAIL
+        assert recovered.versions() == graph.versions()
+        assert _ranking(recovered, config) == expected
+
+    def test_checkpoint_retries_when_a_commit_races_the_prebuild(
+        self, make_dynamic_graph, chaos_dataset, tmp_path, monkeypatch
+    ):
+        """A commit landing between the outside-the-lock snapshot prebuild
+        and the commit-lock acquisition must not be checkpointed against
+        stale state: the engine drops the stale lease and re-pins."""
+        _dataset, config = chaos_dataset
+        graph = make_dynamic_graph()
+        events = graph.event_names()
+        engine = ServiceEngine(graph, config, workers=1,
+                               wal=os.fspath(tmp_path / "wal.log"),
+                               store=os.fspath(tmp_path / "store"))
+        try:
+            engine.commit([_mutation(events, graph.num_nodes, 0).to_record()])
+            real_pin = graph.pin
+            raced = {"done": False}
+
+            def racing_pin(epoch=None):
+                lease = real_pin(epoch)
+                if not raced["done"]:
+                    # Slip one mutation in right after the prebuild, before
+                    # checkpoint() can take the commit lock.
+                    raced["done"] = True
+                    graph.apply([_mutation(events, graph.num_nodes, 1)])
+                return lease
+
+            monkeypatch.setattr(graph, "pin", racing_pin)
+            result = engine.checkpoint(force=True)
+            assert not result["skipped"]
+            # The cut checkpoint belongs to the post-race epoch, not the
+            # stale prebuilt one.
+            assert result["epoch"] == graph.epoch
+        finally:
+            engine.close()
+
+    def test_generator_seed_digest_survives_a_restart(
+        self, make_dynamic_graph, chaos_dataset, tmp_path
+    ):
+        """A non-int random_state (np.random.Generator) must not poison the
+        persisted config digest with a process-specific id(): the reboot —
+        which constructs its own Generator object — still accepts the
+        checkpoint instead of silently falling back to full replay."""
+        import numpy as np
+
+        _dataset, base = chaos_dataset
+        config = base.with_random_state(np.random.default_rng(17))
+        wal_path = os.fspath(tmp_path / "wal.log")
+        store_root = os.fspath(tmp_path / "store")
+        graph = make_dynamic_graph()
+        events = graph.event_names()
+        engine = ServiceEngine(graph, config, workers=1, wal=wal_path,
+                               store=store_root)
+        try:
+            for step in range(5):
+                engine.commit([_mutation(events, graph.num_nodes,
+                                         step).to_record()])
+            assert not engine.checkpoint()["skipped"]
+        finally:
+            engine.close()
+
+        rebooted_config = base.with_random_state(np.random.default_rng(17))
+        recovered, report = _boot(make_dynamic_graph, rebooted_config,
+                                  wal_path, store_root)
+        assert report.path == "checkpoint"
+        assert report.replayed_batches == 0
+        assert recovered.versions() == graph.versions()
+        # In-process memo keys still distinguish distinct generator objects.
+        assert (
+            ServiceEngine._config_digest(config)
+            != ServiceEngine._config_digest(rebooted_config)
+        )
+        assert ServiceEngine._config_digest(
+            config, persistent=True
+        ) == ServiceEngine._config_digest(rebooted_config, persistent=True)
 
     def test_recovery_at_checkpoint_skips_the_duplicate(
         self, make_dynamic_graph, chaos_dataset, tmp_path

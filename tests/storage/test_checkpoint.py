@@ -330,6 +330,63 @@ class TestRecoveryLadder:
         assert report.rejected and newer.name == report.rejected[0][0]
         assert rebooted.versions() == graph.versions()
 
+    def test_fallback_rejects_checkpoint_that_cannot_bridge_compaction(
+        self, tmp_path, caplog
+    ):
+        # Checkpoint A covers batch 1, checkpoint B covers batches 1-3, the
+        # WAL is compacted to B's coverage, then B corrupts on disk.  A
+        # cannot bridge batches 2-3 (compacted away), so restoring it plus
+        # the surviving tail would silently diverge from true state: it
+        # must be rejected and boot must take the loud tail-only path.
+        graph = fresh_graph()
+        store = CheckpointStore(tmp_path / "store", fsync=False)
+        with WriteAheadLog(tmp_path / "wal.log", fsync=False) as wal:
+            commit(graph, wal, Delta.event_attach("a", 10))
+            older = checkpoint_now(store, graph, wal)
+            commit(graph, wal, Delta.event_attach("a", 11))
+            commit(graph, wal, Delta.event_attach("a", 12))
+            newer = checkpoint_now(store, graph, wal)
+            assert wal.compact(wal.committed_offset) > 0
+            commit(graph, wal, Delta.event_attach("a", 13))
+        _corrupt_byte(tmp_path / "store" / newer.name / "indices.bin")
+
+        rebooted = fresh_graph()
+        with caplog.at_level("ERROR", logger="repro.storage.recovery"):
+            with WriteAheadLog(tmp_path / "wal.log", fsync=False) as wal:
+                report = recover(rebooted, wal, store=store,
+                                 config_digest="cfg")
+        assert report.path == "full_replay"
+        assert report.checkpoint is None
+        assert report.replayed_batches == 1  # the surviving tail, loudly
+        reasons = dict(report.rejected)
+        assert "cannot bridge" in reasons[older.name]
+        assert any("compacted" in record.message for record in caplog.records)
+
+    def test_fallback_after_bounded_compaction_still_bridges(self, tmp_path):
+        # The engine compacts only up to the oldest *retained* checkpoint's
+        # coverage; under that bound a corrupt newest checkpoint still
+        # leaves a usable fallback that replays to the exact same state.
+        graph = fresh_graph()
+        store = CheckpointStore(tmp_path / "store", fsync=False)
+        with WriteAheadLog(tmp_path / "wal.log", fsync=False) as wal:
+            commit(graph, wal, Delta.event_attach("a", 10))
+            older = checkpoint_now(store, graph, wal)
+            commit(graph, wal, Delta.event_attach("a", 11))
+            newer = checkpoint_now(store, graph, wal)
+            floor = store.retained_coverage()
+            assert floor == older.wal_batches == 1
+            assert wal.compact(wal.offset_of_total(floor)) > 0
+        _corrupt_byte(tmp_path / "store" / newer.name / "indices.bin")
+
+        rebooted = fresh_graph()
+        with WriteAheadLog(tmp_path / "wal.log", fsync=False) as wal:
+            report = recover(rebooted, wal, store=store, config_digest="cfg")
+        assert report.path == "fallback"
+        assert report.checkpoint == older.name
+        assert report.replayed_batches == 1
+        assert rebooted.versions() == graph.versions()
+        np.testing.assert_array_equal(rebooted.csr.indices, graph.csr.indices)
+
     def test_compacted_wal_with_no_checkpoint_still_starts(self, tmp_path, caplog):
         graph = fresh_graph()
         store = CheckpointStore(tmp_path / "store", fsync=False)
